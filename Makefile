@@ -1,0 +1,54 @@
+# feasregion — build / test / benchmark / experiment targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-race test-short bench experiments experiments-quick examples fuzz verify clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerates every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/experiments -csv results
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/webserver
+	$(GO) run ./examples/tsce
+	$(GO) run ./examples/taskgraph
+	$(GO) run ./examples/overload
+	$(GO) run ./examples/httpserver
+
+# Short fuzzing passes over the robustness-sensitive parsers and math.
+fuzz:
+	$(GO) test -fuzz FuzzParseReplay -fuzztime 30s ./internal/workload/
+	$(GO) test -fuzz FuzzStageDelayFactor -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzAlphaBounds -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzQuantile -fuzztime 30s ./internal/stats/
+
+clean:
+	rm -rf results
+	$(GO) clean -testcache
+
+verify:
+	$(GO) run ./cmd/experiments -run soundness

@@ -1,0 +1,225 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation: Figures 4-7 (§4), the Table 1 TSCE certification and
+// track-capacity simulation (§5), the bounding-surface samples, and the
+// ablations (idle reset, urgency inversion α, blocking β, baseline
+// admission policies).
+//
+// Usage:
+//
+//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines] [-quick] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"feasregion/internal/core"
+	"feasregion/internal/experiments"
+	"feasregion/internal/report"
+	"feasregion/internal/stats"
+)
+
+func main() {
+	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness")
+	quick := flag.Bool("quick", false, "reduced scale (shorter horizons, one replication)")
+	plot := flag.Bool("plot", false, "render Figures 4-7 as ASCII charts in addition to tables")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	mdPath := flag.String("md", "", "also write all tables as one markdown document")
+	htmlPath := flag.String("html", "", "also write a self-contained HTML report with SVG charts")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	var tables []*stats.Table
+
+	var charts []string
+	var figures []report.Figure
+	if want("fig4") {
+		cfg := experiments.DefaultFig4()
+		cfg.Scale = scale
+		res := experiments.Fig4(cfg)
+		tables = append(tables, res.Table())
+		figures = append(figures, res.Figure())
+		if *plot {
+			charts = append(charts, res.Chart())
+		}
+	}
+	if want("fig5") {
+		cfg := experiments.DefaultFig5()
+		cfg.Scale = scale
+		res := experiments.Fig5(cfg)
+		tables = append(tables, res.Table())
+		figures = append(figures, res.Figure())
+		if *plot {
+			charts = append(charts, res.Chart())
+		}
+	}
+	if want("fig6") {
+		cfg := experiments.DefaultFig6()
+		cfg.Scale = scale
+		res := experiments.Fig6(cfg)
+		tables = append(tables, res.Table())
+		figures = append(figures, res.Figure())
+		if *plot {
+			charts = append(charts, res.Chart())
+		}
+	}
+	if want("fig7") {
+		cfg := experiments.DefaultFig7()
+		cfg.Scale = scale
+		res := experiments.Fig7(cfg)
+		tables = append(tables, res.Table())
+		figures = append(figures, res.Figure())
+		if *plot {
+			charts = append(charts, res.Chart())
+		}
+	}
+	if want("table1") {
+		cert, _ := experiments.Table1Certification()
+		tables = append(tables, cert)
+		cfg := experiments.DefaultTable1()
+		if *quick {
+			cfg.Tracks = []int{200, 400, 550, 600}
+			cfg.Horizon, cfg.Warmup = 10, 2
+		}
+		tables = append(tables, experiments.Table1TrackCapacity(cfg).Table())
+	}
+	if want("surface") {
+		tables = append(tables, experiments.Surface(core.NewRegion(2), 12))
+		tables = append(tables, experiments.BalancedBounds(8))
+	}
+	if want("ablations") {
+		ir := experiments.DefaultAblationIdleReset()
+		ir.Scale = scale
+		tables = append(tables, experiments.AblationIdleReset(ir))
+		aa := experiments.DefaultAblationAlpha()
+		aa.Scale = scale
+		tables = append(tables, experiments.AblationAlphaPolicies(aa))
+		ab := experiments.DefaultAblationBlocking()
+		ab.Scale = scale
+		tables = append(tables, experiments.AblationBlocking(ab))
+	}
+	if want("baselines") {
+		bc := experiments.DefaultBaselineCompare()
+		bc.Scale = scale
+		tables = append(tables, experiments.BaselineCompare(bc))
+	}
+	if want("extensions") {
+		jp := experiments.DefaultJitteredPeriodic()
+		if *quick {
+			jp.Horizon, jp.Warmup = 1500, 200
+		}
+		tables = append(tables, experiments.JitteredPeriodic(jp))
+		ov := experiments.DefaultOverrun()
+		ov.Scale = scale
+		tables = append(tables, experiments.Overrun(ov))
+		ht := experiments.DefaultHeavyTail()
+		ht.Scale = scale
+		tables = append(tables, experiments.HeavyTailApproximate(ht))
+		pc := experiments.DefaultPolicyCompare()
+		pc.Scale = scale
+		tables = append(tables, experiments.PolicyCompare(pc))
+		bu := experiments.DefaultBurstiness()
+		bu.Scale = scale
+		tables = append(tables, experiments.Burstiness(bu))
+		pcmp := experiments.DefaultPeriodicComparison()
+		if *quick {
+			pcmp.Trials = 50
+		}
+		tables = append(tables, experiments.PeriodicComparison(pcmp))
+		ti := experiments.DefaultTightness()
+		ti.Scale = scale
+		tables = append(tables, experiments.BoundTightness(ti))
+		df := experiments.DefaultDataFlow()
+		if *quick {
+			df.Horizon, df.Warmup = 1200, 150
+		}
+		tables = append(tables, experiments.DataFlow(df))
+		oh := experiments.DefaultOverhead()
+		oh.Scale = scale
+		tables = append(tables, experiments.PreemptionOverheadSensitivity(oh))
+		st := experiments.DefaultStorm()
+		if *quick {
+			st.Horizon, st.Warmup, st.StormStart, st.StormEnd = 30, 4, 10, 20
+		}
+		tables = append(tables, experiments.SheddingStorm(st))
+		ms := experiments.DefaultMultiServer()
+		ms.Scale = scale
+		tables = append(tables, experiments.MultiServerScaling(ms))
+		tables = append(tables, experiments.AdversarialTightness(experiments.DefaultAdversarial()))
+	}
+
+	if want("soundness") {
+		sc := experiments.DefaultSoundness()
+		if *quick {
+			sc.Seeds, sc.Horizon = 2, 600
+		}
+		tables = append(tables, experiments.Soundness(sc))
+	}
+
+	if len(tables) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *run)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, c := range charts {
+		fmt.Println(c)
+	}
+	var md strings.Builder
+	md.WriteString("# feasregion experiment results\n\n")
+	for _, t := range tables {
+		fmt.Println(t.Render())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, t); err != nil {
+				fmt.Fprintf(os.Stderr, "writing CSV: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		md.WriteString(t.Markdown())
+		md.WriteString("\n")
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing markdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *htmlPath != "" {
+		doc := report.HTML("feasregion experiment results", figures, tables)
+		if err := os.WriteFile(*htmlPath, []byte(doc), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing HTML report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeCSV stores the table under a slug of its title.
+func writeCSV(dir string, t *stats.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		case r == ' ', r == ':', r == '/':
+			return '-'
+		default:
+			return -1
+		}
+	}, t.Title)
+	if len(slug) > 60 {
+		slug = slug[:60]
+	}
+	return os.WriteFile(filepath.Join(dir, slug+".csv"), []byte(t.CSV()), 0o644)
+}

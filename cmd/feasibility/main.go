@@ -1,0 +1,282 @@
+// Command feasibility is an offline admission/certification tool: it
+// reads a task-set description (JSON) and reports each stage's synthetic
+// utilization, the feasible-region value Σ f(U_j), and whether the set
+// is certified schedulable — the §5 pre-certification workflow.
+//
+// Usage:
+//
+//	feasibility -taskset set.json
+//	feasibility -rta set.json        # holistic response-time analysis (periodic sets)
+//	feasibility -surface 16          # sample the 2-stage bounding surface
+//	feasibility -bounds 8            # balanced per-stage bounds vs N
+//
+// Task-set JSON schema:
+//
+//	{
+//	  "stages": 3,
+//	  "alpha": 1.0,                  // optional, default 1 (DM)
+//	  "betas": [0, 0, 0],            // optional per-stage blocking terms
+//	  "reserved": [0.1, 0, 0],       // optional reserved utilization
+//	  "tasks": [
+//	    {"name": "weapon-detection", "deadline": 0.5, "demands": [0.1, 0.065, 0]},
+//	    ...
+//	  ]
+//	}
+//
+// Each task is assumed concurrently current (worst case): its
+// contribution C_j/D is added to every stage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"feasregion/internal/analysis"
+	"feasregion/internal/core"
+	"feasregion/internal/experiments"
+	"feasregion/internal/stats"
+	"feasregion/internal/task"
+)
+
+// TaskSpec is one chain task in the input file.
+type TaskSpec struct {
+	Name     string    `json:"name"`
+	Deadline float64   `json:"deadline"`
+	Demands  []float64 `json:"demands"`
+}
+
+// NodeSpec is one DAG node: a demand on a resource.
+type NodeSpec struct {
+	Resource int     `json:"resource"`
+	Demand   float64 `json:"demand"`
+}
+
+// GraphTaskSpec is one DAG task (paper §3.3): nodes with resource
+// assignments and precedence edges [from, to].
+type GraphTaskSpec struct {
+	Name     string     `json:"name"`
+	Deadline float64    `json:"deadline"`
+	Nodes    []NodeSpec `json:"nodes"`
+	Edges    [][2]int   `json:"edges"`
+}
+
+// PeriodicSpec is one sporadic/periodic task for -rta.
+type PeriodicSpec struct {
+	Name     string    `json:"name"`
+	Period   float64   `json:"period"`
+	Deadline float64   `json:"deadline"`
+	Jitter   float64   `json:"jitter"`
+	Demands  []float64 `json:"demands"`
+	// Priority defaults to the deadline (deadline-monotonic) when 0.
+	Priority float64 `json:"priority"`
+}
+
+// SetSpec is the input file schema. Stages counts the pipeline stages
+// (chain tasks) or independent resources (graph tasks) — they share one
+// index space.
+type SetSpec struct {
+	Stages        int             `json:"stages"`
+	Alpha         float64         `json:"alpha"`
+	Betas         []float64       `json:"betas"`
+	Reserved      []float64       `json:"reserved"`
+	Tasks         []TaskSpec      `json:"tasks"`
+	GraphTasks    []GraphTaskSpec `json:"graphTasks"`
+	PeriodicTasks []PeriodicSpec  `json:"periodicTasks"`
+}
+
+func main() {
+	tasksetPath := flag.String("taskset", "", "JSON task-set file to certify")
+	rtaPath := flag.String("rta", "", "JSON periodic task-set file for holistic response-time analysis")
+	surface := flag.Int("surface", 0, "sample N points of the 2-stage bounding surface")
+	bounds := flag.Int("bounds", 0, "print balanced per-stage bounds for 1..N stages")
+	flag.Parse()
+
+	switch {
+	case *tasksetPath != "":
+		if err := certify(*tasksetPath); err != nil {
+			fmt.Fprintf(os.Stderr, "feasibility: %v\n", err)
+			os.Exit(1)
+		}
+	case *rtaPath != "":
+		if err := runRTA(*rtaPath); err != nil {
+			fmt.Fprintf(os.Stderr, "feasibility: %v\n", err)
+			os.Exit(1)
+		}
+	case *surface > 0:
+		fmt.Println(experiments.Surface(core.NewRegion(2), *surface).Render())
+	case *bounds > 0:
+		fmt.Println(experiments.BalancedBounds(*bounds).Render())
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func certify(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec SetSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if spec.Stages <= 0 {
+		return fmt.Errorf("%s: stages must be positive", path)
+	}
+	if spec.Alpha == 0 {
+		spec.Alpha = 1
+	}
+
+	region := core.NewRegion(spec.Stages).WithAlpha(spec.Alpha)
+	if spec.Betas != nil {
+		region = region.WithBetas(spec.Betas)
+	}
+
+	utils := make([]float64, spec.Stages)
+	copy(utils, spec.Reserved)
+	for i, t := range spec.Tasks {
+		if t.Deadline <= 0 {
+			return fmt.Errorf("task %d (%s): deadline must be positive", i, t.Name)
+		}
+		if len(t.Demands) != spec.Stages {
+			return fmt.Errorf("task %d (%s): %d demands for %d stages", i, t.Name, len(t.Demands), spec.Stages)
+		}
+		for j, c := range t.Demands {
+			utils[j] += c / t.Deadline
+		}
+	}
+
+	// DAG tasks: accumulate their per-resource contributions, then check
+	// each graph's own Theorem 2 condition below.
+	graphs := make([]*task.Graph, len(spec.GraphTasks))
+	for i, gt := range spec.GraphTasks {
+		if gt.Deadline <= 0 {
+			return fmt.Errorf("graph task %d (%s): deadline must be positive", i, gt.Name)
+		}
+		g := task.NewGraph()
+		for _, n := range gt.Nodes {
+			if n.Resource < 0 || n.Resource >= spec.Stages {
+				return fmt.Errorf("graph task %d (%s): resource %d out of range", i, gt.Name, n.Resource)
+			}
+			g.AddNode(n.Resource, task.NewSubtask(n.Demand))
+			utils[n.Resource] += n.Demand / gt.Deadline
+		}
+		for _, e := range gt.Edges {
+			if e[0] < 0 || e[0] >= len(gt.Nodes) || e[1] < 0 || e[1] >= len(gt.Nodes) {
+				return fmt.Errorf("graph task %d (%s): edge %v out of range", i, gt.Name, e)
+			}
+			g.AddEdge(e[0], e[1])
+		}
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("graph task %d (%s): %w", i, gt.Name, err)
+		}
+		graphs[i] = g
+	}
+
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("Feasibility certification (%d stages, α=%.3g, bound=%.4g)", spec.Stages, spec.Alpha, region.Bound()),
+		Header: []string{"stage", "synthetic U_j", "f(U_j)"},
+	}
+	for j, u := range utils {
+		tbl.AddRow(fmt.Sprintf("%d", j+1), fmt.Sprintf("%.4f", u), fmt.Sprintf("%.4f", core.StageDelayFactor(u)))
+	}
+	value := region.Value(utils)
+	tbl.AddRow("total", "", fmt.Sprintf("%.4f", value))
+	fmt.Println(tbl.Render())
+
+	certified := true
+	if len(spec.Tasks) > 0 || len(spec.GraphTasks) == 0 {
+		// Chain tasks traverse every stage: the pipeline condition applies.
+		if region.Contains(utils) {
+			fmt.Printf("pipeline condition: %.4f ≤ %.4f — OK\n", value, region.Bound())
+		} else {
+			fmt.Printf("pipeline condition: %.4f > %.4f — VIOLATED\n", value, region.Bound())
+			certified = false
+		}
+	}
+	for i, g := range graphs {
+		v := core.GraphValue(g, utils, spec.Betas)
+		if v <= spec.Alpha {
+			fmt.Printf("graph task %q condition (Thm 2): %.4f ≤ %.4f — OK\n", spec.GraphTasks[i].Name, v, spec.Alpha)
+		} else {
+			fmt.Printf("graph task %q condition (Thm 2): %.4f > %.4f — VIOLATED\n", spec.GraphTasks[i].Name, v, spec.Alpha)
+			certified = false
+		}
+	}
+
+	if certified {
+		fmt.Println("CERTIFIED: all end-to-end deadlines guaranteed.")
+		return nil
+	}
+	fmt.Println("NOT CERTIFIED.")
+	os.Exit(3)
+	return nil
+}
+
+// runRTA performs holistic response-time analysis over the file's
+// periodicTasks and contrasts the verdict with the feasible region's
+// periodic-side test.
+func runRTA(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var spec SetSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if spec.Stages <= 0 {
+		return fmt.Errorf("%s: stages must be positive", path)
+	}
+	if len(spec.PeriodicTasks) == 0 {
+		return fmt.Errorf("%s: no periodicTasks", path)
+	}
+	set := make([]analysis.SporadicTask, len(spec.PeriodicTasks))
+	for i, pt := range spec.PeriodicTasks {
+		prio := pt.Priority
+		if prio == 0 {
+			prio = pt.Deadline
+		}
+		set[i] = analysis.SporadicTask{
+			Name:     pt.Name,
+			Period:   pt.Period,
+			Deadline: pt.Deadline,
+			Jitter:   pt.Jitter,
+			Demands:  pt.Demands,
+			Priority: prio,
+		}
+	}
+	res, err := analysis.HolisticRTA(spec.Stages, set)
+	if err != nil {
+		return err
+	}
+	tbl := &stats.Table{
+		Title:  fmt.Sprintf("Holistic response-time analysis (%d stages)", spec.Stages),
+		Header: []string{"task", "period", "deadline", "worst-case response", "ok"},
+	}
+	for i, st := range set {
+		ok := "yes"
+		if res.Response[i] > st.Deadline || res.Response[i] > st.Period {
+			ok = "NO"
+		}
+		tbl.AddRow(st.Name, fmt.Sprintf("%g", st.Period), fmt.Sprintf("%g", st.Deadline),
+			fmt.Sprintf("%.4g", res.Response[i]), ok)
+	}
+	fmt.Println(tbl.Render())
+
+	regionOK, utils, err := analysis.RegionAcceptsSporadic(core.NewRegion(spec.Stages), set)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("feasible-region periodic test: utilizations %.3v -> accepted=%v\n", utils, regionOK)
+	if res.Schedulable {
+		fmt.Println("RTA verdict: SCHEDULABLE.")
+		return nil
+	}
+	fmt.Println("RTA verdict: NOT schedulable.")
+	os.Exit(3)
+	return nil
+}

@@ -1,0 +1,229 @@
+// Command pipesim runs one configurable pipeline simulation and reports
+// the resulting utilization, acceptance, miss-ratio, and response-time
+// statistics. It is the interactive companion to cmd/experiments.
+//
+// Example:
+//
+//	pipesim -stages 3 -load 1.2 -resolution 100 -horizon 5000
+//	pipesim -stages 2 -admission none -load 1.5        # baseline, misses
+//	pipesim -stages 2 -admission approx -resolution 10 # §4.4
+//	pipesim -stages 2 -imbalance 4                     # Fig. 6 regime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"feasregion/internal/baseline"
+	"feasregion/internal/core"
+	"feasregion/internal/curve"
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/pipeline"
+	"feasregion/internal/task"
+	"feasregion/internal/trace"
+	"feasregion/internal/workload"
+)
+
+func main() {
+	var (
+		stages     = flag.Int("stages", 2, "pipeline length N")
+		load       = flag.Float64("load", 1.0, "offered load as a fraction of bottleneck stage capacity")
+		resolution = flag.Float64("resolution", 100, "mean deadline / mean total computation")
+		imbalance  = flag.Float64("imbalance", 1, "two-stage mean-demand ratio (requires -stages 2 when != 1)")
+		policyName = flag.String("policy", "dm", "scheduling policy: dm, edf, random, fifo")
+		admission  = flag.String("admission", "exact", "admission control: exact, approx, split, none")
+		alpha      = flag.Float64("alpha", 0, "urgency-inversion parameter override (0 = policy default)")
+		maxWait    = flag.Float64("maxwait", 0, "hold non-admissible arrivals up to this long")
+		noReset    = flag.Bool("noreset", false, "disable the idle reset (ablation)")
+		horizon    = flag.Float64("horizon", 4000, "simulated time units of arrivals")
+		warmup     = flag.Float64("warmup", 400, "warmup before measurement starts")
+		seed       = flag.Int64("seed", 1, "random seed")
+		traceOut   = flag.String("trace", "", "write an event trace CSV to this file (implies a short horizon is wise)")
+		replayPath = flag.String("replay", "", "replay a workload trace CSV (arrival,deadline,c1..cN) instead of generating one")
+		recordPath = flag.String("record", "", "also save the generated workload as a replayable CSV")
+		timeline   = flag.Bool("timeline", false, "print an ASCII execution timeline (use with small -horizon)")
+		curvePlot  = flag.Bool("curve", false, "print the synthetic-utilization step curves (paper Fig. 1) per stage")
+	)
+	flag.Parse()
+
+	var replay *workload.Replay
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipesim: %v\n", err)
+			os.Exit(1)
+		}
+		rep, err := workload.ParseReplay(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipesim: %v\n", err)
+			os.Exit(1)
+		}
+		replay = rep
+		*stages = rep.Stages()
+		if h := rep.Horizon(); h < *horizon {
+			*horizon = h
+		}
+	}
+
+	spec := workload.PipelineSpec{
+		Stages:     *stages,
+		Load:       *load,
+		MeanDemand: 1,
+		Resolution: *resolution,
+	}
+	if *imbalance != 1 {
+		if *stages != 2 {
+			fmt.Fprintln(os.Stderr, "pipesim: -imbalance requires -stages 2")
+			os.Exit(2)
+		}
+		spec.StageScale = workload.ImbalanceScales(*imbalance)
+	}
+
+	var policy task.Policy
+	defaultAlpha := 1.0
+	switch *policyName {
+	case "dm":
+		policy = task.DeadlineMonotonic{}
+	case "edf":
+		policy = task.EDF{}
+	case "random":
+		policy = task.Random{}
+		defaultAlpha = 1.0 / 3 // deadlines uniform in mean·[0.5, 1.5]
+	case "fifo":
+		policy = task.FIFO{}
+	default:
+		fmt.Fprintf(os.Stderr, "pipesim: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+	if *alpha == 0 {
+		*alpha = defaultAlpha
+	}
+
+	sim := des.New()
+	opts := pipeline.Options{
+		Stages:           *stages,
+		Policy:           policy,
+		MaxWait:          *maxWait,
+		DisableIdleReset: *noReset,
+		PriorityRNG:      dist.NewRNG(*seed + 7),
+	}
+	region := core.NewRegion(*stages).WithAlpha(*alpha)
+	switch *admission {
+	case "exact":
+		opts.Region = &region
+	case "approx":
+		opts.Region = &region
+		opts.Estimator = core.MeanDemand(spec.StageMeans())
+	case "split":
+		opts.Admitter = baseline.NewSplitDeadlineController(sim, *stages)
+	case "none":
+		opts.NoAdmission = true
+	default:
+		fmt.Fprintf(os.Stderr, "pipesim: unknown admission mode %q\n", *admission)
+		os.Exit(2)
+	}
+
+	var rec *trace.Recorder
+	if *traceOut != "" || *timeline {
+		rec = trace.New(0)
+		opts.Trace = rec
+	}
+	p := pipeline.New(sim, opts)
+	var curves *curve.Recorder
+	if *curvePlot {
+		if p.Controller() == nil {
+			fmt.Fprintln(os.Stderr, "pipesim: -curve requires the feasible-region controller (admission exact/approx)")
+			os.Exit(2)
+		}
+		curves = curve.NewRecorder(*stages, nil)
+		p.Controller().OnUtilizationChange(curves.Observe)
+	}
+	offer := func(tk *task.Task) { p.Offer(tk) }
+	var recorded *workload.Replay
+	if *recordPath != "" {
+		recorded, offer = workload.RecordReplay(offer)
+	}
+	if replay != nil {
+		replay.Schedule(sim, offer)
+	} else {
+		src := workload.NewSource(sim, spec, *seed, *horizon, offer)
+		src.Start()
+	}
+	sim.At(*warmup, func() { p.BeginMeasurement() })
+	var m pipeline.Metrics
+	sim.At(*horizon, func() { m = p.Snapshot() })
+	sim.Run()
+
+	if recorded != nil {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipesim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := recorded.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pipesim: writing workload: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("workload: %d tasks recorded to %s\n", len(recorded.Tasks), *recordPath)
+	}
+
+	fmt.Printf("pipeline: %d stages, policy=%s, admission=%s, load=%.0f%%, resolution=%g\n",
+		*stages, *policyName, *admission, *load*100, *resolution)
+	fmt.Printf("arrival rate: %.4g/s over horizon %.4g (warmup %.4g), %d arrivals measured\n",
+		spec.ArrivalRate(), *horizon, *warmup, m.Offered)
+	fmt.Printf("accepted: %d/%d (%.1f%%)\n", m.EnteredService, m.Offered, m.AcceptRatio*100)
+	fmt.Printf("completed: %d, missed: %d (miss ratio %.5f)\n", m.Completed, m.Missed, m.MissRatio)
+	for j, u := range m.StageUtilization {
+		fmt.Printf("stage %d real utilization: %.4f\n", j+1, u)
+	}
+	fmt.Printf("mean stage utilization: %.4f (bottleneck %.4f)\n", m.MeanUtilization, m.BottleneckUtilization)
+	if m.ResponseTimes.Count() > 0 {
+		fmt.Printf("response times: mean %.4g, p50 %.4g, p95 %.4g, p99 %.4g, max %.4g (n=%d)\n",
+			m.ResponseTimes.Mean(), m.ResponseP50, m.ResponseP95, m.ResponseP99,
+			m.ResponseTimes.Max(), m.ResponseTimes.Count())
+	}
+	if wq := p.WaitQueue(); wq != nil {
+		ws := wq.Stats()
+		fmt.Printf("wait queue: %d immediate, %d after wait, %d timed out\n",
+			ws.AdmittedImmediately, ws.AdmittedAfterWait, ws.TimedOut)
+	}
+	if sim.Steps() == 0 {
+		fmt.Fprintln(os.Stderr, "pipesim: no events executed")
+		os.Exit(1)
+	}
+	if curves != nil {
+		fmt.Println()
+		for j := 0; j < *stages; j++ {
+			if err := curves.Render(os.Stdout, j, *warmup, *horizon, 100, 6); err != nil {
+				fmt.Fprintf(os.Stderr, "pipesim: rendering curve: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if rec != nil {
+		if *timeline {
+			fmt.Println()
+			if err := rec.RenderTimeline(os.Stdout, 100, *warmup, *horizon); err != nil {
+				fmt.Fprintf(os.Stderr, "pipesim: rendering timeline: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pipesim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := rec.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pipesim: writing trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: %d events written to %s (%d dropped)\n", rec.Len(), *traceOut, rec.Dropped())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package feasregion_test
+
+import (
+	"fmt"
+	"time"
+
+	feasregion "feasregion"
+)
+
+// The paper's §5 worked example: three stages reserve synthetic
+// utilization (0.40, 0.25, 0.10); the region value 0.93 ≤ 1 certifies
+// the critical task set.
+func ExampleRegion() {
+	region := feasregion.NewRegion(3)
+	point := []float64{0.40, 0.25, 0.10}
+	fmt.Printf("value = %.2f, certified = %v\n", region.Value(point), region.Contains(point))
+	// Output: value = 0.93, certified = true
+}
+
+// f(U) at the uniprocessor bound is exactly 1, which is why the
+// single-stage region reduces to U ≤ 1/(1+√½).
+func ExampleStageDelayFactor() {
+	fmt.Printf("f(0.5) = %.2f\n", feasregion.StageDelayFactor(0.5))
+	fmt.Printf("f(bound) = %.0f\n", feasregion.StageDelayFactor(feasregion.UniprocessorBound))
+	// Output:
+	// f(0.5) = 0.75
+	// f(bound) = 1
+}
+
+// Online admission: each task adds C_j/D per stage; the controller
+// admits while the utilization point stays inside the region.
+func ExampleController() {
+	sim := feasregion.NewSimulator()
+	ctrl := feasregion.NewController(sim, feasregion.NewRegion(2), nil)
+
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		// C = (1, 1), D = 4: contribution 0.25 per stage.
+		if ctrl.TryAdmit(feasregion.Chain(feasregion.TaskID(i), 0, 4, 1, 1)) {
+			admitted++
+		}
+	}
+	fmt.Printf("admitted %d of 10 concurrent tasks\n", admitted)
+	// Output: admitted 1 of 10 concurrent tasks
+}
+
+// Giving top priority to a long-deadline task inverts urgency: α is the
+// worst deadline ratio across priority-ordered pairs.
+func ExampleAlpha() {
+	alpha := feasregion.Alpha([]feasregion.TaskParams{
+		{Priority: 0, Deadline: 10}, // most urgent priority, longest deadline
+		{Priority: 1, Deadline: 2},
+	})
+	fmt.Printf("alpha = %.1f\n", alpha)
+	// Output: alpha = 0.2
+}
+
+// Figure 3's DAG: the end-to-end delay is L1 + max(L2, L3) + L4, so the
+// feasible region takes the worst branch rather than the sum of all four
+// stages (Eq. 16).
+func ExampleGraphValue() {
+	g := feasregion.NewGraph()
+	n1 := g.AddNode(0, feasregion.Subtask{Demand: 1})
+	n2 := g.AddNode(1, feasregion.Subtask{Demand: 1})
+	n3 := g.AddNode(2, feasregion.Subtask{Demand: 1})
+	n4 := g.AddNode(3, feasregion.Subtask{Demand: 1})
+	g.AddEdge(n1, n2)
+	g.AddEdge(n1, n3)
+	g.AddEdge(n2, n4)
+	g.AddEdge(n3, n4)
+
+	utils := []float64{0.3, 0.2, 0.2, 0.1}
+	fmt.Printf("DAG value = %.3f, feasible = %v\n",
+		feasregion.GraphValue(g, utils, nil),
+		feasregion.GraphFeasible(g, utils, nil, 1))
+	// Output: DAG value = 0.695, feasible = true
+}
+
+// Blocking terms for Eq. 15: a 2-unit critical section of a
+// lower-priority task normalized by the higher-priority task's deadline.
+func ExampleBetas() {
+	betas := feasregion.Betas(1, []feasregion.BlockingTaskInfo{
+		{Priority: 1, Deadline: 10, Sections: []feasregion.CriticalSection{{Stage: 0, Lock: 1, Duration: 0.5}}},
+		{Priority: 5, Deadline: 50, Sections: []feasregion.CriticalSection{{Stage: 0, Lock: 1, Duration: 2}}},
+	})
+	fmt.Printf("beta = %.2f\n", betas[0])
+	// Output: beta = 0.20
+}
+
+// A complete simulation: tasks flow through two stages under
+// deadline-monotonic scheduling with exact admission control.
+func ExampleNewPipeline() {
+	sim := feasregion.NewSimulator()
+	p := feasregion.NewPipeline(sim, feasregion.PipelineOptions{Stages: 2})
+	sim.At(0, func() { p.BeginMeasurement() })
+	sim.At(0, func() {
+		p.Offer(feasregion.Chain(1, 0, 10, 1, 2)) // admitted
+		p.Offer(feasregion.Chain(2, 0, 10, 9, 9)) // rejected: too large
+	})
+	sim.Run()
+
+	m := p.Snapshot()
+	fmt.Printf("completed %d, missed %d, response %.0f\n",
+		m.Completed, m.Missed, m.ResponseTimes.Mean())
+	// Output: completed 1, missed 0, response 3
+}
+
+// Headroom answers "how much more load fits on this stage right now".
+func ExampleRegion_Headroom() {
+	region := feasregion.NewRegion(2)
+	utils := []float64{0.30, 0.10}
+	fmt.Printf("stage 1 headroom = %.3f\n", region.Headroom(utils, 0))
+	// Output: stage 1 headroom = 0.253
+}
+
+// The wall-clock controller guards a real service: requests declare a
+// response-time goal and per-stage cost estimates; the region decides.
+func ExampleOnlineController() {
+	base := time.Unix(0, 0)
+	now := base
+	clock := func() time.Time { return now }
+
+	ctrl := feasregion.NewOnlineController(feasregion.NewRegion(2), nil, clock)
+	admit := func(id uint64) bool {
+		return ctrl.TryAdmit(feasregion.OnlineRequest{
+			ID:       id,
+			Deadline: 100 * time.Millisecond,
+			Demands:  []time.Duration{10 * time.Millisecond, 20 * time.Millisecond},
+		})
+	}
+	fmt.Println("r1:", admit(1))          // (0.1, 0.2): fits
+	fmt.Println("r2:", admit(2))          // (0.2, 0.4): f(0.2)+f(0.4) ≈ 0.76, fits
+	fmt.Println("r3:", admit(3))          // would reach (0.3, 0.6): f sums past 1
+	now = now.Add(150 * time.Millisecond) // r1 and r2 deadlines pass
+	fmt.Println("r4:", admit(4))
+	// Output:
+	// r1: true
+	// r2: true
+	// r3: false
+	// r4: true
+}

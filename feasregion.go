@@ -1,0 +1,299 @@
+package feasregion
+
+import (
+	"feasregion/internal/core"
+	"feasregion/internal/curve"
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/online"
+	"feasregion/internal/pipeline"
+	"feasregion/internal/task"
+	"feasregion/internal/trace"
+	"feasregion/internal/workload"
+)
+
+// ---- Region mathematics (paper §3) ----
+
+// UniprocessorBound is the single-resource aperiodic schedulable
+// utilization bound 1/(1+√½) = 2−√2 ≈ 0.586.
+var UniprocessorBound = core.UniprocessorBound
+
+// StageDelayFactor is f(U) = U(1−U/2)/(1−U) from the stage delay theorem.
+func StageDelayFactor(u float64) float64 { return core.StageDelayFactor(u) }
+
+// InverseStageDelayFactor inverts f: the utilization whose delay factor
+// is y.
+func InverseStageDelayFactor(y float64) float64 { return core.InverseStageDelayFactor(y) }
+
+// Region is the multi-dimensional feasible region Σ f(U_j) ≤ α(1−Σβ_j).
+type Region = core.Region
+
+// NewRegion returns the deadline-monotonic independent-task region for
+// the given number of stages (Eq. 13).
+func NewRegion(stages int) Region { return core.NewRegion(stages) }
+
+// TaskParams is a (priority, deadline) pair for urgency-inversion
+// analysis.
+type TaskParams = core.TaskParams
+
+// Alpha computes a priority assignment's urgency-inversion parameter
+// α = min D_lo/D_hi over priority-ordered pairs (paper §2).
+func Alpha(params []TaskParams) float64 { return core.Alpha(params) }
+
+// CriticalSection describes one critical section for blocking analysis.
+type CriticalSection = core.CriticalSection
+
+// BlockingTaskInfo is a task's static view for blocking analysis.
+type BlockingTaskInfo = core.BlockingTaskInfo
+
+// Betas computes the per-stage normalized blocking terms β_j of Eq. 15
+// under the priority ceiling protocol.
+func Betas(stages int, tasks []BlockingTaskInfo) []float64 { return core.Betas(stages, tasks) }
+
+// GraphValue evaluates Theorem 2's left-hand side for a DAG task graph.
+func GraphValue(g *Graph, utils, betas []float64) float64 { return core.GraphValue(g, utils, betas) }
+
+// GraphFeasible reports whether a DAG task's region condition holds.
+func GraphFeasible(g *Graph, utils, betas []float64, alpha float64) bool {
+	return core.GraphFeasible(g, utils, betas, alpha)
+}
+
+// ---- Task model ----
+
+// TaskID identifies a task instance.
+type TaskID = task.ID
+
+// NoLock marks a segment outside any critical section.
+const NoLock = task.NoLock
+
+// Task is one aperiodic arrival with per-stage demands and an end-to-end
+// deadline.
+type Task = task.Task
+
+// Subtask is a task's work on one stage.
+type Subtask = task.Subtask
+
+// Segment is a contiguous piece of a subtask, optionally inside a
+// critical section.
+type Segment = task.Segment
+
+// Graph is a DAG of subtasks over resources (paper §3.3).
+type Graph = task.Graph
+
+// NewGraph returns an empty task-graph builder.
+func NewGraph() *Graph { return task.NewGraph() }
+
+// Chain builds a pipeline task from per-stage demands.
+func Chain(id TaskID, arrival, deadline float64, demands ...float64) *Task {
+	return task.Chain(id, arrival, deadline, demands...)
+}
+
+// Policy assigns scheduling priorities (lower = more urgent).
+type Policy = task.Policy
+
+// DeadlineMonotonic is the optimal fixed-priority policy (α = 1).
+type DeadlineMonotonic = task.DeadlineMonotonic
+
+// EDF schedules by absolute deadline (not fixed-priority; simulator
+// comparison only).
+type EDF = task.EDF
+
+// RandomPriority assigns uniformly random priorities (α = Dleast/Dmost).
+type RandomPriority = task.Random
+
+// SemanticImportance prioritizes by importance (generally α < 1).
+type SemanticImportance = task.SemanticImportance
+
+// ---- Admission control ----
+
+// Estimator supplies admission-time demand estimates.
+type Estimator = core.Estimator
+
+// MeanDemand returns the approximate-admission estimator of §4.4.
+func MeanDemand(means []float64) Estimator { return core.MeanDemand(means) }
+
+// Controller is the O(N) feasible-region admission controller for
+// pipelines.
+type Controller = core.Controller
+
+// NewController builds a controller over the region, with optional
+// per-stage reserved utilization for certified critical tasks.
+func NewController(sim *Simulator, region Region, reserved []float64) *Controller {
+	return core.NewController(sim, region, reserved)
+}
+
+// GraphController is the Theorem 2 admission controller for DAG tasks.
+type GraphController = core.GraphController
+
+// NewGraphController builds a DAG admission controller.
+func NewGraphController(sim *Simulator, resources int, alpha float64, betas []float64) *GraphController {
+	return core.NewGraphController(sim, resources, alpha, betas)
+}
+
+// WaitQueue holds non-admissible arrivals for a bounded time (§5).
+type WaitQueue = core.WaitQueue
+
+// NewWaitQueue wraps a controller with hold-and-retry admission.
+func NewWaitQueue(sim *Simulator, c *Controller, maxWait float64, admit func(*Task)) *WaitQueue {
+	return core.NewWaitQueue(sim, c, maxWait, admit)
+}
+
+// NewGraphWaitQueue wraps a Theorem 2 controller with hold-and-retry
+// admission for DAG tasks.
+func NewGraphWaitQueue(sim *Simulator, c *GraphController, maxWait float64, admit func(*Task)) *WaitQueue {
+	return core.NewGraphWaitQueue(sim, c, maxWait, admit)
+}
+
+// ---- Simulation ----
+
+// Simulator is the deterministic discrete-event engine.
+type Simulator = des.Simulator
+
+// NewSimulator returns an empty simulator at time zero.
+func NewSimulator() *Simulator { return des.New() }
+
+// Pipeline simulates an N-stage resource pipeline with admission control.
+type Pipeline = pipeline.Pipeline
+
+// PipelineOptions configures NewPipeline.
+type PipelineOptions = pipeline.Options
+
+// PipelineMetrics is a measurement-window snapshot.
+type PipelineMetrics = pipeline.Metrics
+
+// Admitter is the pluggable admission-policy interface a Pipeline drives.
+type Admitter = pipeline.Admitter
+
+// NewPipeline builds a pipeline simulator.
+func NewPipeline(sim *Simulator, opts PipelineOptions) *Pipeline { return pipeline.New(sim, opts) }
+
+// GraphSystem executes DAG tasks over independent resources.
+type GraphSystem = pipeline.GraphSystem
+
+// GraphSystemOptions configures NewGraphSystem.
+type GraphSystemOptions = pipeline.GraphOptions
+
+// NewGraphSystem builds a DAG execution system.
+func NewGraphSystem(sim *Simulator, opts GraphSystemOptions) *GraphSystem {
+	return pipeline.NewGraphSystem(sim, opts)
+}
+
+// MultiServerPipeline extends the model to stages with multiple CPUs
+// via partitioned dispatch (Theorem 2 per virtual pipeline).
+type MultiServerPipeline = pipeline.MultiServerPipeline
+
+// MultiServerOptions configures NewMultiServerPipeline.
+type MultiServerOptions = pipeline.MultiServerOptions
+
+// NewMultiServerPipeline builds a partitioned multiprocessor pipeline.
+func NewMultiServerPipeline(sim *Simulator, opts MultiServerOptions) *MultiServerPipeline {
+	return pipeline.NewMultiServerPipeline(sim, opts)
+}
+
+// ---- Online (wall-clock) admission control ----
+
+// OnlineController is the thread-safe wall-clock admission controller
+// for real services: contributions expire lazily against time.Now (or an
+// injected clock) and all methods are safe for concurrent use.
+type OnlineController = online.Controller
+
+// OnlineRequest describes one admission request to an OnlineController.
+type OnlineRequest = online.Request
+
+// OnlineClock abstracts time.Now for testing online controllers.
+type OnlineClock = online.Clock
+
+// NewOnlineController builds a wall-clock controller for the region with
+// optional per-stage reserved floors; clock may be nil (time.Now).
+func NewOnlineController(region Region, reserved []float64, clock OnlineClock) *OnlineController {
+	return online.New(region, reserved, clock)
+}
+
+// ---- Synthetic-utilization curves (Figure 1) ----
+
+// CurveRecorder records synthetic-utilization step curves from a
+// Controller (wire Observe to Controller.OnUtilizationChange); it
+// computes areas (the stage delay theorem's area property) and renders
+// CSV or ASCII plots.
+type CurveRecorder = curve.Recorder
+
+// CurvePoint is one step of a recorded curve.
+type CurvePoint = curve.Point
+
+// NewCurveRecorder returns a recorder for the given number of stages
+// with optional initial (reserved) levels.
+func NewCurveRecorder(stages int, initial []float64) *CurveRecorder {
+	return curve.NewRecorder(stages, initial)
+}
+
+// ---- Tracing ----
+
+// TraceRecorder records admission and scheduling events for offline
+// inspection; pass it via PipelineOptions.Trace.
+type TraceRecorder = trace.Recorder
+
+// TraceRecord is one traced event.
+type TraceRecord = trace.Record
+
+// TraceSpan is one contiguous execution interval reconstructed from a
+// trace.
+type TraceSpan = trace.Span
+
+// NewTraceRecorder returns a recorder keeping at most max records
+// (max ≤ 0: unbounded).
+func NewTraceRecorder(max int) *TraceRecorder { return trace.New(max) }
+
+// ---- Workload generation ----
+
+// RNG is a deterministic random stream.
+type RNG = dist.RNG
+
+// NewRNG returns a stream seeded with seed.
+func NewRNG(seed int64) *RNG { return dist.NewRNG(seed) }
+
+// WorkloadSpec describes the paper's §4 synthetic workload.
+type WorkloadSpec = workload.PipelineSpec
+
+// Source is an open-loop Poisson arrival generator.
+type Source = workload.Source
+
+// NewSource builds a generator feeding offer until horizon.
+func NewSource(sim *Simulator, spec WorkloadSpec, seed int64, horizon float64, offer func(*Task)) *Source {
+	return workload.NewSource(sim, spec, seed, horizon, offer)
+}
+
+// PeriodicStream is a periodic (optionally jittered) task stream.
+type PeriodicStream = workload.PeriodicStream
+
+// ClassSpec describes one request class in a mixed workload.
+type ClassSpec = workload.ClassSpec
+
+// MixedSource superposes per-class Poisson streams.
+type MixedSource = workload.MixedSource
+
+// NewMixedSource schedules all classes' arrivals into offer until
+// horizon, with task IDs starting at firstID.
+func NewMixedSource(sim *Simulator, stages int, classes []ClassSpec, seed int64, firstID TaskID, horizon float64, offer func(*Task)) *MixedSource {
+	return workload.NewMixedSource(sim, stages, classes, seed, firstID, horizon, offer)
+}
+
+// Distribution is a probability distribution for workload parameters.
+type Distribution = dist.Distribution
+
+// NewExponential returns an exponential distribution with the given mean.
+func NewExponential(mean float64) Distribution { return dist.NewExponential(mean) }
+
+// NewUniform returns a uniform distribution on [low, high].
+func NewUniform(low, high float64) Distribution { return dist.NewUniform(low, high) }
+
+// NewDeterministic returns a point distribution.
+func NewDeterministic(v float64) Distribution { return dist.NewDeterministic(v) }
+
+// NewBoundedPareto returns a bounded Pareto distribution (heavy tails).
+func NewBoundedPareto(alpha, low, high float64) Distribution { return dist.NewPareto(alpha, low, high) }
+
+// TSCE is the Table 1 Total Ship Computing Environment scenario.
+type TSCE = workload.TSCE
+
+// NewTSCE returns the paper's Table 1 parameters.
+func NewTSCE() TSCE { return workload.NewTSCE() }

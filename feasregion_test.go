@@ -1,0 +1,159 @@
+package feasregion_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	feasregion "feasregion"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sim := feasregion.NewSimulator()
+	p := feasregion.NewPipeline(sim, feasregion.PipelineOptions{Stages: 3})
+	sim.At(0, func() { p.BeginMeasurement() })
+
+	admitted, rejected := 0, 0
+	sim.At(0, func() {
+		for i := 0; i < 100; i++ {
+			tk := feasregion.Chain(feasregion.TaskID(i), 0, 1.0, 0.02, 0.03, 0.02)
+			if p.Offer(tk) {
+				admitted++
+			} else {
+				rejected++
+			}
+		}
+	})
+	sim.Run()
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	m := p.Snapshot()
+	if m.Missed != 0 {
+		t.Fatalf("%d admitted tasks missed deadlines", m.Missed)
+	}
+	if m.Completed != uint64(admitted) {
+		t.Fatalf("completed %d, admitted %d", m.Completed, admitted)
+	}
+}
+
+func TestPublicRegionMath(t *testing.T) {
+	if math.Abs(feasregion.UniprocessorBound-(2-math.Sqrt2)) > 1e-12 {
+		t.Fatal("uniprocessor bound")
+	}
+	r := feasregion.NewRegion(3)
+	if v := r.Value([]float64{0.4, 0.25, 0.1}); math.Abs(v-0.93) > 0.005 {
+		t.Fatalf("TSCE example value %v, want ≈0.93", v)
+	}
+	if got := feasregion.InverseStageDelayFactor(feasregion.StageDelayFactor(0.3)); math.Abs(got-0.3) > 1e-9 {
+		t.Fatal("inverse roundtrip")
+	}
+}
+
+func TestPublicAlphaAndBetas(t *testing.T) {
+	a := feasregion.Alpha([]feasregion.TaskParams{
+		{Priority: 0, Deadline: 10},
+		{Priority: 1, Deadline: 2},
+	})
+	if math.Abs(a-0.2) > 1e-12 {
+		t.Fatalf("alpha %v, want 0.2", a)
+	}
+	betas := feasregion.Betas(1, []feasregion.BlockingTaskInfo{
+		{Priority: 1, Deadline: 10, Sections: []feasregion.CriticalSection{{Stage: 0, Lock: 1, Duration: 0.5}}},
+		{Priority: 5, Deadline: 50, Sections: []feasregion.CriticalSection{{Stage: 0, Lock: 1, Duration: 2}}},
+	})
+	if math.Abs(betas[0]-0.2) > 1e-12 {
+		t.Fatalf("betas %v", betas)
+	}
+}
+
+func TestPublicGraphAPI(t *testing.T) {
+	g := feasregion.NewGraph()
+	n1 := g.AddNode(0, feasregion.Subtask{Demand: 1})
+	n2 := g.AddNode(1, feasregion.Subtask{Demand: 1})
+	g.AddEdge(n1, n2)
+	if !feasregion.GraphFeasible(g, []float64{0.2, 0.2}, nil, 1) {
+		t.Fatal("light DAG point must be feasible")
+	}
+	sim := feasregion.NewSimulator()
+	gs := feasregion.NewGraphSystem(sim, feasregion.GraphSystemOptions{Resources: 2})
+	sim.At(0, func() { gs.BeginMeasurement() })
+	ok := false
+	sim.At(0, func() {
+		ok = gs.Offer(&feasregion.Task{ID: 1, Deadline: 10, Graph: g})
+	})
+	sim.Run()
+	if !ok {
+		t.Fatal("DAG task rejected")
+	}
+	if m := gs.Snapshot(); m.Completed != 1 || m.Missed != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestPublicTSCE(t *testing.T) {
+	scenario := feasregion.NewTSCE()
+	res := scenario.ReservedUtilization()
+	r := feasregion.NewRegion(3)
+	if !r.Contains(res) {
+		t.Fatal("TSCE reservation must be certified")
+	}
+}
+
+func TestPublicWorkloadSource(t *testing.T) {
+	sim := feasregion.NewSimulator()
+	p := feasregion.NewPipeline(sim, feasregion.PipelineOptions{Stages: 2})
+	spec := feasregion.WorkloadSpec{Stages: 2, Load: 1.0, MeanDemand: 1, Resolution: 50}
+	src := feasregion.NewSource(sim, spec, 42, 300, func(tk *feasregion.Task) { p.Offer(tk) })
+	sim.At(0, func() { p.BeginMeasurement() })
+	src.Start()
+	sim.Run()
+	m := p.Snapshot()
+	if m.Completed == 0 || m.Missed != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestPublicWaitQueue(t *testing.T) {
+	sim := feasregion.NewSimulator()
+	c := feasregion.NewController(sim, feasregion.NewRegion(1), nil)
+	var admitted int
+	w := feasregion.NewWaitQueue(sim, c, 0.5, func(*feasregion.Task) { admitted++ })
+	w.Submit(feasregion.Chain(1, 0, 2, 0.5))
+	if admitted != 1 {
+		t.Fatal("immediate admission failed")
+	}
+}
+
+func TestPublicFacadeConstructors(t *testing.T) {
+	// Every facade constructor must hand back a working instance.
+	est := feasregion.MeanDemand([]float64{1, 2})
+	if got := est(nil, 1); got != 2 {
+		t.Fatalf("MeanDemand estimator returned %v", got)
+	}
+	sim := feasregion.NewSimulator()
+	gc := feasregion.NewGraphController(sim, 2, 1, nil)
+	g := feasregion.NewGraph()
+	g.AddNode(0, feasregion.Subtask{Demand: 1})
+	if !gc.TryAdmit(&feasregion.Task{ID: 1, Deadline: 10, Graph: g}) {
+		t.Fatal("graph controller rejected a light task")
+	}
+	oc := feasregion.NewOnlineController(feasregion.NewRegion(1), nil, nil)
+	if !oc.TryAdmit(feasregion.OnlineRequest{ID: 1, Deadline: time.Second, Demands: []time.Duration{time.Millisecond}}) {
+		t.Fatal("online controller rejected a light request")
+	}
+	cr := feasregion.NewCurveRecorder(1, nil)
+	cr.Observe(0, 1, 0.5)
+	if got := cr.Area(0, 0, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("curve area %v", got)
+	}
+	tr := feasregion.NewTraceRecorder(4)
+	tr.Add(feasregion.TraceRecord{Time: 1, Source: "s", Task: 1, Kind: "start"})
+	if tr.Len() != 1 {
+		t.Fatal("trace recorder")
+	}
+	rng := feasregion.NewRNG(1)
+	if v := rng.Float64(); v < 0 || v >= 1 {
+		t.Fatalf("rng sample %v", v)
+	}
+}

@@ -1,0 +1,3 @@
+module feasregion
+
+go 1.22

@@ -1,0 +1,187 @@
+// Package analysis implements the classical offline schedulability
+// analyses the paper positions itself against (§1): holistic
+// response-time analysis for sporadic task sets on fixed-priority
+// pipelines ("offline response-time analysis that takes into account
+// periods and jitter", Tindell & Clark style), plus the periodic-side
+// view of the aperiodic feasible region.
+//
+// These serve as comparators: holistic RTA is tighter for strictly
+// periodic/sporadic sets but needs periods and a full offline pass over
+// the task set; the feasible region is arrival-pattern independent and
+// admits in O(stages) online.
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"feasregion/internal/core"
+)
+
+// SporadicTask is a sporadic task for holistic analysis: instances
+// arrive at least Period apart (with up to Jitter release jitter at the
+// first stage), execute Demands[j] at stage j, and must finish the last
+// stage within Deadline of the nominal release.
+type SporadicTask struct {
+	Name     string
+	Period   float64
+	Deadline float64
+	Jitter   float64
+	Demands  []float64
+	// Priority is the fixed priority (lower = more urgent); tasks with
+	// equal priority are treated as mutually interfering.
+	Priority float64
+}
+
+// Validate checks structural sanity.
+func (t SporadicTask) Validate(stages int) error {
+	if t.Period <= 0 || t.Deadline <= 0 {
+		return fmt.Errorf("analysis: task %q needs positive period and deadline", t.Name)
+	}
+	if t.Jitter < 0 {
+		return fmt.Errorf("analysis: task %q has negative jitter", t.Name)
+	}
+	if len(t.Demands) != stages {
+		return fmt.Errorf("analysis: task %q has %d demands for %d stages", t.Name, len(t.Demands), stages)
+	}
+	for j, c := range t.Demands {
+		if c < 0 {
+			return fmt.Errorf("analysis: task %q stage %d demand negative", t.Name, j)
+		}
+	}
+	return nil
+}
+
+// RTAResult reports the holistic analysis outcome.
+type RTAResult struct {
+	// Schedulable is true when every task's end-to-end response is
+	// within its deadline (and within its period — the analysis assumes
+	// one outstanding instance per task).
+	Schedulable bool
+	// Response[i] is task i's worst-case end-to-end response time
+	// (+Inf when the fixed-point iteration diverged).
+	Response []float64
+	// StageResponse[i][j] is the worst-case completion time at stage j
+	// measured from the nominal release.
+	StageResponse [][]float64
+}
+
+// rtaMaxIterations bounds the fixed-point iteration; busy windows longer
+// than this many times the largest period indicate divergence.
+const rtaMaxIterations = 10_000
+
+// HolisticRTA runs holistic response-time analysis over the task set on
+// an N-stage fixed-priority preemptive pipeline.
+//
+// Formulation: the worst-case completion of task i at stage j, measured
+// from its nominal release, is R_ij = J_ij + w_ij, where J_i1 is the
+// task's release jitter, J_ij = R_{i,j-1} for j > 1 (the upstream
+// response acts as arrival jitter downstream), and w_ij is the smallest
+// solution of
+//
+//	w = C_ij + Σ_{h: prio(h) ≼ prio(i), h ≠ i} ⌈(w + J_hj) / T_h⌉ · C_hj.
+//
+// The classic single-outstanding-instance assumption applies: a set is
+// reported schedulable only if R_iN ≤ min(D_i, T_i) for every task.
+func HolisticRTA(stages int, tasks []SporadicTask) (RTAResult, error) {
+	res := RTAResult{
+		Response:      make([]float64, len(tasks)),
+		StageResponse: make([][]float64, len(tasks)),
+	}
+	for i, t := range tasks {
+		if err := t.Validate(stages); err != nil {
+			return res, err
+		}
+		res.StageResponse[i] = make([]float64, stages)
+	}
+
+	// jitter[i] is task i's arrival jitter at the current stage.
+	jitter := make([]float64, len(tasks))
+	for i, t := range tasks {
+		jitter[i] = t.Jitter
+	}
+
+	diverged := false
+	for j := 0; j < stages; j++ {
+		next := make([]float64, len(tasks))
+		for i := range tasks {
+			w, ok := stageBusyWindow(j, i, tasks, jitter)
+			if !ok {
+				diverged = true
+				res.StageResponse[i][j] = math.Inf(1)
+				next[i] = math.Inf(1)
+				continue
+			}
+			r := jitter[i] + w
+			res.StageResponse[i][j] = r
+			next[i] = r
+		}
+		jitter = next
+	}
+
+	res.Schedulable = !diverged
+	for i, t := range tasks {
+		r := res.StageResponse[i][stages-1]
+		res.Response[i] = r
+		if r > t.Deadline || r > t.Period {
+			res.Schedulable = false
+		}
+	}
+	return res, nil
+}
+
+// stageBusyWindow solves the stage-j fixed point for task i, returning
+// ok=false on divergence.
+func stageBusyWindow(j, i int, tasks []SporadicTask, jitter []float64) (float64, bool) {
+	self := tasks[i]
+	w := self.Demands[j]
+	if w == 0 {
+		return 0, true
+	}
+	// Divergence cap: the stage is overloaded if higher-priority
+	// utilization ≥ 1; cap the iteration count defensively as well.
+	for iter := 0; iter < rtaMaxIterations; iter++ {
+		interference := 0.0
+		for h, other := range tasks {
+			if h == i || other.Priority > self.Priority {
+				continue // only equal-or-higher priority interferes
+			}
+			if other.Demands[j] == 0 {
+				continue
+			}
+			if math.IsInf(jitter[h], 1) {
+				return 0, false
+			}
+			n := math.Ceil((w + jitter[h]) / other.Period)
+			interference += n * other.Demands[j]
+		}
+		next := self.Demands[j] + interference
+		if next == w {
+			return w, true
+		}
+		w = next
+	}
+	return 0, false
+}
+
+// RegionAcceptsSporadic evaluates the paper's sufficient condition for a
+// sporadic/periodic set: each task contributes C_ij/D_i per stage (its
+// worst-case synthetic utilization with one outstanding instance), and
+// the set is accepted if the summed point lies inside the region. It is
+// more pessimistic than HolisticRTA for strictly periodic sets but needs
+// no periods at all and remains valid under unbounded jitter.
+func RegionAcceptsSporadic(region core.Region, tasks []SporadicTask) (bool, []float64, error) {
+	utils := make([]float64, region.Stages)
+	for _, t := range tasks {
+		if err := t.Validate(region.Stages); err != nil {
+			return false, nil, err
+		}
+		// With deadline ≤ period, at most one instance is current at a
+		// time; its contribution window is the deadline.
+		d := math.Min(t.Deadline, t.Period)
+		for j, c := range t.Demands {
+			utils[j] += c / d
+		}
+	}
+	return region.Contains(utils), utils, nil
+}

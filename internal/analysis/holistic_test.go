@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"feasregion/internal/core"
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/pipeline"
+	"feasregion/internal/task"
+	"feasregion/internal/workload"
+)
+
+func TestRTASingleTaskSingleStage(t *testing.T) {
+	res, err := HolisticRTA(1, []SporadicTask{
+		{Name: "a", Period: 10, Deadline: 10, Demands: []float64{3}, Priority: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable || res.Response[0] != 3 {
+		t.Fatalf("result %+v, want schedulable with R=3", res)
+	}
+}
+
+func TestRTAClassicTwoTaskPreemption(t *testing.T) {
+	// hi: C=1, T=4; lo: C=2, T=6. R_lo = 2 + ⌈R/4⌉·1 = 3.
+	res, err := HolisticRTA(1, []SporadicTask{
+		{Name: "hi", Period: 4, Deadline: 4, Demands: []float64{1}, Priority: 1},
+		{Name: "lo", Period: 6, Deadline: 6, Demands: []float64{2}, Priority: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("set should be schedulable: %+v", res)
+	}
+	if res.Response[0] != 1 || res.Response[1] != 3 {
+		t.Fatalf("responses %v, want [1 3]", res.Response)
+	}
+}
+
+func TestRTAJitterPropagationTwoStages(t *testing.T) {
+	res, err := HolisticRTA(2, []SporadicTask{
+		{Name: "hi", Period: 10, Deadline: 10, Demands: []float64{1, 1}, Priority: 1},
+		{Name: "lo", Period: 10, Deadline: 10, Demands: []float64{2, 2}, Priority: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("set should be schedulable: %+v", res)
+	}
+	if res.Response[0] != 2 {
+		t.Fatalf("hi end-to-end %v, want 2", res.Response[0])
+	}
+	if res.Response[1] != 6 {
+		t.Fatalf("lo end-to-end %v, want 6 (3 at stage 1, +3 at stage 2)", res.Response[1])
+	}
+	if res.StageResponse[1][0] != 3 {
+		t.Fatalf("lo stage-1 response %v, want 3", res.StageResponse[1][0])
+	}
+}
+
+func TestRTAHigherPriorityJitterIncreasesInterference(t *testing.T) {
+	// With jitter, the high-priority task can hit the low one twice in
+	// its window even with a long period.
+	base := []SporadicTask{
+		{Name: "hi", Period: 5, Deadline: 5, Demands: []float64{2}, Priority: 1},
+		{Name: "lo", Period: 20, Deadline: 20, Demands: []float64{3}, Priority: 2},
+	}
+	noJitter, err := HolisticRTA(1, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jittered := append([]SporadicTask(nil), base...)
+	jittered[0].Jitter = 4
+	withJitter, err := HolisticRTA(1, jittered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withJitter.Response[1] <= noJitter.Response[1] {
+		t.Fatalf("jitter must increase interference: %v vs %v",
+			withJitter.Response[1], noJitter.Response[1])
+	}
+}
+
+func TestRTADetectsOverload(t *testing.T) {
+	res, err := HolisticRTA(1, []SporadicTask{
+		{Name: "a", Period: 2, Deadline: 2, Demands: []float64{1.5}, Priority: 1},
+		{Name: "b", Period: 2, Deadline: 2, Demands: []float64{1.5}, Priority: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Fatal("150% utilization reported schedulable")
+	}
+}
+
+func TestRTADeadlineMissDetected(t *testing.T) {
+	// Feasible utilization but a deadline shorter than the response.
+	res, err := HolisticRTA(1, []SporadicTask{
+		{Name: "hi", Period: 4, Deadline: 4, Demands: []float64{2}, Priority: 1},
+		{Name: "lo", Period: 8, Deadline: 2.5, Demands: []float64{1}, Priority: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Fatalf("lo's response 3 > deadline 2.5; result %+v", res)
+	}
+}
+
+func TestRTAValidation(t *testing.T) {
+	if _, err := HolisticRTA(1, []SporadicTask{{Name: "x", Period: 0, Deadline: 1, Demands: []float64{1}}}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+	if _, err := HolisticRTA(2, []SporadicTask{{Name: "x", Period: 1, Deadline: 1, Demands: []float64{1}}}); err == nil {
+		t.Fatal("wrong demand count accepted")
+	}
+}
+
+func TestRegionAcceptsSporadicTSCE(t *testing.T) {
+	scenario := workload.NewTSCE()
+	var tasks []SporadicTask
+	for _, s := range scenario.ReservedStreams() {
+		tasks = append(tasks, SporadicTask{
+			Name: s.Name, Period: s.Period, Deadline: s.Deadline,
+			Demands: s.Demands, Priority: s.Deadline,
+		})
+	}
+	ok, utils, err := RegionAcceptsSporadic(core.NewRegion(3), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("TSCE critical set rejected at %v", utils)
+	}
+	if math.Abs(utils[0]-0.4) > 1e-9 {
+		t.Fatalf("stage-1 utilization %v, want 0.4", utils[0])
+	}
+}
+
+// randomSporadicSet draws a periodic set with the given target total
+// per-stage utilization.
+func randomSporadicSet(g *dist.RNG, stages, n int, targetUtil float64) []SporadicTask {
+	tasks := make([]SporadicTask, n)
+	for i := range tasks {
+		period := 10 + g.Float64()*190
+		demands := make([]float64, stages)
+		for j := range demands {
+			demands[j] = period * targetUtil / float64(n) * (0.5 + g.Float64())
+		}
+		tasks[i] = SporadicTask{
+			Name:     "t",
+			Period:   period,
+			Deadline: period,
+			Demands:  demands,
+			Priority: period, // deadline(=period)-monotonic
+		}
+	}
+	return tasks
+}
+
+// TestRTASchedulableSetsDoNotMissInSimulation cross-validates the
+// analysis against the simulator: any set HolisticRTA certifies runs
+// with zero misses under synchronous release and DM scheduling.
+func TestRTASchedulableSetsDoNotMissInSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	g := dist.NewRNG(31)
+	verified := 0
+	for trial := 0; trial < 40; trial++ {
+		stages := 1 + g.Intn(3)
+		n := 2 + g.Intn(6)
+		util := 0.3 + g.Float64()*0.6
+		set := randomSporadicSet(g, stages, n, util)
+		res, err := HolisticRTA(stages, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable {
+			continue
+		}
+		verified++
+		// Simulate: synchronous release (worst case), strictly periodic.
+		sim := des.New()
+		p := pipeline.New(sim, pipeline.Options{Stages: stages, NoAdmission: true})
+		var id task.ID
+		rng := dist.NewRNG(1)
+		horizon := 2000.0
+		for _, st := range set {
+			stream := workload.PeriodicStream{
+				Name: st.Name, Period: st.Period, Deadline: st.Deadline,
+				Demands: st.Demands,
+			}
+			stream.Schedule(sim, rng, horizon, &id, func(tk *task.Task) { p.Offer(tk) })
+		}
+		sim.At(0, func() { p.BeginMeasurement() })
+		sim.Run()
+		if m := p.Snapshot(); m.Missed != 0 {
+			t.Fatalf("trial %d: RTA-certified set missed %d deadlines (responses %v)",
+				trial, m.Missed, res.Response)
+		}
+	}
+	if verified < 5 {
+		t.Fatalf("only %d of 40 trials were RTA-schedulable; generator too aggressive", verified)
+	}
+}
+
+// TestRegionIsMorePessimisticThanRTAForPeriodic: over random periodic
+// sets, the region never accepts a set RTA rejects... both are
+// sufficient tests, but RTA should dominate in acceptance count.
+func TestRegionVsRTAAcceptanceCounts(t *testing.T) {
+	g := dist.NewRNG(32)
+	rtaAccepts, regionAccepts := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		stages := 1 + g.Intn(3)
+		set := randomSporadicSet(g, stages, 2+g.Intn(6), 0.3+g.Float64()*0.5)
+		res, err := HolisticRTA(stages, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedulable {
+			rtaAccepts++
+		}
+		ok, _, err := RegionAcceptsSporadic(core.NewRegion(stages), set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			regionAccepts++
+		}
+	}
+	if rtaAccepts <= regionAccepts {
+		t.Fatalf("RTA accepted %d, region %d; RTA should dominate for strictly periodic sets",
+			rtaAccepts, regionAccepts)
+	}
+	if regionAccepts == 0 {
+		t.Fatal("region accepted nothing; generator mis-calibrated")
+	}
+}
+
+// TestSimulatedResponsesWithinRTABounds cross-validates the simulator
+// against the analysis in the other direction: for RTA-schedulable sets,
+// every simulated end-to-end response must stay within the per-task RTA
+// bound (RTA is an upper bound on responses, jitter pessimism included).
+func TestSimulatedResponsesWithinRTABounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	g := dist.NewRNG(41)
+	checked := 0
+	for trial := 0; trial < 30; trial++ {
+		stages := 1 + g.Intn(3)
+		set := randomSporadicSet(g, stages, 2+g.Intn(5), 0.3+g.Float64()*0.4)
+		res, err := HolisticRTA(stages, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Schedulable {
+			continue
+		}
+		checked++
+		sim := des.New()
+		p := pipeline.New(sim, pipeline.Options{Stages: stages, NoAdmission: true})
+		var id task.ID
+		rng := dist.NewRNG(2)
+		for _, st := range set {
+			stream := workload.PeriodicStream{
+				Name: "t", Period: st.Period, Deadline: st.Deadline, Demands: st.Demands,
+			}
+			stream.Schedule(sim, rng, 1500, &id, func(tk *task.Task) { p.Offer(tk) })
+		}
+		sim.At(0, func() { p.BeginMeasurement() })
+		sim.Run()
+		m := p.Snapshot()
+		if m.Missed != 0 {
+			t.Fatalf("trial %d: RTA-schedulable set missed in simulation", trial)
+		}
+		// The max simulated response across all tasks must not exceed
+		// the largest per-task RTA bound (RTA upper-bounds responses).
+		maxBound := 0.0
+		for _, r := range res.Response {
+			if r > maxBound {
+				maxBound = r
+			}
+		}
+		if got := m.ResponseTimes.Max(); got > maxBound+1e-9 {
+			t.Fatalf("trial %d: simulated max response %v exceeds max RTA bound %v", trial, got, maxBound)
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d trials were schedulable", checked)
+	}
+}

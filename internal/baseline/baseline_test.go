@@ -1,0 +1,164 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"feasregion/internal/core"
+	"feasregion/internal/des"
+	"feasregion/internal/pipeline"
+	"feasregion/internal/task"
+	"feasregion/internal/workload"
+)
+
+func TestLiuLaylandBoundValues(t *testing.T) {
+	if got := LiuLaylandBound(1); got != 1 {
+		t.Fatalf("LL(1) = %v, want 1", got)
+	}
+	if got := LiuLaylandBound(2); math.Abs(got-0.8284) > 1e-4 {
+		t.Fatalf("LL(2) = %v, want ≈0.8284", got)
+	}
+	if got := LiuLaylandBound(1000); math.Abs(got-math.Ln2) > 1e-3 {
+		t.Fatalf("LL(1000) = %v, want ≈ln2", got)
+	}
+	if got := LiuLaylandBound(0); got != 0 {
+		t.Fatalf("LL(0) = %v, want 0", got)
+	}
+}
+
+func TestLiuLaylandFeasible(t *testing.T) {
+	ok := []PeriodicTask{{Cost: 1, Period: 4}, {Cost: 1, Period: 4}} // U=0.5
+	if !LiuLaylandFeasible(ok) {
+		t.Fatal("0.5 utilization must pass LL(2)=0.828")
+	}
+	bad := []PeriodicTask{{Cost: 2, Period: 4}, {Cost: 2, Period: 5}} // U=0.9
+	if LiuLaylandFeasible(bad) {
+		t.Fatal("0.9 utilization must fail LL(2)")
+	}
+}
+
+func TestHyperbolicDominatesLiuLayland(t *testing.T) {
+	// A set that fails LL but passes the hyperbolic test.
+	set := []PeriodicTask{{Cost: 0.5, Period: 1}, {Cost: 1, Period: 3}} // U = 0.8333
+	if LiuLaylandFeasible(set) {
+		t.Fatal("set should fail LL(2)=0.828")
+	}
+	if !HyperbolicFeasible(set) {
+		// (1.5)(1.3333) = 2.0 exactly.
+		t.Fatal("set should pass the hyperbolic bound")
+	}
+}
+
+func TestHyperbolicRejectsOverload(t *testing.T) {
+	set := []PeriodicTask{{Cost: 0.9, Period: 1}, {Cost: 0.9, Period: 1}}
+	if HyperbolicFeasible(set) {
+		t.Fatal("1.8 utilization must fail")
+	}
+}
+
+func TestSplitDeadlineAdmitsLight(t *testing.T) {
+	sim := des.New()
+	c := NewSplitDeadlineController(sim, 2)
+	// C=(1,1), D=10 -> per-stage deadline 5, contribution 0.2 < 0.586.
+	if !c.TryAdmit(task.Chain(1, 0, 10, 1, 1)) {
+		t.Fatal("light task rejected")
+	}
+	us := c.Utilizations()
+	if math.Abs(us[0]-0.2) > 1e-12 || math.Abs(us[1]-0.2) > 1e-12 {
+		t.Fatalf("utilizations %v, want [0.2 0.2]", us)
+	}
+}
+
+func TestSplitDeadlineExpiryPerStage(t *testing.T) {
+	sim := des.New()
+	c := NewSplitDeadlineController(sim, 2)
+	c.TryAdmit(task.Chain(1, 0, 10, 1, 1))
+	sim.RunUntil(6) // past stage 0's intermediate deadline (5), before 10
+	us := c.Utilizations()
+	if us[0] != 0 || us[1] == 0 {
+		t.Fatalf("utilizations %v, want stage 0 expired only", us)
+	}
+	sim.RunUntil(11)
+	if got := c.Utilizations()[1]; got != 0 {
+		t.Fatalf("stage 1 utilization %v after end-to-end deadline", got)
+	}
+}
+
+func TestSplitDeadlineMorePessimisticThanRegion(t *testing.T) {
+	// The same task is accepted by the end-to-end region but rejected by
+	// the split-deadline test: C=(1,1), D=4. Split: per-stage deadline 2,
+	// contribution 0.5 per stage... still under 0.586. Use C=(1.3, 1.3):
+	// split contribution 0.65 > 0.586 rejected; region: U=0.325 each,
+	// f(0.325)*2 ≈ 0.81 ≤ 1 accepted.
+	sim := des.New()
+	split := NewSplitDeadlineController(sim, 2)
+	region := core.NewController(sim, core.NewRegion(2), nil)
+	tk := task.Chain(1, 0, 4, 1.3, 1.3)
+	if split.TryAdmit(tk) {
+		t.Fatal("split-deadline baseline unexpectedly admitted")
+	}
+	if !region.TryAdmit(tk) {
+		t.Fatal("feasible region unexpectedly rejected")
+	}
+}
+
+func TestSplitDeadlineRejectsMismatchedTask(t *testing.T) {
+	sim := des.New()
+	c := NewSplitDeadlineController(sim, 2)
+	if c.TryAdmit(task.Chain(1, 0, 10, 1)) {
+		t.Fatal("admitted task with wrong stage count")
+	}
+	if got := c.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+}
+
+// TestSplitDeadlineSoundInSimulation: the baseline, though pessimistic,
+// must also be sound — no admitted task misses its deadline under DM.
+func TestSplitDeadlineSoundInSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	sim := des.New()
+	split := NewSplitDeadlineController(sim, 2)
+	p := pipeline.New(sim, pipeline.Options{Stages: 2, Admitter: split})
+	spec := workload.PipelineSpec{Stages: 2, Load: 1.5, MeanDemand: 1, Resolution: 20}
+	src := workload.NewSource(sim, spec, 21, 1500, func(tk *task.Task) { p.Offer(tk) })
+	sim.At(0, func() { p.BeginMeasurement() })
+	src.Start()
+	sim.Run()
+	m := p.Snapshot()
+	if m.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if m.Missed != 0 {
+		t.Fatalf("baseline admitted %d tasks that missed deadlines", m.Missed)
+	}
+}
+
+// TestSplitDeadlineAdmitsFewerThanRegion: under identical load the
+// end-to-end feasible region achieves higher accepted utilization.
+func TestSplitDeadlineAdmitsFewerThanRegion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	run := func(useSplit bool) float64 {
+		sim := des.New()
+		opts := pipeline.Options{Stages: 2}
+		if useSplit {
+			opts.Admitter = NewSplitDeadlineController(sim, 2)
+		}
+		p := pipeline.New(sim, opts)
+		spec := workload.PipelineSpec{Stages: 2, Load: 1.2, MeanDemand: 1, Resolution: 50}
+		src := workload.NewSource(sim, spec, 33, 3000, func(tk *task.Task) { p.Offer(tk) })
+		sim.At(300, func() { p.BeginMeasurement() })
+		src.Start()
+		sim.Run()
+		return p.Snapshot().MeanUtilization
+	}
+	regionUtil := run(false)
+	splitUtil := run(true)
+	if splitUtil >= regionUtil {
+		t.Fatalf("split-deadline utilization %.3f should be below region %.3f", splitUtil, regionUtil)
+	}
+}

@@ -1,0 +1,55 @@
+// Package baseline implements the comparators the paper positions itself
+// against: classic periodic utilization bounds (Liu & Layland, the
+// Bini-Buttazzo hyperbolic bound) and the traditional pipeline-analysis
+// approach of splitting the end-to-end deadline into per-stage
+// intermediate deadlines, plus the no-admission baseline implied by §4.
+package baseline
+
+import (
+	"fmt"
+	"math"
+)
+
+// PeriodicTask is a classic (C, T) periodic task with implicit deadline.
+type PeriodicTask struct {
+	Cost   float64
+	Period float64
+}
+
+// Utilization returns C/T.
+func (p PeriodicTask) Utilization() float64 {
+	if p.Period <= 0 {
+		panic(fmt.Sprintf("baseline: period must be positive, got %v", p.Period))
+	}
+	return p.Cost / p.Period
+}
+
+// LiuLaylandBound returns the rate-monotonic schedulable utilization
+// bound n(2^{1/n} − 1) for n periodic tasks; it tends to ln 2 ≈ 0.693.
+func LiuLaylandBound(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * (math.Pow(2, 1/float64(n)) - 1)
+}
+
+// LiuLaylandFeasible reports whether the task set passes the Liu &
+// Layland utilization test under rate-monotonic scheduling.
+func LiuLaylandFeasible(tasks []PeriodicTask) bool {
+	u := 0.0
+	for _, t := range tasks {
+		u += t.Utilization()
+	}
+	return u <= LiuLaylandBound(len(tasks))
+}
+
+// HyperbolicFeasible reports whether the task set passes the
+// Bini-Buttazzo hyperbolic test Π(U_i + 1) ≤ 2, which dominates the Liu
+// & Layland test.
+func HyperbolicFeasible(tasks []PeriodicTask) bool {
+	prod := 1.0
+	for _, t := range tasks {
+		prod *= t.Utilization() + 1
+	}
+	return prod <= 2
+}

@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"fmt"
+
+	"feasregion/internal/core"
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+)
+
+// SplitDeadlineController is the traditional pipeline-analysis baseline
+// the paper contrasts with (§1): the end-to-end deadline D is split into
+// N equal intermediate per-stage deadlines D/N, and each stage is then
+// admission-controlled independently against the single-resource
+// aperiodic utilization bound U ≤ 1/(1+sqrt(1/2)).
+//
+// A task's stage-j synthetic contribution is C_ij/(D_i/N); it is added on
+// admission and removed at the task's j-th intermediate deadline
+// A_i + (j+1)·D_i/N. The same idle-reset rule applies per stage. The
+// controller is sound but more pessimistic than the end-to-end feasible
+// region, which is exactly what the comparison experiments demonstrate.
+//
+// It implements pipeline.Admitter.
+type SplitDeadlineController struct {
+	sim     *des.Simulator
+	ledgers []*core.Ledger
+	stats   core.Stats
+}
+
+// NewSplitDeadlineController builds the baseline for an N-stage pipeline.
+func NewSplitDeadlineController(sim *des.Simulator, stages int) *SplitDeadlineController {
+	if stages <= 0 {
+		panic(fmt.Sprintf("baseline: need stages, got %d", stages))
+	}
+	ledgers := make([]*core.Ledger, stages)
+	for j := range ledgers {
+		ledgers[j] = core.NewLedger(0)
+	}
+	return &SplitDeadlineController{sim: sim, ledgers: ledgers}
+}
+
+// Stats returns a snapshot of admission counters.
+func (c *SplitDeadlineController) Stats() core.Stats { return c.stats }
+
+// Utilizations returns the per-stage synthetic utilizations (computed
+// against intermediate deadlines).
+func (c *SplitDeadlineController) Utilizations() []float64 {
+	us := make([]float64, len(c.ledgers))
+	for j, l := range c.ledgers {
+		us[j] = l.Utilization()
+	}
+	return us
+}
+
+// TryAdmit implements pipeline.Admitter: every stage must independently
+// stay within the uniprocessor aperiodic bound under its intermediate
+// deadline.
+func (c *SplitDeadlineController) TryAdmit(t *task.Task) bool {
+	n := len(c.ledgers)
+	if t.Deadline <= 0 || len(t.Subtasks) != n {
+		c.stats.Rejected++
+		return false
+	}
+	stageDeadline := t.Deadline / float64(n)
+	for j, l := range c.ledgers {
+		if l.Utilization()+t.StageDemand(j)/stageDeadline > core.UniprocessorBound {
+			c.stats.Rejected++
+			return false
+		}
+	}
+	for j, l := range c.ledgers {
+		l.Add(t.ID, t.StageDemand(j)/stageDeadline)
+		id, lj := t.ID, l
+		c.sim.At(t.Arrival+float64(j+1)*stageDeadline, func() {
+			lj.Remove(id)
+		})
+	}
+	c.stats.Admitted++
+	return true
+}
+
+// MarkDeparted implements pipeline.Admitter.
+func (c *SplitDeadlineController) MarkDeparted(stage int, id task.ID) {
+	c.ledgers[stage].MarkDeparted(id)
+}
+
+// HandleStageIdle implements pipeline.Admitter.
+func (c *SplitDeadlineController) HandleStageIdle(stage int) {
+	c.ledgers[stage].ResetIdle()
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+)
+
+// Estimator returns the admission-time estimate of a task's computation
+// demand at a stage. Exact admission uses the task's actual demand;
+// approximate admission (paper §4.4) substitutes the workload mean when
+// actual demands are unknown at arrival.
+type Estimator func(t *task.Task, stage int) float64
+
+// ActualDemand is the exact-admission estimator.
+func ActualDemand(t *task.Task, stage int) float64 { return t.StageDemand(stage) }
+
+// MeanDemand returns an estimator that ignores the task and always
+// reports the given per-stage means.
+func MeanDemand(means []float64) Estimator {
+	m := append([]float64(nil), means...)
+	return func(_ *task.Task, stage int) float64 {
+		if stage < 0 || stage >= len(m) {
+			return 0
+		}
+		return m[stage]
+	}
+}
+
+// Stats counts admission outcomes.
+type Stats struct {
+	Admitted uint64
+	Rejected uint64
+}
+
+// Controller is the paper's utilization-based admission controller for an
+// N-stage pipeline. Each admission test is O(N): it evaluates
+// Σ f(U_j + ΔU_j) ≤ α(1−Σβ_j) against the stages' synthetic-utilization
+// ledgers, independent of how many tasks are active.
+//
+// Wire it to a simulation by forwarding stage-idle events to
+// HandleStageIdle and stage completions to MarkDeparted; the controller
+// schedules the deadline decrements itself.
+type Controller struct {
+	sim      *des.Simulator
+	region   Region
+	ledgers  []*Ledger
+	estimate Estimator
+
+	onRelease []func(now des.Time)
+	onChange  func(stage int, now des.Time, u float64)
+	stats     Stats
+}
+
+// NewController returns a controller for the given region. reserved, when
+// non-nil, sets each stage ledger's non-resettable utilization floor for
+// pre-certified critical tasks (paper §5); it must have one entry per
+// stage.
+func NewController(sim *des.Simulator, region Region, reserved []float64) *Controller {
+	if reserved != nil && len(reserved) != region.Stages {
+		panic(fmt.Sprintf("core: %d reserved values for %d stages", len(reserved), region.Stages))
+	}
+	ledgers := make([]*Ledger, region.Stages)
+	for j := range ledgers {
+		f := 0.0
+		if reserved != nil {
+			f = reserved[j]
+		}
+		ledgers[j] = NewLedger(f)
+	}
+	return &Controller{sim: sim, region: region, ledgers: ledgers, estimate: ActualDemand}
+}
+
+// SetEstimator switches the demand estimator (e.g. to MeanDemand for
+// approximate admission). It must be called before the first admission.
+func (c *Controller) SetEstimator(e Estimator) {
+	if e == nil {
+		panic("core: nil estimator")
+	}
+	c.estimate = e
+}
+
+// Region returns the controller's feasible region.
+func (c *Controller) Region() Region { return c.region }
+
+// Stats returns a snapshot of admission counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Ledger exposes the stage's synthetic-utilization ledger (peak tracking
+// and inspection for experiments).
+func (c *Controller) Ledger(stage int) *Ledger { return c.ledgers[stage] }
+
+// Utilizations returns the current synthetic utilization of every stage.
+func (c *Controller) Utilizations() []float64 {
+	us := make([]float64, len(c.ledgers))
+	for j, l := range c.ledgers {
+		us[j] = l.Utilization()
+	}
+	return us
+}
+
+// Value returns the current region value Σ f(U_j).
+func (c *Controller) Value() float64 { return c.region.Value(c.Utilizations()) }
+
+// Headroom returns how much additional synthetic utilization stage j
+// could absorb right now (see Region.Headroom).
+func (c *Controller) Headroom(stage int) float64 {
+	return c.region.Headroom(c.Utilizations(), stage)
+}
+
+// OnRelease registers fn to run whenever synthetic utilization decreases
+// (deadline decrement or idle reset). Wait-queue admission retries from
+// this hook.
+func (c *Controller) OnRelease(fn func(now des.Time)) {
+	c.onRelease = append(c.onRelease, fn)
+}
+
+// OnUtilizationChange registers an observer called with a stage's new
+// synthetic utilization after every change (admission, deadline
+// decrement, idle reset, eviction). The curve recorder uses this to
+// reconstruct the paper's Figure 1 synthetic-utilization step curve.
+func (c *Controller) OnUtilizationChange(fn func(stage int, now des.Time, u float64)) {
+	c.onChange = fn
+}
+
+// notifyChange reports every stage's utilization to the observer.
+func (c *Controller) notifyChange() {
+	if c.onChange == nil {
+		return
+	}
+	now := c.sim.Now()
+	for j, l := range c.ledgers {
+		c.onChange(j, now, l.Utilization())
+	}
+}
+
+func (c *Controller) fireRelease() {
+	now := c.sim.Now()
+	for _, fn := range c.onRelease {
+		fn(now)
+	}
+}
+
+// deltas computes the tentative per-stage utilization increments of t.
+func (c *Controller) deltas(t *task.Task) []float64 {
+	d := make([]float64, len(c.ledgers))
+	if t.Deadline <= 0 {
+		return nil
+	}
+	for j := range d {
+		d[j] = c.estimate(t, j) / t.Deadline
+	}
+	return d
+}
+
+// WouldAdmit evaluates the admission test without committing: it reports
+// whether the post-admission utilization point stays inside the region.
+func (c *Controller) WouldAdmit(t *task.Task) bool {
+	d := c.deltas(t)
+	if d == nil {
+		return false
+	}
+	sum := 0.0
+	for j, l := range c.ledgers {
+		sum += StageDelayFactor(l.Utilization() + d[j])
+	}
+	return sum <= c.region.Bound()
+}
+
+// TryAdmit runs the admission test and, on success, commits the task's
+// contributions and schedules their removal at its absolute deadline.
+func (c *Controller) TryAdmit(t *task.Task) bool {
+	if !c.WouldAdmit(t) {
+		c.stats.Rejected++
+		return false
+	}
+	c.commit(t, c.deltas(t))
+	return true
+}
+
+// ForceAdmit commits a task's contributions without testing the region.
+// It exists for certified critical tasks that were already accounted for
+// in the reserved floor to keep statistics honest; typical callers should
+// submit such tasks directly to the pipeline instead.
+func (c *Controller) ForceAdmit(t *task.Task) {
+	c.commit(t, c.deltas(t))
+}
+
+// commitAdmit implements regionAdmitter for the wait queue.
+func (c *Controller) commitAdmit(t *task.Task) { c.commit(t, c.deltas(t)) }
+
+func (c *Controller) commit(t *task.Task, d []float64) {
+	for j, l := range c.ledgers {
+		l.Add(t.ID, d[j])
+	}
+	id := t.ID
+	c.sim.At(t.AbsoluteDeadline(), func() {
+		for _, l := range c.ledgers {
+			l.Remove(id)
+		}
+		c.notifyChange()
+		c.fireRelease()
+	})
+	c.stats.Admitted++
+	c.notifyChange()
+}
+
+// Evict removes a task's contribution from every stage immediately —
+// the load-shedding primitive of the paper's §5: when an important
+// arrival would leave the feasible region, less important current tasks
+// are shed (their execution aborted by the caller) until the system
+// re-enters the region. The task's already-scheduled deadline decrement
+// becomes a no-op. Evicting an unknown or expired task does nothing.
+func (c *Controller) Evict(id task.ID) {
+	removed := false
+	for _, l := range c.ledgers {
+		if _, ok := l.Contribution(id); ok {
+			l.Remove(id)
+			removed = true
+		}
+	}
+	if removed {
+		c.notifyChange()
+		c.fireRelease()
+	}
+}
+
+// PlanShedding determines the shortest prefix of candidates (in the
+// given order — callers pass least-important-first) whose eviction would
+// let t pass the admission test. It reports ok=false when even shedding
+// every candidate does not make room; nothing is modified either way.
+func (c *Controller) PlanShedding(t *task.Task, candidates []task.ID) (shed []task.ID, ok bool) {
+	d := c.deltas(t)
+	if d == nil {
+		return nil, false
+	}
+	utils := make([]float64, len(c.ledgers))
+	for j, l := range c.ledgers {
+		utils[j] = l.Utilization() + d[j]
+	}
+	fits := func() bool {
+		sum := 0.0
+		for _, u := range utils {
+			sum += StageDelayFactor(u)
+		}
+		return sum <= c.region.Bound()
+	}
+	if fits() {
+		return nil, true
+	}
+	for _, id := range candidates {
+		for j, l := range c.ledgers {
+			if contrib, present := l.Contribution(id); present {
+				utils[j] -= contrib
+			}
+		}
+		shed = append(shed, id)
+		if fits() {
+			return shed, true
+		}
+	}
+	return nil, false
+}
+
+// Reconfigure replaces every stage's reserved utilization floor at
+// runtime (paper §5: the TSCE reconfigures dynamically on mission-mode
+// changes, e.g. enabling the urgent self-defense mode). Already-admitted
+// contributions are untouched; lowering floors immediately frees
+// admission capacity (waiters are retried), raising them tightens future
+// admissions. It returns the region value at the new point so callers
+// can observe whether the system is transiently outside the region
+// (admissions then resume only as load drains).
+func (c *Controller) Reconfigure(reserved []float64) float64 {
+	if len(reserved) != len(c.ledgers) {
+		panic(fmt.Sprintf("core: %d reserved values for %d stages", len(reserved), len(c.ledgers)))
+	}
+	lowered := false
+	for j, l := range c.ledgers {
+		if reserved[j] < l.Reserved() {
+			lowered = true
+		}
+		l.SetReserved(reserved[j])
+	}
+	c.notifyChange()
+	if lowered {
+		c.fireRelease()
+	}
+	return c.Value()
+}
+
+// MarkDeparted records that the task has finished service at the stage,
+// making its contribution there eligible for the idle reset.
+func (c *Controller) MarkDeparted(stage int, id task.ID) {
+	c.ledgers[stage].MarkDeparted(id)
+}
+
+// HandleStageIdle performs the idle reset for a stage. Wire it to
+// sched.Stage.OnIdle.
+func (c *Controller) HandleStageIdle(stage int) {
+	if c.ledgers[stage].ResetIdle() > 0 {
+		if c.onChange != nil {
+			c.onChange(stage, c.sim.Now(), c.ledgers[stage].Utilization())
+		}
+		c.fireRelease()
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"feasregion/internal/dist"
+	"feasregion/internal/task"
+)
+
+// TaskParams is the (priority, relative deadline) pair the urgency-
+// inversion analysis needs from each task.
+type TaskParams struct {
+	Priority float64
+	Deadline float64
+}
+
+// Alpha computes the urgency-inversion parameter of a priority assignment
+// over a task set (paper §2):
+//
+//	α = min_{Thi ≼ Tlo} D_lo / D_hi
+//
+// minimized over all ordered pairs in which Thi has equal or higher
+// priority than Tlo, capped at 1. Deadline-monotonic assignments have
+// α = 1; a random assignment over deadlines in [Dleast, Dmost] approaches
+// Dleast/Dmost.
+//
+// The computation is O(n log n): after sorting by priority, the minimum
+// ratio for each task is against the largest deadline among tasks with
+// equal or higher priority.
+func Alpha(params []TaskParams) float64 {
+	if len(params) == 0 {
+		return 1
+	}
+	sorted := append([]TaskParams(nil), params...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Priority < sorted[j].Priority })
+
+	alpha := 1.0
+	maxD := 0.0 // largest deadline among strictly-higher-priority tasks
+	i := 0
+	for i < len(sorted) {
+		// Process one group of equal priorities: within a group every
+		// member has "equal or higher" priority than every other, so the
+		// group's own max deadline counts for all members.
+		groupMax := maxD
+		j := i
+		for j < len(sorted) && sorted[j].Priority == sorted[i].Priority {
+			if sorted[j].Deadline > groupMax {
+				groupMax = sorted[j].Deadline
+			}
+			j++
+		}
+		for k := i; k < j; k++ {
+			if groupMax > 0 {
+				if ratio := sorted[k].Deadline / groupMax; ratio < alpha {
+					alpha = ratio
+				}
+			}
+		}
+		maxD = groupMax
+		i = j
+	}
+	if alpha <= 0 || math.IsNaN(alpha) {
+		return 0
+	}
+	return alpha
+}
+
+// AlphaForPolicy estimates a policy's urgency-inversion parameter over a
+// representative task sample by assigning priorities and running Alpha.
+// Randomized policies should be estimated over a sample at least as large
+// as the expected concurrent task population.
+func AlphaForPolicy(p task.Policy, sample []*task.Task, g *dist.RNG) float64 {
+	params := make([]TaskParams, len(sample))
+	for i, t := range sample {
+		params[i] = TaskParams{Priority: p.Assign(t, g), Deadline: t.Deadline}
+	}
+	return Alpha(params)
+}

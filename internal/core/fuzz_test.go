@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzStageDelayFactor: f and its inverse stay consistent and ordered
+// for arbitrary inputs (including garbage).
+func FuzzStageDelayFactor(f *testing.F) {
+	f.Add(0.0)
+	f.Add(0.5)
+	f.Add(0.99)
+	f.Add(-3.0)
+	f.Add(2.0)
+	f.Add(math.Inf(1))
+	f.Fuzz(func(t *testing.T, u float64) {
+		y := StageDelayFactor(u)
+		if math.IsNaN(y) {
+			if !math.IsNaN(u) {
+				t.Fatalf("f(%v) = NaN", u)
+			}
+			return
+		}
+		if y < 0 {
+			t.Fatalf("f(%v) = %v negative", u, y)
+		}
+		back := InverseStageDelayFactor(y)
+		if math.IsNaN(back) || back < 0 || back > 1 {
+			t.Fatalf("f⁻¹(f(%v)) = %v out of [0,1]", u, back)
+		}
+		if u >= 0 && u < 1 && math.Abs(back-u) > 1e-6*(1+u) {
+			t.Fatalf("roundtrip %v -> %v -> %v", u, y, back)
+		}
+	})
+}
+
+// FuzzAlphaBounds: α is always in [0, 1] for any finite positive inputs.
+func FuzzAlphaBounds(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(0.5, 10.0, 0.5, 1.0)
+	f.Fuzz(func(t *testing.T, p1, d1, p2, d2 float64) {
+		for _, v := range []float64{p1, d1, p2, d2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		if d1 <= 0 || d2 <= 0 {
+			return
+		}
+		a := Alpha([]TaskParams{{Priority: p1, Deadline: d1}, {Priority: p2, Deadline: d2}})
+		if a < 0 || a > 1 || math.IsNaN(a) {
+			t.Fatalf("alpha = %v out of [0,1]", a)
+		}
+	})
+}

@@ -1,0 +1,6 @@
+package core
+
+import "feasregion/internal/des"
+
+// newTestSim returns a fresh simulator for controller tests.
+func newTestSim() *des.Simulator { return des.New() }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"feasregion/internal/task"
+)
+
+// Ledger tracks the synthetic utilization of one stage online:
+//
+//	U_j(t) = reserved_j + Σ_{current tasks} C_ij / D_i
+//
+// A task's contribution is added on admission, removed at its absolute
+// deadline, and removed early when the stage goes idle if the task has
+// already departed the stage (paper §4: idle reset, the tool that keeps
+// admission control from being pessimistic). The reserved floor models
+// utilization set aside for certified critical tasks (§5) and never
+// resets.
+//
+// The running sum uses Kahan compensation so that millions of
+// add/subtract pairs do not drift the admission test.
+type Ledger struct {
+	reserved float64
+	sum      float64 // compensated running sum of contributions
+	comp     float64 // Kahan compensation term
+	contrib  map[task.ID]float64
+	departed map[task.ID]struct{}
+	resets   uint64
+	peak     float64
+}
+
+// NewLedger returns a ledger with the given reserved utilization floor.
+func NewLedger(reserved float64) *Ledger {
+	if reserved < 0 || reserved >= 1 {
+		panic("core: reserved utilization must be in [0, 1)")
+	}
+	return &Ledger{
+		reserved: reserved,
+		contrib:  map[task.ID]float64{},
+		departed: map[task.ID]struct{}{},
+	}
+}
+
+// add accumulates v into the compensated sum.
+func (l *Ledger) add(v float64) {
+	y := v - l.comp
+	t := l.sum + y
+	l.comp = (t - l.sum) - y
+	l.sum = t
+}
+
+// Utilization returns the stage's current synthetic utilization.
+func (l *Ledger) Utilization() float64 {
+	u := l.reserved + l.sum
+	if u < l.reserved {
+		return l.reserved
+	}
+	return u
+}
+
+// Reserved returns the non-resettable floor.
+func (l *Ledger) Reserved() float64 { return l.reserved }
+
+// SetReserved adjusts the floor at runtime — the §5 dynamic
+// reconfiguration primitive (mission-mode changes re-apportion the
+// capacity set aside for critical tasks). Contributions of already-
+// admitted tasks are unaffected; only future admission tests see the new
+// floor.
+func (l *Ledger) SetReserved(v float64) {
+	if v < 0 || v >= 1 {
+		panic("core: reserved utilization must be in [0, 1)")
+	}
+	l.reserved = v
+	if u := l.Utilization(); u > l.peak {
+		l.peak = u
+	}
+}
+
+// ActiveTasks returns how many tasks currently contribute.
+func (l *Ledger) ActiveTasks() int { return len(l.contrib) }
+
+// Resets returns how many idle resets removed at least one contribution.
+func (l *Ledger) Resets() uint64 { return l.resets }
+
+// Add records a task's contribution. Adding a zero contribution still
+// registers the task so that MarkDeparted bookkeeping stays uniform.
+// Adding an already-present task is a programming error and panics.
+func (l *Ledger) Add(id task.ID, contribution float64) {
+	if _, ok := l.contrib[id]; ok {
+		panic("core: task added to ledger twice")
+	}
+	if contribution < 0 {
+		panic("core: negative synthetic-utilization contribution")
+	}
+	l.contrib[id] = contribution
+	l.add(contribution)
+	if u := l.Utilization(); u > l.peak {
+		l.peak = u
+	}
+}
+
+// Peak returns the highest synthetic utilization observed since the last
+// ResetPeak (utilization only rises at Add, so peaks are tracked there).
+func (l *Ledger) Peak() float64 { return l.peak }
+
+// ResetPeak restarts peak tracking at the current utilization, e.g. at
+// the start of a measurement window.
+func (l *Ledger) ResetPeak() { l.peak = l.Utilization() }
+
+// Contribution returns the task's recorded contribution and whether it
+// is still present.
+func (l *Ledger) Contribution(id task.ID) (float64, bool) {
+	c, ok := l.contrib[id]
+	return c, ok
+}
+
+// Remove drops a task's contribution (called at its absolute deadline).
+// Removing an absent task is a no-op: the contribution may already have
+// been cleared by an idle reset.
+func (l *Ledger) Remove(id task.ID) {
+	c, ok := l.contrib[id]
+	if !ok {
+		return
+	}
+	delete(l.contrib, id)
+	delete(l.departed, id)
+	l.add(-c)
+	if len(l.contrib) == 0 {
+		// Exact rebaseline whenever the ledger empties: kills any
+		// residual floating error before the next busy period.
+		l.sum, l.comp = 0, 0
+	}
+}
+
+// MarkDeparted records that the task has finished its service at this
+// stage (it can no longer affect this stage's schedule), making its
+// contribution eligible for the idle reset.
+func (l *Ledger) MarkDeparted(id task.ID) {
+	if _, ok := l.contrib[id]; !ok {
+		return // contribution already expired or reset
+	}
+	l.departed[id] = struct{}{}
+}
+
+// ResetIdle implements the paper's idle reset: when the stage has no
+// pending work, tasks that already departed it cannot affect its future
+// schedule, so their contributions are removed. It returns the number of
+// contributions dropped.
+func (l *Ledger) ResetIdle() int {
+	if len(l.departed) == 0 {
+		return 0
+	}
+	n := 0
+	for id := range l.departed {
+		if c, ok := l.contrib[id]; ok {
+			delete(l.contrib, id)
+			l.add(-c)
+			n++
+		}
+		delete(l.departed, id)
+	}
+	if len(l.contrib) == 0 {
+		l.sum, l.comp = 0, 0
+	}
+	if n > 0 {
+		l.resets++
+	}
+	return n
+}

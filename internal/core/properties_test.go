@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"feasregion/internal/task"
+)
+
+// TestRegionConvexityQuick: f is convex on [0, 1), so the feasible
+// region (a sublevel set of a sum of convex functions) is convex — if
+// two utilization points are inside, every point between them is too.
+// Convexity is what makes the region a well-behaved admission boundary.
+func TestRegionConvexityQuick(t *testing.T) {
+	r := NewRegion(3)
+	f := func(a1, a2, a3, b1, b2, b3, lam uint16) bool {
+		a := []float64{float64(a1) / 65536 * 0.6, float64(a2) / 65536 * 0.6, float64(a3) / 65536 * 0.6}
+		b := []float64{float64(b1) / 65536 * 0.6, float64(b2) / 65536 * 0.6, float64(b3) / 65536 * 0.6}
+		if !r.Contains(a) || !r.Contains(b) {
+			return true // only convexity of the inside matters
+		}
+		l := float64(lam) / 65536
+		mid := make([]float64, 3)
+		for i := range mid {
+			mid[i] = l*a[i] + (1-l)*b[i]
+		}
+		return r.Contains(mid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStageDelayFactorConvexQuick: f((x+y)/2) ≤ (f(x)+f(y))/2.
+func TestStageDelayFactorConvexQuick(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x := float64(a) / 65536 * 0.99
+		y := float64(b) / 65536 * 0.99
+		return StageDelayFactor((x+y)/2) <= (StageDelayFactor(x)+StageDelayFactor(y))/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStageDelayFactorSuperlinearQuick: f(U) ≥ U on [0, 1) — the delay
+// factor always exceeds the utilization itself (equality only at 0).
+func TestStageDelayFactorSuperlinearQuick(t *testing.T) {
+	f := func(a uint16) bool {
+		u := float64(a) / 65536 * 0.999
+		return StageDelayFactor(u) >= u-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeadroomZeroAtSurfaceQuick: the headroom of any on-surface point
+// is zero in every coordinate.
+func TestHeadroomZeroAtSurfaceQuick(t *testing.T) {
+	r := NewRegion(2)
+	f := func(a uint16) bool {
+		u1 := float64(a) / 65536 * UniprocessorBound
+		u2 := r.SurfacePoint(u1)
+		utils := []float64{u1, u2}
+		return r.Headroom(utils, 0) < 1e-9 && r.Headroom(utils, 1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAlphaScaleInvarianceQuick: scaling all deadlines by a constant
+// leaves α unchanged (it is a ratio).
+func TestAlphaScaleInvarianceQuick(t *testing.T) {
+	f := func(raw []uint8, scale uint8) bool {
+		k := float64(scale%16) + 1
+		var a, b []TaskParams
+		for i := 0; i+1 < len(raw); i += 2 {
+			p := float64(raw[i] % 8)
+			d := float64(raw[i+1]%16) + 1
+			a = append(a, TaskParams{Priority: p, Deadline: d})
+			b = append(b, TaskParams{Priority: p, Deadline: d * k})
+		}
+		return math.Abs(Alpha(a)-Alpha(b)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBetasScaleWithSectionsQuick: doubling every critical-section
+// length doubles every β (the analysis is linear in blocking time).
+func TestBetasScaleWithSectionsQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var base, doubled []BlockingTaskInfo
+		for i := 0; i+2 < len(raw); i += 3 {
+			prio := float64(raw[i] % 8)
+			dl := float64(raw[i+1]%16) + 1
+			dur := float64(raw[i+2]%8) + 1
+			cs := []CriticalSection{{Stage: 0, Lock: 1, Duration: dur}}
+			cs2 := []CriticalSection{{Stage: 0, Lock: 1, Duration: 2 * dur}}
+			base = append(base, BlockingTaskInfo{Priority: prio, Deadline: dl, Sections: cs})
+			doubled = append(doubled, BlockingTaskInfo{Priority: prio, Deadline: dl, Sections: cs2})
+		}
+		b1 := Betas(1, base)
+		b2 := Betas(1, doubled)
+		return math.Abs(b2[0]-2*b1[0]) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGraphValueDominatedByChainQuick: for any DAG, the Theorem 2 value
+// never exceeds the full chain sum over the same resources (the chain is
+// the worst series composition).
+func TestGraphValueDominatedByChainQuick(t *testing.T) {
+	g := task.NewGraph()
+	n1 := g.AddNode(0, task.NewSubtask(1))
+	n2 := g.AddNode(1, task.NewSubtask(1))
+	n3 := g.AddNode(2, task.NewSubtask(1))
+	n4 := g.AddNode(3, task.NewSubtask(1))
+	g.AddEdge(n1, n2)
+	g.AddEdge(n1, n3)
+	g.AddEdge(n2, n4)
+	g.AddEdge(n3, n4)
+	f := func(a, b, c, d uint16) bool {
+		utils := []float64{
+			float64(a) / 65536 * 0.9, float64(b) / 65536 * 0.9,
+			float64(c) / 65536 * 0.9, float64(d) / 65536 * 0.9,
+		}
+		chain := 0.0
+		for _, u := range utils {
+			chain += StageDelayFactor(u)
+		}
+		return GraphValue(g, utils, nil) <= chain+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestControllerNeverExceedsRegionQuick: after any sequence of random
+// admissions, the ledgers' point satisfies the region condition.
+func TestControllerNeverExceedsRegionQuick(t *testing.T) {
+	f := func(raw []uint8) bool {
+		sim := newTestSim()
+		r := NewRegion(2)
+		c := NewController(sim, r, nil)
+		id := task.ID(0)
+		for i := 0; i+2 < len(raw); i += 3 {
+			d := float64(raw[i]%20) + 1
+			c1 := float64(raw[i+1]%10) / 2
+			c2 := float64(raw[i+2]%10) / 2
+			c.TryAdmit(task.Chain(id, 0, d, c1, c2))
+			id++
+		}
+		return c.Value() <= r.Bound()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine is a binary-heap event calendar with a monotone sequence
+// counter: two events scheduled for the same instant fire in the order they
+// were scheduled, which makes simulations reproducible bit-for-bit. Events
+// are cancellable, which the preemptive schedulers rely on to withdraw a
+// subtask's completion event when a higher-priority subtask arrives.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated instant, in seconds since the start of the run.
+// Simulated time is represented as float64 (the usual discrete-event
+// convention) so that rate arithmetic does not overflow or round the way
+// integer nanoseconds would.
+type Time = float64
+
+// Event is a handle to a scheduled callback. The zero value is invalid;
+// events are created by Simulator.At and Simulator.After.
+type Event struct {
+	time      Time
+	seq       uint64
+	index     int // heap index; -1 once removed
+	fn        func()
+	cancelled bool
+}
+
+// Time returns the instant the event is scheduled to fire.
+func (e *Event) Time() Time { return e.time }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// eventQueue orders events by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a discrete-event simulation clock and calendar.
+// The zero value is a simulator at time 0 with an empty calendar.
+type Simulator struct {
+	queue eventQueue
+	now   Time
+	seq   uint64
+	steps uint64
+}
+
+// New returns an empty simulator at time zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events not yet drained from the calendar).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time t and returns a cancellable
+// handle. Scheduling in the past is a simulation bug, so it panics.
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("des: scheduling event at NaN time")
+	}
+	if fn == nil {
+		panic("des: scheduling nil callback")
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (s *Simulator) After(d Time, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel withdraws a scheduled event. Cancelling an event that already
+// fired or was already cancelled is a no-op, so callers can cancel
+// unconditionally during teardown.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.cancelled || e.index < 0 {
+		if e != nil {
+			e.cancelled = true
+		}
+		return
+	}
+	e.cancelled = true
+	heap.Remove(&s.queue, e.index)
+	e.index = -1
+}
+
+// Step executes the earliest pending event. It returns false when the
+// calendar is empty.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.time
+		s.steps++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the calendar is exhausted or the
+// next event is strictly after horizon. The clock is left at the time of
+// the last executed event (or horizon if at least one event remained).
+func (s *Simulator) RunUntil(horizon Time) {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if s.queue[0].time > horizon {
+			s.now = horizon
+			return
+		}
+		s.Step()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run executes every pending event, including events scheduled by other
+// events, until the calendar drains. Use RunUntil for open-loop workloads
+// that schedule arrivals indefinitely.
+func (s *Simulator) Run() {
+	for s.Step() {
+	}
+}

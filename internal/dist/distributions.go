@@ -1,0 +1,174 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distribution is a one-dimensional probability distribution over
+// non-negative reals, as used for computation demands, deadlines, and
+// inter-arrival times.
+type Distribution interface {
+	// Sample draws one value using the given stream.
+	Sample(g *RNG) float64
+	// Mean returns the expected value of the distribution.
+	Mean() float64
+	// String describes the distribution for experiment logs.
+	String() string
+}
+
+// Exponential is an exponential distribution with the given mean.
+type Exponential struct {
+	MeanValue float64
+}
+
+// NewExponential returns an exponential distribution with mean m.
+// It panics if m <= 0: distribution parameters are programmer-supplied
+// constants, so a bad value is a bug, not a runtime condition.
+func NewExponential(m float64) Exponential {
+	if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+		panic(fmt.Sprintf("dist: exponential mean must be positive and finite, got %v", m))
+	}
+	return Exponential{MeanValue: m}
+}
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(g *RNG) float64 { return g.ExpFloat64() * e.MeanValue }
+
+// Mean returns the distribution mean.
+func (e Exponential) Mean() float64 { return e.MeanValue }
+
+func (e Exponential) String() string { return fmt.Sprintf("Exp(mean=%g)", e.MeanValue) }
+
+// Uniform is a continuous uniform distribution on [Low, High].
+type Uniform struct {
+	Low, High float64
+}
+
+// NewUniform returns a uniform distribution on [low, high].
+// It panics on an empty or invalid interval.
+func NewUniform(low, high float64) Uniform {
+	if !(low <= high) || math.IsNaN(low) || math.IsInf(high, 0) {
+		panic(fmt.Sprintf("dist: invalid uniform interval [%v, %v]", low, high))
+	}
+	return Uniform{Low: low, High: high}
+}
+
+// Sample draws a uniform variate.
+func (u Uniform) Sample(g *RNG) float64 { return u.Low + g.Float64()*(u.High-u.Low) }
+
+// Mean returns the distribution mean.
+func (u Uniform) Mean() float64 { return (u.Low + u.High) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g, %g]", u.Low, u.High) }
+
+// Deterministic always returns Value. It models constant computation
+// demands such as the TSCE mission tasks of Table 1.
+type Deterministic struct {
+	Value float64
+}
+
+// NewDeterministic returns a point distribution at v. Negative values are
+// rejected because all quantities modeled here (times) are non-negative.
+func NewDeterministic(v float64) Deterministic {
+	if v < 0 || math.IsNaN(v) {
+		panic(fmt.Sprintf("dist: deterministic value must be non-negative, got %v", v))
+	}
+	return Deterministic{Value: v}
+}
+
+// Sample returns the constant value.
+func (d Deterministic) Sample(*RNG) float64 { return d.Value }
+
+// Mean returns the constant value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+func (d Deterministic) String() string { return fmt.Sprintf("Det(%g)", d.Value) }
+
+// Pareto is a bounded Pareto distribution on [Low, High] with shape Alpha.
+// It models heavy-tailed service demands, used in stress tests of the
+// approximate admission controller.
+type Pareto struct {
+	Alpha     float64
+	Low, High float64
+}
+
+// NewPareto returns a bounded Pareto distribution.
+func NewPareto(alpha, low, high float64) Pareto {
+	if alpha <= 0 || low <= 0 || high <= low {
+		panic(fmt.Sprintf("dist: invalid bounded Pareto(alpha=%v, low=%v, high=%v)", alpha, low, high))
+	}
+	return Pareto{Alpha: alpha, Low: low, High: high}
+}
+
+// Sample draws a bounded Pareto variate by inverse transform.
+func (p Pareto) Sample(g *RNG) float64 {
+	u := g.Float64()
+	la := math.Pow(p.Low, p.Alpha)
+	ha := math.Pow(p.High, p.Alpha)
+	// Inverse CDF of the bounded Pareto.
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+	if x < p.Low {
+		x = p.Low
+	}
+	if x > p.High {
+		x = p.High
+	}
+	return x
+}
+
+// Mean returns the analytic mean of the bounded Pareto.
+func (p Pareto) Mean() float64 {
+	a, l, h := p.Alpha, p.Low, p.High
+	if a == 1 {
+		return h * l / (h - l) * math.Log(h/l)
+	}
+	la := math.Pow(l, a)
+	return la / (1 - math.Pow(l/h, a)) * a / (a - 1) * (1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+func (p Pareto) String() string {
+	return fmt.Sprintf("BoundedPareto(alpha=%g, [%g, %g])", p.Alpha, p.Low, p.High)
+}
+
+// Scaled wraps a distribution and multiplies every sample by Factor.
+// The load-imbalance experiments (Fig. 6) use it to skew one pipeline
+// stage's demand relative to another without changing the base shape.
+type Scaled struct {
+	Base   Distribution
+	Factor float64
+}
+
+// NewScaled returns base scaled by factor (> 0).
+func NewScaled(base Distribution, factor float64) Scaled {
+	if factor <= 0 || math.IsNaN(factor) {
+		panic(fmt.Sprintf("dist: scale factor must be positive, got %v", factor))
+	}
+	return Scaled{Base: base, Factor: factor}
+}
+
+// Sample draws from the base distribution and scales the result.
+func (s Scaled) Sample(g *RNG) float64 { return s.Base.Sample(g) * s.Factor }
+
+// Mean returns the scaled mean.
+func (s Scaled) Mean() float64 { return s.Base.Mean() * s.Factor }
+
+func (s Scaled) String() string { return fmt.Sprintf("%g*%s", s.Factor, s.Base) }
+
+// UUniFast draws n task utilizations that sum exactly to total, uniformly
+// over the simplex (Bini & Buttazzo's UUniFast algorithm) — the standard
+// methodology for generating unbiased random periodic task sets.
+func UUniFast(g *RNG, n int, total float64) []float64 {
+	if n <= 0 || total < 0 {
+		panic(fmt.Sprintf("dist: UUniFast needs n > 0 and total ≥ 0, got n=%d total=%v", n, total))
+	}
+	utils := make([]float64, n)
+	sum := total
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(g.Float64(), 1/float64(n-i-1))
+		utils[i] = sum - next
+		sum = next
+	}
+	utils[n-1] = sum
+	return utils
+}

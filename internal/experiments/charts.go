@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"feasregion/internal/report"
+	"feasregion/internal/stats"
+)
+
+// chart geometry shared by the figure renderings.
+const (
+	chartWidth  = 60
+	chartHeight = 14
+)
+
+// Chart renders Figure 4 as an ASCII plot: utilization vs load, one
+// series per pipeline length.
+func (r Fig4Result) Chart() string {
+	series := make([]stats.Series, 0, len(r.Config.Lengths))
+	for _, n := range r.Config.Lengths {
+		series = append(series, stats.Series{Name: fmt.Sprintf("N=%d", n), Y: r.Util[n]})
+	}
+	return stats.Chart("Figure 4: stage utilization vs input load", r.Config.Loads, series, chartWidth, chartHeight)
+}
+
+// Chart renders Figure 5: utilization vs log10(resolution), one series
+// per load.
+func (r Fig5Result) Chart() string {
+	x := make([]float64, len(r.Config.Resolutions))
+	for i, res := range r.Config.Resolutions {
+		x[i] = math.Log10(res)
+	}
+	series := make([]stats.Series, 0, len(r.Config.Loads))
+	for li, load := range r.Config.Loads {
+		series = append(series, stats.Series{Name: fmt.Sprintf("load=%.0f%%", load*100), Y: r.Util[li]})
+	}
+	return stats.Chart("Figure 5: stage utilization vs log10(task resolution)", x, series, chartWidth, chartHeight)
+}
+
+// Chart renders Figure 6: bottleneck utilization vs log2(imbalance).
+func (r Fig6Result) Chart() string {
+	x := make([]float64, len(r.Config.Ratios))
+	for i, ratio := range r.Config.Ratios {
+		x[i] = math.Log2(ratio)
+	}
+	series := []stats.Series{{Name: "bottleneck util", Y: r.Bottleneck}}
+	return stats.Chart("Figure 6: bottleneck utilization vs log2(mean-demand ratio)", x, series, chartWidth, chartHeight)
+}
+
+// Chart renders Figure 7: miss ratio vs log10(resolution), one series
+// per load.
+func (r Fig7Result) Chart() string {
+	x := make([]float64, len(r.Config.Resolutions))
+	for i, res := range r.Config.Resolutions {
+		x[i] = math.Log10(res)
+	}
+	series := make([]stats.Series, 0, len(r.Config.Loads))
+	for li, load := range r.Config.Loads {
+		series = append(series, stats.Series{Name: fmt.Sprintf("load=%.0f%%", load*100), Y: r.MissRatio[li]})
+	}
+	return stats.Chart("Figure 7: miss ratio vs log10(task resolution) under approximate admission", x, series, chartWidth, chartHeight)
+}
+
+// Figure returns Figure 4 as chart data for the HTML report.
+func (r Fig4Result) Figure() report.Figure {
+	series := make([]stats.Series, 0, len(r.Config.Lengths))
+	for _, n := range r.Config.Lengths {
+		series = append(series, stats.Series{Name: fmt.Sprintf("N=%d", n), Y: r.Util[n]})
+	}
+	return report.Figure{
+		Title:  "Figure 4: average real stage utilization vs input load",
+		XLabel: "input load (fraction of stage capacity)",
+		X:      r.Config.Loads,
+		Series: series,
+	}
+}
+
+// Figure returns Figure 5 as chart data (x = log10 resolution).
+func (r Fig5Result) Figure() report.Figure {
+	x := make([]float64, len(r.Config.Resolutions))
+	for i, res := range r.Config.Resolutions {
+		x[i] = math.Log10(res)
+	}
+	series := make([]stats.Series, 0, len(r.Config.Loads))
+	for li, load := range r.Config.Loads {
+		series = append(series, stats.Series{Name: fmt.Sprintf("load=%.0f%%", load*100), Y: r.Util[li]})
+	}
+	return report.Figure{
+		Title:  "Figure 5: per-stage utilization vs task resolution",
+		XLabel: "log10(resolution)",
+		X:      x,
+		Series: series,
+	}
+}
+
+// Figure returns Figure 6 as chart data (x = log2 imbalance ratio).
+func (r Fig6Result) Figure() report.Figure {
+	x := make([]float64, len(r.Config.Ratios))
+	for i, ratio := range r.Config.Ratios {
+		x[i] = math.Log2(ratio)
+	}
+	return report.Figure{
+		Title:  "Figure 6: bottleneck-stage utilization vs load imbalance",
+		XLabel: "log2(mean-demand ratio)",
+		X:      x,
+		Series: []stats.Series{{Name: "bottleneck util", Y: r.Bottleneck}},
+	}
+}
+
+// Figure returns Figure 7 as chart data (x = log10 resolution).
+func (r Fig7Result) Figure() report.Figure {
+	x := make([]float64, len(r.Config.Resolutions))
+	for i, res := range r.Config.Resolutions {
+		x[i] = math.Log10(res)
+	}
+	series := make([]stats.Series, 0, len(r.Config.Loads))
+	for li, load := range r.Config.Loads {
+		series = append(series, stats.Series{Name: fmt.Sprintf("load=%.0f%%", load*100), Y: r.MissRatio[li]})
+	}
+	return report.Figure{
+		Title:  "Figure 7: miss ratio vs task resolution under approximate admission",
+		XLabel: "log10(resolution)",
+		X:      x,
+		Series: series,
+	}
+}

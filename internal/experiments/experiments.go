@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 Figs. 4-7, §5 Table 1) plus the ablations DESIGN.md
+// calls out. Each experiment returns both structured series and a
+// rendered stats.Table with the same rows the paper reports.
+package experiments
+
+import (
+	"feasregion/internal/des"
+	"feasregion/internal/pipeline"
+	"feasregion/internal/stats"
+	"feasregion/internal/task"
+	"feasregion/internal/workload"
+)
+
+// Scale sizes the simulation runs. Horizon and Warmup are in simulated
+// time units with the mean per-stage demand normalized to 1 (so a
+// horizon of 4000 processes roughly 4000·load tasks per stage).
+type Scale struct {
+	Horizon      float64
+	Warmup       float64
+	Replications int
+}
+
+// Full is the publication-quality scale used by cmd/experiments. The
+// horizon spans many mean deadlines even at resolution 100 so the
+// synthetic-utilization ledger reaches steady state well before the
+// measurement window ends.
+var Full = Scale{Horizon: 6000, Warmup: 800, Replications: 3}
+
+// Quick is a reduced scale for tests and benchmarks.
+var Quick = Scale{Horizon: 1000, Warmup: 150, Replications: 1}
+
+// Point aggregates one parameter point across replications.
+type Point struct {
+	MeanUtil       stats.Summary
+	BottleneckUtil stats.Summary
+	MissRatio      stats.Summary
+	AcceptRatio    stats.Summary
+	Completed      uint64
+	Missed         uint64
+}
+
+// RunPipelinePoint simulates one workload/pipeline configuration at the
+// given scale. optsFn builds the pipeline options against the run's
+// simulator (so custom admitters can be constructed per replication).
+func RunPipelinePoint(spec workload.PipelineSpec, optsFn func(*des.Simulator) pipeline.Options, sc Scale, seed int64) Point {
+	var utils, bottles, misses, accepts []float64
+	var completed, missed uint64
+	reps := sc.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		sim := des.New()
+		p := pipeline.New(sim, optsFn(sim))
+		src := workload.NewSource(sim, spec, seed+int64(r)*9973, sc.Horizon, func(tk *task.Task) { p.Offer(tk) })
+		sim.At(sc.Warmup, func() { p.BeginMeasurement() })
+		var m pipeline.Metrics
+		// Snapshot exactly at the horizon so the utilization window covers
+		// the steady state only, then let the calendar drain.
+		sim.At(sc.Horizon, func() { m = p.Snapshot() })
+		src.Start()
+		sim.Run()
+		utils = append(utils, m.MeanUtilization)
+		bottles = append(bottles, m.BottleneckUtilization)
+		misses = append(misses, m.MissRatio)
+		accepts = append(accepts, m.AcceptRatio)
+		completed += m.Completed
+		missed += m.Missed
+	}
+	return Point{
+		MeanUtil:       stats.Summarize(utils),
+		BottleneckUtil: stats.Summarize(bottles),
+		MissRatio:      stats.Summarize(misses),
+		AcceptRatio:    stats.Summarize(accepts),
+		Completed:      completed,
+		Missed:         missed,
+	}
+}
+
+// defaultOpts returns the paper's default pipeline configuration
+// (deadline-monotonic, exact admission against Eq. 13).
+func defaultOpts(stages int) func(*des.Simulator) pipeline.Options {
+	return func(*des.Simulator) pipeline.Options {
+		return pipeline.Options{Stages: stages}
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickFig4 returns a reduced Fig. 4 configuration for tests.
+func quickFig4() Fig4Config {
+	return Fig4Config{
+		Loads:      []float64{0.6, 1.0, 1.6},
+		Lengths:    []int{1, 2, 3, 5},
+		Resolution: 50,
+		Scale:      Quick,
+		Seed:       1,
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	res := Fig4(quickFig4())
+
+	// Paper observation 1: at 100% input load the schedulable utilization
+	// after admission control is high (>80% at full scale; allow margin
+	// at test scale).
+	for _, n := range []int{1, 2, 3, 5} {
+		if got := res.Util[n][1]; got < 0.70 {
+			t.Errorf("N=%d: utilization at 100%% load = %.3f, want ≥ 0.70", n, got)
+		}
+	}
+
+	// Paper observation 2: the 2-, 3-, and 5-stage curves are nearly
+	// identical — pipeline depth does not add pessimism.
+	for i := range res.Config.Loads {
+		u2, u3, u5 := res.Util[2][i], res.Util[3][i], res.Util[5][i]
+		spread := math.Max(u2, math.Max(u3, u5)) - math.Min(u2, math.Min(u3, u5))
+		if spread > 0.10 {
+			t.Errorf("load %.0f%%: multi-stage curves spread %.3f (u2=%.3f u3=%.3f u5=%.3f), want near-identical",
+				res.Config.Loads[i]*100, spread, u2, u3, u5)
+		}
+	}
+
+	// Utilization grows with offered load (more admitted when more is
+	// offered, up to the region's capacity).
+	for _, n := range []int{1, 2, 5} {
+		if res.Util[n][0] >= res.Util[n][2] {
+			t.Errorf("N=%d: utilization not increasing in load: %v", n, res.Util[n])
+		}
+	}
+
+	// Soundness: the admission controller admitted nothing that missed.
+	for n, pts := range res.Points {
+		for i, pt := range pts {
+			if pt.Missed != 0 {
+				t.Errorf("N=%d load %.0f%%: %d misses", n, res.Config.Loads[i]*100, pt.Missed)
+			}
+		}
+	}
+
+	tb := res.Table()
+	if !strings.Contains(tb.Render(), "util(N=5)") {
+		t.Error("table missing N=5 column")
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := Fig5Config{
+		Resolutions: []float64{2, 10, 100},
+		Loads:       []float64{1.2, 2.0},
+		Scale:       Quick,
+		Seed:        2,
+	}
+	res := Fig5(cfg)
+	// Paper observation: higher resolution -> higher accepted utilization.
+	for li, load := range cfg.Loads {
+		lo, hi := res.Util[li][0], res.Util[li][2]
+		if hi <= lo {
+			t.Errorf("load %.0f%%: utilization at res=100 (%.3f) not above res=2 (%.3f)", load*100, hi, lo)
+		}
+	}
+	// Soundness across the sweep.
+	for li := range cfg.Loads {
+		for ri, pt := range res.Points[li] {
+			if pt.Missed != 0 {
+				t.Errorf("load %v res %v: %d misses", cfg.Loads[li], cfg.Resolutions[ri], pt.Missed)
+			}
+		}
+	}
+	if !strings.Contains(res.Table().Render(), "resolution") {
+		t.Error("table missing header")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := Fig6Config{
+		Ratios:     []float64{0.125, 1, 8},
+		Load:       1.2,
+		Resolution: 50,
+		Scale:      Quick,
+		Seed:       3,
+	}
+	res := Fig6(cfg)
+	balanced := res.Bottleneck[1]
+	// Paper observation: bottleneck utilization grows with imbalance in
+	// either direction (minimum at balance).
+	if res.Bottleneck[0] <= balanced || res.Bottleneck[2] <= balanced {
+		t.Errorf("bottleneck utilization %v: imbalanced points must exceed the balanced midpoint", res.Bottleneck)
+	}
+	for i, pt := range res.Points {
+		if pt.Missed != 0 {
+			t.Errorf("ratio %v: %d misses", cfg.Ratios[i], pt.Missed)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := Fig7Config{
+		Resolutions: []float64{2, 100},
+		Loads:       []float64{1.2, 2.0},
+		Scale:       Quick,
+		Seed:        4,
+	}
+	res := Fig7(cfg)
+	for li, load := range cfg.Loads {
+		// Paper observation: at high resolution no tasks miss deadlines
+		// even though admission used only the means.
+		if got := res.MissRatio[li][1]; got > 0.005 {
+			t.Errorf("load %.0f%%: miss ratio at resolution 100 = %.5f, want ≈ 0", load*100, got)
+		}
+		// At any resolution the miss ratio stays a small fraction.
+		if got := res.MissRatio[li][0]; got > 0.2 {
+			t.Errorf("load %.0f%%: miss ratio at resolution 2 = %.5f, unexpectedly large", load*100, got)
+		}
+	}
+}
+
+func TestTable1Certification(t *testing.T) {
+	tb, value := Table1Certification()
+	if math.Abs(value-0.93) > 0.005 {
+		t.Fatalf("Eq. 13 value = %.4f, want ≈ 0.93 (paper §5)", value)
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "CERTIFIED") {
+		t.Fatalf("certification verdict missing:\n%s", out)
+	}
+}
+
+func TestTable1TrackCapacityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := Table1Config{
+		Tracks:  []int{100, 400},
+		Horizon: 8,
+		Warmup:  2,
+		Seed:    5,
+	}
+	res := Table1TrackCapacity(cfg)
+	if len(res.Points) != 2 {
+		t.Fatalf("points %d", len(res.Points))
+	}
+	// Stage-1 utilization ≈ 0.4 + 0.001·tracks.
+	for i, want := range []float64{0.5, 0.8} {
+		if got := res.Points[i].Stage1Util; math.Abs(got-want) > 0.05 {
+			t.Errorf("tracks=%d: stage-1 util %.3f, want ≈ %.2f", res.Points[i].Tracks, got, want)
+		}
+	}
+	// At these track counts everything is admitted and nothing misses.
+	for _, pt := range res.Points {
+		if pt.TimedOut != 0 {
+			t.Errorf("tracks=%d: %d rejections, want 0", pt.Tracks, pt.TimedOut)
+		}
+		if pt.Missed != 0 {
+			t.Errorf("tracks=%d: %d misses, want 0", pt.Tracks, pt.Missed)
+		}
+	}
+	if res.Capacity != 400 {
+		t.Errorf("capacity %d, want 400 (largest clean point)", res.Capacity)
+	}
+	if !strings.Contains(res.Table().Render(), "capacity") {
+		t.Error("table missing capacity row")
+	}
+}
+
+func TestAblationIdleResetQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := AblationIdleResetConfig{
+		Loads:      []float64{1.0},
+		Stages:     2,
+		Resolution: 50,
+		Scale:      Quick,
+		Seed:       6,
+	}
+	tb := AblationIdleReset(cfg)
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 3 {
+		t.Fatalf("table shape %+v", tb.Rows)
+	}
+	var with, without float64
+	if _, err := sscanFloat(tb.Rows[0][1], &with); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[0][2], &without); err != nil {
+		t.Fatal(err)
+	}
+	if with <= without {
+		t.Errorf("idle reset utilization %.3f must exceed ablated %.3f", with, without)
+	}
+}
+
+func TestAblationAlphaQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := AblationAlphaConfig{Load: 2.0, Resolution: 5, Scale: Quick, Seed: 7}
+	tb := AblationAlphaPolicies(cfg)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("want 3 policy rows, got %d", len(tb.Rows))
+	}
+	// The two sound configurations (rows 0 and 1) must have miss ratio 0.
+	for _, i := range []int{0, 1} {
+		var miss float64
+		if _, err := sscanFloat(tb.Rows[i][3], &miss); err != nil {
+			t.Fatal(err)
+		}
+		if miss != 0 {
+			t.Errorf("sound policy row %d has miss ratio %v", i, miss)
+		}
+	}
+}
+
+func TestAblationBlockingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := AblationBlockingConfig{Load: 1.5, Resolution: 8, CSDuration: 0.5, Scale: Quick, Seed: 8}
+	tb := AblationBlocking(cfg)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tb.Rows))
+	}
+	var missHonored float64
+	if _, err := sscanFloat(tb.Rows[0][3], &missHonored); err != nil {
+		t.Fatal(err)
+	}
+	if missHonored != 0 {
+		t.Errorf("β-honored region admitted tasks that missed (ratio %v)", missHonored)
+	}
+}
+
+func TestBaselineCompareQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := BaselineCompareConfig{
+		Loads:      []float64{1.5},
+		Stages:     2,
+		Resolution: 50,
+		Scale:      Quick,
+		Seed:       9,
+	}
+	tb := BaselineCompare(cfg)
+	row := tb.Rows[0]
+	var regionU, regionMiss, splitU, splitMiss, openMiss float64
+	for _, pair := range []struct {
+		cell string
+		dst  *float64
+	}{
+		{row[1], &regionU}, {row[2], &regionMiss},
+		{row[3], &splitU}, {row[4], &splitMiss},
+		{row[6], &openMiss},
+	} {
+		if _, err := sscanFloat(pair.cell, pair.dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if regionMiss != 0 || splitMiss != 0 {
+		t.Errorf("sound policies missed: region %v split %v", regionMiss, splitMiss)
+	}
+	if regionU <= splitU {
+		t.Errorf("feasible region utilization %.3f must exceed split-deadline %.3f", regionU, splitU)
+	}
+	if openMiss == 0 {
+		t.Error("no-admission baseline at 150% load should miss deadlines")
+	}
+}
+
+func TestSurfaceTable(t *testing.T) {
+	tb := Surface(newTwoStageRegion(), 5)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows %d, want 5", len(tb.Rows))
+	}
+	// Every sampled point sits on the boundary: value column ≈ bound.
+	for _, row := range tb.Rows {
+		var v float64
+		if _, err := sscanFloat(row[2], &v); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-1) > 0.01 {
+			t.Errorf("surface point value %v, want ≈ 1", v)
+		}
+	}
+}
+
+func TestBalancedBoundsTable(t *testing.T) {
+	tb := BalancedBounds(5)
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	var first float64
+	if _, err := sscanFloat(tb.Rows[0][1], &first); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(first-0.5858) > 1e-3 {
+		t.Errorf("N=1 bound %v, want uniprocessor 0.5858", first)
+	}
+}

@@ -1,0 +1,411 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestJitteredPeriodicQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := JitteredPeriodicConfig{
+		Streams:        40,
+		JitterFraction: 1.0,
+		Stages:         2,
+		Horizon:        1500,
+		Warmup:         200,
+		Seed:           10,
+	}
+	tb := JitteredPeriodic(cfg)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	var admissionMiss, openMiss float64
+	if _, err := sscanFloat(tb.Rows[0][3], &admissionMiss); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[1][3], &openMiss); err != nil {
+		t.Fatal(err)
+	}
+	// The §1 claim: jittered periodic streams guaranteed via the
+	// aperiodic region. Instances the controller admitted never miss.
+	if admissionMiss != 0 {
+		t.Errorf("admitted jittered-periodic instances missed (ratio %v)", admissionMiss)
+	}
+}
+
+func TestOverrunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := OverrunConfig{
+		Factors:    []float64{1.0, 2.0},
+		Load:       1.5,
+		Resolution: 20,
+		Scale:      Quick,
+		Seed:       11,
+	}
+	tb := Overrun(cfg)
+	var missExact, missOverrun float64
+	if _, err := sscanFloat(tb.Rows[0][2], &missExact); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[1][2], &missOverrun); err != nil {
+		t.Fatal(err)
+	}
+	if missExact != 0 {
+		t.Errorf("factor 1.0 (no overrun) missed: %v", missExact)
+	}
+	// Doubling execution times against the admitted budget must not stay
+	// free; at 150% offered load a 2x overrun overloads the stages.
+	if missOverrun <= missExact {
+		t.Errorf("2x overrun miss ratio %v not above exact %v", missOverrun, missExact)
+	}
+}
+
+func TestHeavyTailQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := HeavyTailConfig{
+		Resolutions: []float64{10},
+		Load:        1.5,
+		ParetoAlpha: 1.5,
+		Scale:       Quick,
+		Seed:        12,
+	}
+	tb := HeavyTailApproximate(cfg)
+	if len(tb.Rows) != 1 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// Both columns parse; heavy-tailed misses are finite and bounded.
+	var exp, pareto float64
+	if _, err := sscanFloat(tb.Rows[0][1], &exp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[0][2], &pareto); err != nil {
+		t.Fatal(err)
+	}
+	if pareto > 0.5 || exp > 0.5 {
+		t.Errorf("implausible miss ratios exp=%v pareto=%v", exp, pareto)
+	}
+}
+
+func TestPolicyCompareQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := PolicyCompareConfig{Load: 0.9, Resolution: 10, Scale: Quick, Seed: 13}
+	tb := PolicyCompare(cfg)
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows %d, want 4 policies", len(tb.Rows))
+	}
+	miss := map[string]float64{}
+	for _, row := range tb.Rows {
+		var v float64
+		if _, err := sscanFloat(row[1], &v); err != nil {
+			t.Fatal(err)
+		}
+		miss[row[0]] = v
+	}
+	// EDF (dynamic, optimal on one CPU) should not miss more than FIFO.
+	if miss["edf"] > miss["fifo"] {
+		t.Errorf("EDF miss %v above FIFO %v", miss["edf"], miss["fifo"])
+	}
+	// DM should beat random priorities.
+	if miss["deadline-monotonic"] > miss["random"] {
+		t.Errorf("DM miss %v above random %v", miss["deadline-monotonic"], miss["random"])
+	}
+}
+
+func TestBurstinessQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := BurstinessConfig{
+		Levels:     []float64{1, 8},
+		Load:       1.0,
+		Resolution: 50,
+		MeanOn:     25,
+		Scale:      Quick,
+		Seed:       14,
+	}
+	tb := Burstiness(cfg)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// Zero misses at every burstiness level: the guarantee is
+	// arrival-pattern independent.
+	for i, row := range tb.Rows {
+		var miss float64
+		if _, err := sscanFloat(row[3], &miss); err != nil {
+			t.Fatal(err)
+		}
+		if miss != 0 {
+			t.Errorf("row %d: admitted tasks missed under bursty arrivals (ratio %v)", i, miss)
+		}
+	}
+}
+
+func TestPeriodicComparisonQuick(t *testing.T) {
+	cfg := PeriodicComparisonConfig{
+		Utilizations: []float64{0.3, 0.6},
+		Trials:       80,
+		Stages:       2,
+		Tasks:        5,
+		Seed:         15,
+	}
+	tb := PeriodicComparison(cfg)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// RTA should accept at least as much as the region at every point,
+	// and acceptance should fall with utilization for the region.
+	var rtaLow, regLow, regHigh float64
+	if _, err := sscanFloat(tb.Rows[0][1], &rtaLow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[0][2], &regLow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[1][2], &regHigh); err != nil {
+		t.Fatal(err)
+	}
+	if rtaLow < regLow {
+		t.Errorf("RTA acceptance %v below region %v at low utilization", rtaLow, regLow)
+	}
+	if regHigh > regLow {
+		t.Errorf("region acceptance increased with utilization: %v -> %v", regLow, regHigh)
+	}
+}
+
+func TestFigureCharts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f4 := Fig4(Fig4Config{Loads: []float64{0.8, 1.2}, Lengths: []int{1, 2}, Resolution: 30, Scale: Quick, Seed: 1})
+	if out := f4.Chart(); !strings.Contains(out, "N=2") {
+		t.Fatalf("fig4 chart:\n%s", out)
+	}
+	f5 := Fig5(Fig5Config{Resolutions: []float64{5, 50}, Loads: []float64{1.2}, Scale: Quick, Seed: 2})
+	if out := f5.Chart(); !strings.Contains(out, "load=120%") {
+		t.Fatalf("fig5 chart:\n%s", out)
+	}
+	f6 := Fig6(Fig6Config{Ratios: []float64{0.5, 1, 2}, Load: 1.2, Resolution: 30, Scale: Quick, Seed: 3})
+	if out := f6.Chart(); !strings.Contains(out, "bottleneck") {
+		t.Fatalf("fig6 chart:\n%s", out)
+	}
+	f7 := Fig7(Fig7Config{Resolutions: []float64{5, 50}, Loads: []float64{1.2}, Scale: Quick, Seed: 4})
+	if out := f7.Chart(); !strings.Contains(out, "miss ratio") {
+		t.Fatalf("fig7 chart:\n%s", out)
+	}
+}
+
+func TestBoundTightnessQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := TightnessConfig{Loads: []float64{1.5}, Stages: 2, Resolution: 20, Scale: Quick, Seed: 16}
+	tb := BoundTightness(cfg)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	// Theorem 1 must hold empirically: ratio ≤ 1 on every row.
+	for _, row := range tb.Rows {
+		var ratio float64
+		if _, err := sscanFloat(row[4], &ratio); err != nil {
+			t.Fatal(err)
+		}
+		if ratio > 1.0001 {
+			t.Errorf("observed delay exceeded the Theorem 1 bound: ratio %v", ratio)
+		}
+		if ratio <= 0 {
+			t.Errorf("degenerate ratio %v; no delays observed?", ratio)
+		}
+	}
+}
+
+func TestDataFlowQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DataFlowConfig{
+		Rates:         []float64{0.5, 1.5},
+		ExtraBranches: 1,
+		MeanDeadline:  60,
+		Horizon:       1200,
+		Warmup:        150,
+		Seed:          17,
+	}
+	tb := DataFlow(cfg)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	for i, row := range tb.Rows {
+		var miss float64
+		if _, err := sscanFloat(row[3], &miss); err != nil {
+			t.Fatal(err)
+		}
+		if miss != 0 {
+			t.Errorf("row %d: admitted sensor flows missed deadlines (ratio %v)", i, miss)
+		}
+	}
+	// Acceptance must fall as the offered rate doubles past capacity.
+	var accLow, accHigh float64
+	if _, err := sscanFloat(tb.Rows[0][1], &accLow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[1][1], &accHigh); err != nil {
+		t.Fatal(err)
+	}
+	if accHigh >= accLow {
+		t.Errorf("acceptance did not degrade with rate: %v%% -> %v%%", accLow, accHigh)
+	}
+}
+
+func TestPreemptionOverheadSensitivityQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := OverheadConfig{Overheads: []float64{0, 0.3}, Load: 1.5, Resolution: 20, Scale: Quick, Seed: 18}
+	tb := PreemptionOverheadSensitivity(cfg)
+	var missZero, missBig float64
+	if _, err := sscanFloat(tb.Rows[0][2], &missZero); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[1][2], &missBig); err != nil {
+		t.Fatal(err)
+	}
+	if missZero != 0 {
+		t.Errorf("zero-overhead run missed (%v)", missZero)
+	}
+	if missBig < missZero {
+		t.Errorf("overhead cannot reduce misses: %v -> %v", missZero, missBig)
+	}
+}
+
+func TestSheddingStormQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := StormConfig{
+		RoutineRate: 1.2,
+		StormRate:   4,
+		StormStart:  10,
+		StormEnd:    20,
+		Horizon:     30,
+		Warmup:      4,
+		Seed:        19,
+	}
+	tb := SheddingStorm(cfg)
+	vals := map[string]string{}
+	for _, row := range tb.Rows {
+		vals[row[0]] = row[1]
+	}
+	var admitted, offered int
+	if _, err := fmt.Sscanf(vals["urgent admitted"], "%d / %d", &admitted, &offered); err != nil {
+		t.Fatal(err)
+	}
+	if offered == 0 {
+		t.Fatal("no urgent tasks offered")
+	}
+	if admitted < offered*90/100 {
+		t.Errorf("urgent admitted %d of %d; shedding should make room for nearly all", admitted, offered)
+	}
+	var shed int
+	if _, err := fmt.Sscanf(vals["routine shed"], "%d", &shed); err != nil {
+		t.Fatal(err)
+	}
+	if shed == 0 {
+		t.Error("no routine work was shed; the storm never forced shedding")
+	}
+	var missed, completed int
+	if _, err := fmt.Sscanf(vals["deadline misses (completed tasks)"], "%d / %d", &missed, &completed); err != nil {
+		t.Fatal(err)
+	}
+	if missed != 0 {
+		t.Errorf("completed tasks missed deadlines: %d of %d", missed, completed)
+	}
+}
+
+func TestMultiServerScalingQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := MultiServerConfig{
+		Servers:       []int{1, 4},
+		LoadPerServer: 1.2,
+		Resolution:    50,
+		Scale:         Quick,
+		Seed:          20,
+	}
+	tb := MultiServerScaling(cfg)
+	var agg1, agg4, miss1, miss4 float64
+	if _, err := sscanFloat(tb.Rows[0][1], &agg1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[1][1], &agg4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[0][3], &miss1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscanFloat(tb.Rows[1][3], &miss4); err != nil {
+		t.Fatal(err)
+	}
+	if miss1 != 0 || miss4 != 0 {
+		t.Errorf("misses on multiprocessor pipeline: %v %v", miss1, miss4)
+	}
+	if agg4 < 2.5*agg1 {
+		t.Errorf("aggregate utilization %v at K=4 vs %v at K=1; want ≈linear scaling", agg4, agg1)
+	}
+}
+
+func TestAdversarialTightness(t *testing.T) {
+	tb := AdversarialTightness(DefaultAdversarial())
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		var ratio float64
+		if _, err := sscanFloat(row[3], &ratio); err != nil {
+			t.Fatal(err)
+		}
+		// Theorem 1 must hold even adversarially...
+		if ratio > 1.0001 {
+			t.Errorf("adversarial pattern broke the bound: ratio %v", ratio)
+		}
+		// ...and the pattern should stress it much harder than Poisson
+		// traffic does (≈0.4 in BoundTightness).
+		if ratio < 0.5 {
+			t.Errorf("adversarial ratio %v suspiciously loose", ratio)
+		}
+	}
+}
+
+func TestSoundnessSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	tb := Soundness(SoundnessConfig{Seeds: 2, Horizon: 600})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		var completed, missed int
+		if _, err := fmt.Sscanf(row[2], "%d", &completed); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(row[3], "%d", &missed); err != nil {
+			t.Fatal(err)
+		}
+		if completed == 0 {
+			t.Errorf("%s: no tasks completed", row[0])
+		}
+		if missed != 0 {
+			t.Errorf("%s: %d misses", row[0], missed)
+		}
+	}
+}

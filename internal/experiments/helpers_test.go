@@ -1,0 +1,19 @@
+package experiments
+
+import (
+	"fmt"
+
+	"feasregion/internal/core"
+)
+
+// sscanFloat parses the leading float out of a rendered table cell.
+func sscanFloat(cell string, dst *float64) (int, error) {
+	n, err := fmt.Sscanf(cell, "%f", dst)
+	if err != nil {
+		return n, fmt.Errorf("parsing cell %q: %w", cell, err)
+	}
+	return n, nil
+}
+
+// newTwoStageRegion returns the default DM region for two stages.
+func newTwoStageRegion() core.Region { return core.NewRegion(2) }

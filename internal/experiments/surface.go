@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"feasregion/internal/core"
+	"feasregion/internal/stats"
+)
+
+// Surface samples the two-stage bounding surface (the multi-dimensional
+// generalization of the scalar uniprocessor bound, §3): for each U1 it
+// reports the largest admissible U2 with Σ f(U_j) = α(1−Σβ_j). This
+// renders the boundary the admission controller enforces.
+func Surface(region core.Region, points int) *stats.Table {
+	if region.Stages != 2 {
+		panic(fmt.Sprintf("experiments: surface rendering needs a 2-stage region, got %d", region.Stages))
+	}
+	if points < 2 {
+		points = 2
+	}
+	t := &stats.Table{
+		Title:  fmt.Sprintf("Bounding surface in utilization space (α=%.3g, bound=%.4g)", region.Alpha, region.Bound()),
+		Header: []string{"U1", "max U2", "f(U1)+f(U2)"},
+	}
+	// U1 sweeps [0, single-stage bound].
+	u1max := core.InverseStageDelayFactor(region.Bound())
+	for i := 0; i < points; i++ {
+		u1 := u1max * float64(i) / float64(points-1)
+		u2 := region.SurfacePoint(u1)
+		t.AddRow(
+			fmt.Sprintf("%.4f", u1),
+			fmt.Sprintf("%.4f", u2),
+			fmt.Sprintf("%.4f", region.Value([]float64{u1, u2})),
+		)
+	}
+	return t
+}
+
+// BalancedBounds tabulates the per-stage balanced bound versus pipeline
+// length, illustrating §3.1's O(1/N) argument: N·f(U) = 1, so the
+// admissible per-stage utilization shrinks like 1/N while the admissible
+// aggregate Σ U_j stays roughly constant.
+func BalancedBounds(maxStages int) *stats.Table {
+	t := &stats.Table{
+		Title:  "Balanced per-stage synthetic utilization bound vs pipeline length (Eq. 13)",
+		Header: []string{"stages", "per-stage bound", "aggregate ΣU"},
+	}
+	for n := 1; n <= maxStages; n++ {
+		b := core.NewRegion(n).BalancedStageBound()
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.4f", b), fmt.Sprintf("%.4f", b*float64(n)))
+	}
+	return t
+}

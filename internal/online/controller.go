@@ -1,0 +1,275 @@
+// Package online provides a wall-clock, thread-safe variant of the
+// feasible-region admission controller for use inside real services
+// (as opposed to the simulation controller in internal/core, which is
+// driven by a discrete-event clock).
+//
+// Contributions are expired lazily: every operation first purges entries
+// whose absolute deadline has passed, using a min-heap keyed by
+// deadline, so no background goroutine or timer is needed. Departure
+// marking and idle resets are driven by the embedding application
+// (e.g. from request-completion handlers and worker-idle callbacks),
+// mirroring the paper's §4 accounting.
+package online
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"feasregion/internal/core"
+	"feasregion/internal/task"
+)
+
+// Clock abstracts time.Now for testing.
+type Clock func() time.Time
+
+// Request describes one admission request: per-stage computation-time
+// estimates and a relative end-to-end deadline.
+type Request struct {
+	// ID must be unique among in-flight requests (e.g. a request
+	// counter); it keys departure marking and release.
+	ID uint64
+	// Deadline is the relative end-to-end deadline.
+	Deadline time.Duration
+	// Demands are per-stage computation-time estimates, one per stage.
+	Demands []time.Duration
+}
+
+// expiry is one pending deadline decrement.
+type expiry struct {
+	at time.Time
+	id uint64
+}
+
+// expiryHeap orders expiries by time.
+type expiryHeap []expiry
+
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiry)) }
+func (h *expiryHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Stats counts admission outcomes.
+type Stats struct {
+	Admitted uint64
+	Rejected uint64
+}
+
+// Controller is a thread-safe wall-clock admission controller enforcing
+// the multi-dimensional feasible region. The zero value is not usable;
+// construct with New.
+type Controller struct {
+	region core.Region
+	clock  Clock
+
+	mu       sync.Mutex
+	ledgers  []*core.Ledger
+	expiries expiryHeap
+	waitCh   chan struct{} // closed and replaced whenever utilization may drop
+	stats    Stats
+}
+
+// New builds a controller for the given region. reserved, when non-nil,
+// sets per-stage reserved utilization floors. clock may be nil
+// (time.Now).
+func New(region core.Region, reserved []float64, clock Clock) *Controller {
+	if reserved != nil && len(reserved) != region.Stages {
+		panic(fmt.Sprintf("online: %d reserved values for %d stages", len(reserved), region.Stages))
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	ledgers := make([]*core.Ledger, region.Stages)
+	for j := range ledgers {
+		f := 0.0
+		if reserved != nil {
+			f = reserved[j]
+		}
+		ledgers[j] = core.NewLedger(f)
+	}
+	return &Controller{region: region, clock: clock, ledgers: ledgers, waitCh: make(chan struct{})}
+}
+
+// bumpLocked wakes AdmitWithin waiters after a utilization decrease.
+// Callers must hold mu.
+func (c *Controller) bumpLocked() {
+	close(c.waitCh)
+	c.waitCh = make(chan struct{})
+}
+
+// purgeLocked removes contributions whose deadlines have passed.
+func (c *Controller) purgeLocked(now time.Time) {
+	purged := false
+	for len(c.expiries) > 0 && !c.expiries[0].at.After(now) {
+		e := heap.Pop(&c.expiries).(expiry)
+		for _, l := range c.ledgers {
+			l.Remove(coreID(e.id))
+		}
+		purged = true
+	}
+	if purged {
+		c.bumpLocked()
+	}
+}
+
+// coreID maps the request ID space onto the ledger's task.ID key space.
+func coreID(id uint64) task.ID { return task.ID(id) }
+
+// TryAdmit tests the request against the region and commits it on
+// success. It is safe for concurrent use.
+func (c *Controller) TryAdmit(r Request) bool {
+	return c.tryAdmit(r, true)
+}
+
+func (c *Controller) tryAdmit(r Request, countReject bool) bool {
+	if r.Deadline <= 0 || len(r.Demands) != c.region.Stages {
+		if countReject {
+			c.mu.Lock()
+			c.stats.Rejected++
+			c.mu.Unlock()
+		}
+		return false
+	}
+	now := c.clock()
+	d := r.Deadline.Seconds()
+	deltas := make([]float64, len(r.Demands))
+	for j, dem := range r.Demands {
+		deltas[j] = dem.Seconds() / d
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.purgeLocked(now)
+
+	sum := 0.0
+	for j, l := range c.ledgers {
+		sum += core.StageDelayFactor(l.Utilization() + deltas[j])
+	}
+	if sum > c.region.Bound() {
+		if countReject {
+			c.stats.Rejected++
+		}
+		return false
+	}
+	for j, l := range c.ledgers {
+		l.Add(coreID(r.ID), deltas[j])
+	}
+	heap.Push(&c.expiries, expiry{at: now.Add(r.Deadline), id: r.ID})
+	c.stats.Admitted++
+	return true
+}
+
+// AdmitWithin blocks for up to maxWait until the request fits the
+// region, retrying whenever utilization drops (expiry, release, idle
+// reset) — the wall-clock analogue of the paper's §5 admission hold.
+// The caller's deadline keeps ticking while waiting: the request's
+// relative deadline is shortened by the time spent held, so a late
+// admission carries a proportionally larger contribution, exactly as in
+// the simulation wait queue. It reports whether the request was
+// admitted. Timer-based waiting uses real time even with an injected
+// clock.
+func (c *Controller) AdmitWithin(r Request, maxWait time.Duration) bool {
+	start := c.clock()
+	deadline := start.Add(maxWait)
+	for {
+		now := c.clock()
+		held := now.Sub(start)
+		late := r
+		late.Deadline = r.Deadline - held
+		if late.Deadline <= 0 {
+			c.mu.Lock()
+			c.stats.Rejected++
+			c.mu.Unlock()
+			return false
+		}
+		if c.tryAdmit(late, false) {
+			return true
+		}
+		if !now.Before(deadline) {
+			c.mu.Lock()
+			c.stats.Rejected++
+			c.mu.Unlock()
+			return false
+		}
+		c.mu.Lock()
+		ch := c.waitCh
+		var nextExpiry time.Duration = -1
+		if len(c.expiries) > 0 {
+			nextExpiry = c.expiries[0].at.Sub(now)
+		}
+		c.mu.Unlock()
+
+		sleep := deadline.Sub(now)
+		if nextExpiry >= 0 && nextExpiry < sleep {
+			sleep = nextExpiry
+		}
+		if sleep < time.Millisecond {
+			sleep = time.Millisecond
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// MarkDeparted records that the request finished its work at the stage,
+// making its contribution eligible for the stage's idle reset.
+func (c *Controller) MarkDeparted(stage int, id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ledgers[stage].MarkDeparted(coreID(id))
+}
+
+// StageIdle performs the idle reset for a stage; call it when the
+// stage's worker pool drains (no queued or running work).
+func (c *Controller) StageIdle(stage int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.purgeLocked(c.clock())
+	if c.ledgers[stage].ResetIdle() > 0 {
+		c.bumpLocked()
+	}
+}
+
+// Release drops the request's contribution on all stages immediately —
+// call it when a request is cancelled or finishes well before its
+// deadline and the caller prefers eager accounting over the idle reset.
+func (c *Controller) Release(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, l := range c.ledgers {
+		l.Remove(coreID(id))
+	}
+	c.bumpLocked()
+}
+
+// Utilizations returns the current per-stage synthetic utilization
+// (after purging expired contributions).
+func (c *Controller) Utilizations() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.purgeLocked(c.clock())
+	us := make([]float64, len(c.ledgers))
+	for j, l := range c.ledgers {
+		us[j] = l.Utilization()
+	}
+	return us
+}
+
+// Headroom returns how much additional synthetic utilization the stage
+// can absorb right now.
+func (c *Controller) Headroom(stage int) float64 {
+	return c.region.Headroom(c.Utilizations(), stage)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,260 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"feasregion/internal/core"
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/sched"
+	"feasregion/internal/stats"
+	"feasregion/internal/task"
+	"feasregion/internal/trace"
+)
+
+// GraphOptions configures a GraphSystem.
+type GraphOptions struct {
+	// Resources is the number of independent resources (CPUs). Required.
+	Resources int
+	// Policy assigns priorities; nil selects deadline-monotonic.
+	Policy task.Policy
+	// NoAdmission disables the Theorem 2 admission controller.
+	NoAdmission bool
+	// Alpha is the policy's urgency-inversion parameter (default 1).
+	Alpha float64
+	// Betas holds optional per-resource normalized blocking terms.
+	Betas []float64
+	// Reserved sets per-resource reserved synthetic-utilization floors
+	// for pre-certified critical DAG tasks (§5).
+	Reserved []float64
+	// MaxWait, when positive, holds non-admissible arrivals for up to
+	// this long (the §5 hold applied to DAG tasks).
+	MaxWait float64
+	// DisableIdleReset detaches idle-reset hooks (ablation).
+	DisableIdleReset bool
+	// PriorityRNG seeds randomized policies.
+	PriorityRNG *dist.RNG
+	// Trace, when non-nil, records scheduling events per resource.
+	Trace *trace.Recorder
+}
+
+// GraphSystem executes DAG-structured tasks (paper §3.3) over a set of
+// independent preemptive fixed-priority resources, with Theorem 2
+// admission control.
+type GraphSystem struct {
+	sim       *des.Simulator
+	resources []*sched.Stage
+	ctrl      *core.GraphController
+	wq        *core.WaitQueue
+	policy    task.Policy
+	prng      *dist.RNG
+
+	measuring    bool
+	measureStart des.Time
+	busyAtStart  []float64
+
+	responseTimes stats.Welford
+	respP50       *stats.Quantile
+	respP95       *stats.Quantile
+	respP99       *stats.Quantile
+	missRatio     stats.Ratio
+	completed     uint64
+	missed        uint64
+}
+
+// NewGraphSystem builds a DAG execution system on the simulator.
+func NewGraphSystem(sim *des.Simulator, opts GraphOptions) *GraphSystem {
+	if opts.Resources <= 0 {
+		panic(fmt.Sprintf("pipeline: need at least one resource, got %d", opts.Resources))
+	}
+	g := &GraphSystem{sim: sim, policy: opts.Policy, prng: opts.PriorityRNG}
+	if g.policy == nil {
+		g.policy = task.DeadlineMonotonic{}
+	}
+	if g.prng == nil {
+		g.prng = dist.NewRNG(0x5eed)
+	}
+	for k := 0; k < opts.Resources; k++ {
+		st := sched.New(sim, fmt.Sprintf("resource-%d", k))
+		if opts.Trace != nil {
+			rec := opts.Trace
+			st.OnEvent(func(e sched.Event) {
+				rec.Add(trace.Record{Time: e.Time, Source: e.Stage, Task: e.Task, Kind: e.Kind.String()})
+			})
+		}
+		g.resources = append(g.resources, st)
+	}
+	if !opts.NoAdmission {
+		alpha := opts.Alpha
+		if alpha == 0 {
+			alpha = 1
+		}
+		g.ctrl = core.NewGraphController(sim, opts.Resources, alpha, opts.Betas)
+		if opts.Reserved != nil {
+			g.ctrl.SetReserved(opts.Reserved)
+		}
+		if opts.MaxWait > 0 {
+			g.wq = core.NewGraphWaitQueue(sim, g.ctrl, opts.MaxWait, func(t *task.Task) { g.run(t) })
+		}
+		if !opts.DisableIdleReset {
+			for k := range g.resources {
+				k := k
+				g.resources[k].OnIdle(func(des.Time) { g.ctrl.HandleResourceIdle(k) })
+			}
+		}
+	}
+	return g
+}
+
+// Controller returns the Theorem 2 admission controller (nil when
+// admission is disabled).
+func (g *GraphSystem) Controller() *core.GraphController { return g.ctrl }
+
+// WaitQueue returns the hold queue, or nil when not configured.
+func (g *GraphSystem) WaitQueue() *core.WaitQueue { return g.wq }
+
+// Resource returns the k-th resource's scheduler.
+func (g *GraphSystem) Resource(k int) *sched.Stage { return g.resources[k] }
+
+// Offer presents an arriving DAG task: priority assignment, Theorem 2
+// admission, then execution. With a wait queue configured the task may
+// instead be held; Offer then returns false and the task may still enter
+// later. It reports whether the task entered service immediately.
+func (g *GraphSystem) Offer(t *task.Task) bool {
+	t.Priority = g.policy.Assign(t, g.prng)
+	if g.wq != nil {
+		g.wq.Submit(t)
+		return false
+	}
+	if g.ctrl != nil && !g.ctrl.TryAdmit(t) {
+		return false
+	}
+	g.run(t)
+	return true
+}
+
+// Inject bypasses admission and starts the DAG task immediately — for
+// certified critical tasks covered by the reserved floors.
+func (g *GraphSystem) Inject(t *task.Task) {
+	t.Priority = g.policy.Assign(t, g.prng)
+	g.run(t)
+}
+
+// run executes the task's DAG: source nodes start at once; each
+// completion releases its successors; the task finishes when every node
+// has completed.
+func (g *GraphSystem) run(t *task.Task) {
+	graph := t.Graph
+	if graph == nil {
+		panic(fmt.Sprintf("pipeline: task %d offered to GraphSystem without a graph", t.ID))
+	}
+	indeg := graph.Predecessors()
+	remaining := len(graph.Nodes)
+	// perResource counts the task's unfinished nodes per resource, for
+	// departure marking (idle reset eligibility).
+	perResource := map[int]int{}
+	for _, n := range graph.Nodes {
+		perResource[n.Resource]++
+	}
+
+	var submit func(node int)
+	var onDone func(node int, now des.Time)
+
+	onDone = func(node int, now des.Time) {
+		res := graph.Nodes[node].Resource
+		if perResource[res]--; perResource[res] == 0 && g.ctrl != nil {
+			g.ctrl.MarkDeparted(res, t.ID)
+		}
+		remaining--
+		if remaining == 0 {
+			g.finish(t, now)
+			return
+		}
+		for _, succ := range graph.Edges[node] {
+			if indeg[succ]--; indeg[succ] == 0 {
+				submit(succ)
+			}
+		}
+	}
+
+	submit = func(node int) {
+		n := graph.Nodes[node]
+		if n.Resource >= len(g.resources) {
+			panic(fmt.Sprintf("pipeline: task %d node %d on unknown resource %d", t.ID, node, n.Resource))
+		}
+		g.resources[n.Resource].Submit(t.ID, t.Priority, n.Subtask, func(now des.Time) {
+			onDone(node, now)
+		})
+	}
+
+	for i, d := range indeg {
+		if d == 0 {
+			submit(i)
+		}
+	}
+}
+
+func (g *GraphSystem) finish(t *task.Task, now des.Time) {
+	if !g.measuring {
+		return
+	}
+	g.completed++
+	resp := now - t.Arrival
+	g.responseTimes.Add(resp)
+	g.respP50.Add(resp)
+	g.respP95.Add(resp)
+	g.respP99.Add(resp)
+	miss := now > t.AbsoluteDeadline()+1e-9
+	g.missRatio.Observe(miss)
+	if miss {
+		g.missed++
+	}
+}
+
+// BeginMeasurement starts the statistics window.
+func (g *GraphSystem) BeginMeasurement() {
+	now := g.sim.Now()
+	g.measuring = true
+	g.measureStart = now
+	g.busyAtStart = make([]float64, len(g.resources))
+	for k, st := range g.resources {
+		g.busyAtStart[k] = st.BusyTime(now)
+	}
+	g.responseTimes = stats.Welford{}
+	g.respP50 = stats.NewQuantile(0.50)
+	g.respP95 = stats.NewQuantile(0.95)
+	g.respP99 = stats.NewQuantile(0.99)
+	g.missRatio = stats.Ratio{}
+	g.completed, g.missed = 0, 0
+}
+
+// Snapshot computes metrics over [BeginMeasurement, now].
+func (g *GraphSystem) Snapshot() Metrics {
+	now := g.sim.Now()
+	if !g.measuring {
+		panic("pipeline: Snapshot before BeginMeasurement")
+	}
+	window := now - g.measureStart
+	m := Metrics{
+		StageUtilization: make([]float64, len(g.resources)),
+		Completed:        g.completed,
+		Missed:           g.missed,
+		MissRatio:        g.missRatio.Value(),
+		ResponseTimes:    g.responseTimes,
+		ResponseP50:      g.respP50.Value(),
+		ResponseP95:      g.respP95.Value(),
+		ResponseP99:      g.respP99.Value(),
+	}
+	for k, st := range g.resources {
+		u := 0.0
+		if window > 0 {
+			u = (st.BusyTime(now) - g.busyAtStart[k]) / window
+		}
+		m.StageUtilization[k] = u
+		m.MeanUtilization += u / float64(len(g.resources))
+		if u > m.BottleneckUtilization {
+			m.BottleneckUtilization = u
+		}
+	}
+	return m
+}

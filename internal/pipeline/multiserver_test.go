@@ -1,0 +1,133 @@
+package pipeline
+
+import (
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/task"
+	"feasregion/internal/workload"
+)
+
+func TestMultiServerRunsOnDistinctCPUs(t *testing.T) {
+	sim := des.New()
+	m := NewMultiServerPipeline(sim, MultiServerOptions{Stages: 1, Servers: 2})
+	sim.At(0, func() { m.BeginMeasurement() })
+	sim.At(0, func() {
+		// Two identical tasks: partitioned dispatch puts them on
+		// different CPUs, so they run concurrently.
+		m.Offer(task.Chain(1, 0, 10, 2))
+		m.Offer(task.Chain(2, 0, 10, 2))
+	})
+	sim.Run()
+	snap := m.Snapshot()
+	if snap.Completed != 2 {
+		t.Fatalf("completed %d", snap.Completed)
+	}
+	// Concurrent execution: both finish at t=2 (response 2 each), which a
+	// single CPU could not do (one would finish at 4).
+	if got := snap.ResponseTimes.Max(); got != 2 {
+		t.Fatalf("max response %v, want 2 (parallel CPUs)", got)
+	}
+}
+
+func TestMultiServerCapacityScalesWithServers(t *testing.T) {
+	// The same burst of concurrent tasks: a 4-server stage admits ≈4x
+	// what a 1-server stage admits.
+	run := func(servers int) int {
+		sim := des.New()
+		m := NewMultiServerPipeline(sim, MultiServerOptions{Stages: 1, Servers: servers})
+		admitted := 0
+		sim.At(0, func() {
+			for i := 0; i < 40; i++ {
+				if m.Offer(task.Chain(task.ID(i), 0, 10, 1)) { // 0.1 each
+					admitted++
+				}
+			}
+		})
+		sim.Run()
+		return admitted
+	}
+	one := run(1)
+	four := run(4)
+	if one == 0 {
+		t.Fatal("single server admitted nothing")
+	}
+	if four < 3*one {
+		t.Fatalf("4 servers admitted %d, single %d; want ≈4x scaling", four, one)
+	}
+}
+
+func TestMultiServerSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Random load at 150% of the aggregate 2-CPU capacity per stage:
+	// admitted tasks never miss.
+	sim := des.New()
+	m := NewMultiServerPipeline(sim, MultiServerOptions{Stages: 2, Servers: 2})
+	sim.At(0, func() { m.BeginMeasurement() })
+	spec := workload.PipelineSpec{Stages: 2, Load: 3.0, MeanDemand: 1, Resolution: 30}
+	src := workload.NewSource(sim, spec, 23, 1500, func(tk *task.Task) { m.Offer(tk) })
+	src.Start()
+	sim.Run()
+	snap := m.Snapshot()
+	if snap.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if snap.Missed != 0 {
+		t.Fatalf("%d of %d admitted tasks missed on the multiprocessor pipeline", snap.Missed, snap.Completed)
+	}
+	agg := m.AggregateStageUtilization(snap)
+	// Aggregate stage utilization can exceed 1 (two CPUs).
+	if agg[0] <= 0.8 {
+		t.Fatalf("aggregate stage-1 utilization %v; expected near multi-CPU capacity", agg[0])
+	}
+}
+
+func TestMultiServerValidation(t *testing.T) {
+	sim := des.New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultiServerPipeline(sim, MultiServerOptions{Stages: 0, Servers: 1})
+}
+
+func TestMultiServerTaskShapeValidation(t *testing.T) {
+	sim := des.New()
+	m := NewMultiServerPipeline(sim, MultiServerOptions{Stages: 2, Servers: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong stage count")
+		}
+	}()
+	m.Offer(task.Chain(1, 0, 10, 1))
+}
+
+func TestMultiServerBalancesAcrossCPUs(t *testing.T) {
+	sim := des.New()
+	m := NewMultiServerPipeline(sim, MultiServerOptions{Stages: 1, Servers: 2})
+	sim.At(0, func() { m.BeginMeasurement() })
+	rng := dist.NewRNG(3)
+	at := 0.0
+	for i := 0; i < 200; i++ {
+		at += rng.ExpFloat64() * 0.6
+		id := task.ID(i)
+		releaseAt := at
+		sim.At(releaseAt, func() {
+			m.Offer(task.Chain(id, releaseAt, 8, rng.ExpFloat64()))
+		})
+	}
+	sim.Run()
+	snap := m.Snapshot()
+	u0, u1 := snap.StageUtilization[0], snap.StageUtilization[1]
+	if u0 == 0 || u1 == 0 {
+		t.Fatalf("one CPU unused: %v %v", u0, u1)
+	}
+	ratio := u0 / u1
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("CPU load imbalance %v vs %v", u0, u1)
+	}
+}

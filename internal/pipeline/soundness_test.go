@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"testing"
+
+	"feasregion/internal/core"
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/task"
+	"feasregion/internal/workload"
+)
+
+// TestSoundnessExactAdmissionDM is the headline property of the paper:
+// with exact admission control against the feasible region (Eq. 13) and
+// deadline-monotonic scheduling, NO admitted task misses its end-to-end
+// deadline, at any offered load, for any pipeline length.
+func TestSoundnessExactAdmissionDM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cases := []struct {
+		stages     int
+		load       float64
+		resolution float64
+		seed       int64
+	}{
+		{1, 0.9, 50, 1},
+		{1, 2.0, 5, 2},
+		{2, 1.0, 100, 3},
+		{2, 1.6, 10, 4},
+		{2, 2.0, 2, 5}, // huge tasks: stress the region boundary
+		{3, 1.2, 30, 6},
+		{5, 1.0, 100, 7},
+		{5, 2.0, 20, 8},
+		{8, 1.5, 8, 9},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			spec := workload.PipelineSpec{
+				Stages:     tc.stages,
+				Load:       tc.load,
+				MeanDemand: 1,
+				Resolution: tc.resolution,
+			}
+			sim := des.New()
+			p := New(sim, Options{Stages: tc.stages})
+			horizon := 3000.0 * spec.MeanDeadline() / 100
+			if horizon < 500 {
+				horizon = 500
+			}
+			src := workload.NewSource(sim, spec, tc.seed, horizon, func(tk *task.Task) { p.Offer(tk) })
+			sim.At(0, func() { p.BeginMeasurement() })
+			src.Start()
+			sim.Run()
+			m := p.Snapshot()
+			if m.Completed == 0 {
+				t.Fatalf("no tasks completed (offered %d)", m.Offered)
+			}
+			if m.Missed != 0 {
+				t.Fatalf("stages=%d load=%v res=%v: %d of %d admitted tasks missed deadlines",
+					tc.stages, tc.load, tc.resolution, m.Missed, m.Completed)
+			}
+		})
+	}
+}
+
+// TestSoundnessRandomPriorityWithAlpha: with random priorities the region
+// must be shrunk by α (Eq. 12); admitted tasks then still meet deadlines.
+func TestSoundnessRandomPriorityWithAlpha(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	spec := workload.PipelineSpec{Stages: 2, Load: 1.5, MeanDemand: 1, Resolution: 20}
+	// Deadlines are uniform in mean·[0.5, 1.5], so Dleast/Dmost = 1/3.
+	alpha := 1.0 / 3
+	region := core.NewRegion(2).WithAlpha(alpha)
+	sim := des.New()
+	p := New(sim, Options{
+		Stages:      2,
+		Policy:      task.Random{},
+		Region:      &region,
+		PriorityRNG: dist.NewRNG(77),
+	})
+	src := workload.NewSource(sim, spec, 42, 2000, func(tk *task.Task) { p.Offer(tk) })
+	sim.At(0, func() { p.BeginMeasurement() })
+	src.Start()
+	sim.Run()
+	m := p.Snapshot()
+	if m.Completed == 0 {
+		t.Fatal("no tasks completed")
+	}
+	if m.Missed != 0 {
+		t.Fatalf("%d of %d admitted tasks missed deadlines under random priorities with α=%v",
+			m.Missed, m.Completed, alpha)
+	}
+}
+
+// TestNoAdmissionBaselineMissesAtOverload: without admission control, an
+// overloaded pipeline misses deadlines — the guarantee really does come
+// from the controller, not from the workload being easy.
+func TestNoAdmissionBaselineMissesAtOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	spec := workload.PipelineSpec{Stages: 2, Load: 1.5, MeanDemand: 1, Resolution: 20}
+	sim := des.New()
+	p := New(sim, Options{Stages: 2, NoAdmission: true})
+	src := workload.NewSource(sim, spec, 42, 2000, func(tk *task.Task) { p.Offer(tk) })
+	sim.At(0, func() { p.BeginMeasurement() })
+	src.Start()
+	sim.RunUntil(2500)
+	m := p.Snapshot()
+	if m.Missed == 0 {
+		t.Fatalf("overloaded baseline missed nothing (completed %d) — miss detection broken?", m.Completed)
+	}
+}
+
+// TestStageDelayTheoremEmpirically: every observed per-stage delay L_j
+// must respect Theorem 1, L_j ≤ f(U_j^peak)·Dmax, where U_j^peak is the
+// stage ledger's observed peak and Dmax the largest generated deadline.
+func TestStageDelayTheoremEmpirically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	spec := workload.PipelineSpec{Stages: 3, Load: 1.3, MeanDemand: 1, Resolution: 15}
+	sim := des.New()
+	p := New(sim, Options{Stages: 3})
+	maxDeadline := 0.0
+	src := workload.NewSource(sim, spec, 11, 2000, func(tk *task.Task) {
+		if tk.Deadline > maxDeadline {
+			maxDeadline = tk.Deadline
+		}
+		p.Offer(tk)
+	})
+	sim.At(0, func() { p.BeginMeasurement() })
+	src.Start()
+	sim.Run()
+	m := p.Snapshot()
+	for j := 0; j < 3; j++ {
+		peak := p.Controller().Ledger(j).Peak()
+		bound := core.StageDelayFactor(peak) * maxDeadline
+		if got := m.StageDelays[j].Max(); got > bound+1e-9 {
+			t.Errorf("stage %d: observed max delay %v exceeds Theorem 1 bound %v (peak U=%v)",
+				j, got, bound, peak)
+		}
+	}
+	if m.Completed == 0 {
+		t.Fatal("no tasks completed")
+	}
+}
+
+// TestDeterministicEndToEnd: the full stack (source, admission,
+// scheduling) replays identically from a seed.
+func TestDeterministicEndToEnd(t *testing.T) {
+	run := func() Metrics {
+		spec := workload.PipelineSpec{Stages: 2, Load: 1.1, MeanDemand: 1, Resolution: 25}
+		sim := des.New()
+		p := New(sim, Options{Stages: 2})
+		src := workload.NewSource(sim, spec, 99, 500, func(tk *task.Task) { p.Offer(tk) })
+		sim.At(0, func() { p.BeginMeasurement() })
+		src.Start()
+		sim.Run()
+		return p.Snapshot()
+	}
+	a, b := run(), run()
+	if a.Completed != b.Completed || a.Missed != b.Missed ||
+		a.MeanUtilization != b.MeanUtilization ||
+		a.ResponseTimes.Mean() != b.ResponseTimes.Mean() {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+	"feasregion/internal/trace"
+)
+
+func TestPipelineTraceRecordsLifecycle(t *testing.T) {
+	sim := des.New()
+	rec := trace.New(0)
+	p := New(sim, Options{Stages: 2, Trace: rec})
+	sim.At(0, func() { p.BeginMeasurement() })
+	sim.At(0, func() {
+		p.Offer(task.Chain(1, 0, 10, 1, 1))
+		p.Offer(task.Chain(2, 0, 10, 9, 9)) // rejected: contribution 0.9
+	})
+	sim.Run()
+
+	kinds := map[string]int{}
+	for _, r := range rec.Records() {
+		kinds[r.Kind]++
+	}
+	if kinds["admit"] != 1 || kinds["reject"] != 1 {
+		t.Fatalf("admission records %v", kinds)
+	}
+	if kinds["start"] != 2 || kinds["complete"] != 2 {
+		t.Fatalf("scheduling records %v, want 2 starts + 2 completes", kinds)
+	}
+	if kinds["depart"] != 1 {
+		t.Fatalf("departure records %v", kinds)
+	}
+	if kinds["miss"] != 0 {
+		t.Fatalf("unexpected miss records %v", kinds)
+	}
+}
+
+func TestPipelineTraceTimeline(t *testing.T) {
+	sim := des.New()
+	rec := trace.New(0)
+	p := New(sim, Options{Stages: 2, Trace: rec, NoAdmission: true})
+	sim.At(0, func() {
+		p.Offer(task.Chain(1, 0, 100, 3, 2))
+		p.Offer(task.Chain(2, 0, 50, 1, 1)) // preempts (shorter deadline)
+	})
+	sim.Run()
+
+	var b strings.Builder
+	if err := rec.RenderTimeline(&b, 40, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "stage-0") || !strings.Contains(out, "stage-1") {
+		t.Fatalf("timeline missing stages:\n%s", out)
+	}
+	// Preemption happened, so stage-0 shows task 2 inside task 1's run.
+	if rec.Len() == 0 {
+		t.Fatal("no records")
+	}
+	preempts := 0
+	for _, r := range rec.Records() {
+		if r.Kind == "preempt" {
+			preempts++
+		}
+	}
+	if preempts != 1 {
+		t.Fatalf("preempt records %d, want 1", preempts)
+	}
+}
+
+func TestPipelineTraceShedRecorded(t *testing.T) {
+	sim := des.New()
+	rec := trace.New(0)
+	p := New(sim, Options{Stages: 1, EnableShedding: true, Trace: rec})
+	sim.At(0, func() {
+		low := task.Chain(1, 0, 2, 1)
+		low.Importance = 1
+		p.Offer(low)
+		hi := task.Chain(2, 0, 2, 1)
+		hi.Importance = 10
+		p.Offer(hi)
+	})
+	sim.Run()
+	shed, cancel := 0, 0
+	for _, r := range rec.Records() {
+		switch r.Kind {
+		case "shed":
+			shed++
+		case "cancel":
+			cancel++
+		}
+	}
+	if shed != 1 || cancel != 1 {
+		t.Fatalf("shed=%d cancel=%d, want 1/1", shed, cancel)
+	}
+}

@@ -1,0 +1,172 @@
+// Package report renders experiment results as a self-contained HTML
+// document with inline SVG charts — the shareable artifact of a
+// cmd/experiments run (no JavaScript, no external assets).
+package report
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+
+	"feasregion/internal/stats"
+)
+
+// Figure is one chart: named series over a shared x axis.
+type Figure struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []stats.Series
+}
+
+// chart geometry.
+const (
+	svgW, svgH       = 640, 320
+	padL, padR       = 56, 16
+	padT, padB       = 16, 40
+	plotW            = svgW - padL - padR
+	plotH            = svgH - padT - padB
+	maxLegendPerLine = 4
+)
+
+// seriesColors is a small qualitative palette.
+var seriesColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVG renders the figure as an inline SVG line chart.
+func (f Figure) SVG() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img">`, svgW, svgH, svgW, svgH)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+
+	xmin, xmax, ymin, ymax := f.bounds()
+	sx := func(x float64) float64 { return padL + (x-xmin)/(xmax-xmin)*plotW }
+	sy := func(y float64) float64 { return padT + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	// Axes and gridlines with labels.
+	for i := 0; i <= 4; i++ {
+		y := ymin + (ymax-ymin)*float64(i)/4
+		py := sy(y)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`, padL, py, svgW-padR, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" fill="#444">%.3g</text>`, padL-6, py+4, y)
+	}
+	for i := 0; i <= 4; i++ {
+		x := xmin + (xmax-xmin)*float64(i)/4
+		px := sx(x)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eee"/>`, px, padT, px, svgH-padB)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" fill="#444">%.3g</text>`, px, svgH-padB+16, x)
+	}
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`, padL, padT, plotW, plotH)
+	if f.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" text-anchor="middle" fill="#222">%s</text>`,
+			padL+plotW/2, svgH-6, html.EscapeString(f.XLabel))
+	}
+
+	// Series polylines with point markers.
+	for si, s := range f.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var pts []string
+		for i, v := range s.Y {
+			if i >= len(f.X) || !finite(v) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(f.X[i]), sy(v)))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`,
+				strings.Join(pts, " "), color)
+		}
+		for _, p := range pts {
+			fmt.Fprintf(&b, `<circle cx="%s" cy="%s" r="3" fill="%s"/>`,
+				p[:strings.Index(p, ",")], p[strings.Index(p, ",")+1:], color)
+		}
+	}
+
+	// Legend row under the plot.
+	lx, ly := padL, padT+10
+	for si, s := range f.Series {
+		color := seriesColors[si%len(seriesColors)]
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, lx, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="#222">%s</text>`, lx+14, ly, html.EscapeString(s.Name))
+		lx += 14 + 8*len(s.Name) + 18
+		if (si+1)%maxLegendPerLine == 0 {
+			lx = padL
+			ly += 16
+		}
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// bounds computes padded axis ranges over finite values.
+func (f Figure) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, xmax = math.Inf(1), math.Inf(-1)
+	for _, x := range f.X {
+		if finite(x) {
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+		}
+	}
+	ymin, ymax = math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, v := range s.Y {
+			if finite(v) {
+				ymin = math.Min(ymin, v)
+				ymax = math.Max(ymax, v)
+			}
+		}
+	}
+	if !finite(xmin) || xmax == xmin {
+		xmin, xmax = 0, 1
+	}
+	if !finite(ymin) || ymax == ymin {
+		ymin, ymax = 0, math.Max(1, ymax)
+	}
+	pad := (ymax - ymin) * 0.08
+	return xmin, xmax, ymin - pad, ymax + pad
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// HTML renders a complete standalone document: every figure as an SVG
+// chart followed by every table.
+func HTML(title string, figures []Figure, tables []*stats.Table) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">")
+	fmt.Fprintf(&b, "<title>%s</title>", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #111; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: 0.5rem 0 1.5rem; }
+th, td { border: 1px solid #ccc; padding: 0.25rem 0.6rem; text-align: right; font-variant-numeric: tabular-nums; }
+th { background: #f3f3f3; } td:first-child, th:first-child { text-align: left; }
+figure { margin: 1rem 0 2rem; }
+figcaption { font-weight: 600; margin-bottom: 0.5rem; }
+</style></head><body>`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+
+	for _, f := range figures {
+		b.WriteString("<figure><figcaption>")
+		b.WriteString(html.EscapeString(f.Title))
+		b.WriteString("</figcaption>")
+		b.WriteString(f.SVG())
+		b.WriteString("</figure>\n")
+	}
+	for _, t := range tables {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n<table><tr>", html.EscapeString(t.Title))
+		for _, h := range t.Header {
+			fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(h))
+		}
+		b.WriteString("</tr>\n")
+		for _, row := range t.Rows {
+			b.WriteString("<tr>")
+			for _, c := range row {
+				fmt.Fprintf(&b, "<td>%s</td>", html.EscapeString(c))
+			}
+			b.WriteString("</tr>\n")
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}

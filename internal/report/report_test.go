@@ -1,0 +1,93 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"feasregion/internal/stats"
+)
+
+func demoFigure() Figure {
+	return Figure{
+		Title:  "Figure 4",
+		XLabel: "load",
+		X:      []float64{0.6, 1.0, 2.0},
+		Series: []stats.Series{
+			{Name: "N=1", Y: []float64{0.59, 0.89, 0.98}},
+			{Name: "N=5", Y: []float64{0.59, 0.87, 0.90}},
+		},
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg := demoFigure().SVG()
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+		t.Fatalf("not an svg element: %.60s...", svg)
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polylines %d, want 2 (one per series)", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Fatalf("point markers %d, want 6", got)
+	}
+	if !strings.Contains(svg, "N=1") || !strings.Contains(svg, "N=5") {
+		t.Fatal("legend labels missing")
+	}
+	if !strings.Contains(svg, ">load</text>") {
+		t.Fatal("x label missing")
+	}
+}
+
+func TestSVGSkipsNonFinite(t *testing.T) {
+	f := Figure{
+		X:      []float64{0, 1, 2},
+		Series: []stats.Series{{Name: "a", Y: []float64{1, math.Inf(1), 2}}},
+	}
+	svg := f.SVG()
+	if got := strings.Count(svg, "<circle"); got != 2 {
+		t.Fatalf("markers %d, want 2 (Inf skipped)", got)
+	}
+	if strings.Contains(svg, "Inf") || strings.Contains(svg, "NaN") {
+		t.Fatal("non-finite values leaked into SVG")
+	}
+}
+
+func TestSVGDegenerateInput(t *testing.T) {
+	// Empty and constant figures must not divide by zero.
+	for _, f := range []Figure{
+		{},
+		{X: []float64{1}, Series: []stats.Series{{Name: "c", Y: []float64{5}}}},
+		{X: []float64{1, 2}, Series: []stats.Series{{Name: "c", Y: []float64{5, 5}}}},
+	} {
+		svg := f.SVG()
+		if strings.Contains(svg, "NaN") {
+			t.Fatalf("NaN in degenerate SVG:\n%s", svg)
+		}
+	}
+}
+
+func TestHTMLDocument(t *testing.T) {
+	tbl := &stats.Table{Title: "T<1>", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "x&y")
+	doc := HTML("Results & Figures", []Figure{demoFigure()}, []*stats.Table{tbl})
+	if !strings.HasPrefix(doc, "<!DOCTYPE html>") {
+		t.Fatal("missing doctype")
+	}
+	// Escaping.
+	if !strings.Contains(doc, "Results &amp; Figures") {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(doc, "T&lt;1&gt;") || !strings.Contains(doc, "x&amp;y") {
+		t.Fatal("table content not escaped")
+	}
+	if !strings.Contains(doc, "<svg") {
+		t.Fatal("figure missing")
+	}
+	if !strings.Contains(doc, "<th>a</th>") || !strings.Contains(doc, "<td>1</td>") {
+		t.Fatal("table cells missing")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(doc), "</html>") {
+		t.Fatal("document not closed")
+	}
+}

@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/task"
+)
+
+// checkInvariants asserts the structural invariants of a stage:
+//
+//  1. the running job is at least as urgent as every ready job,
+//  2. every lock has at most one holder, and holders are live jobs
+//     (running or preempted-in-ready, never blocked or completed),
+//  3. every blocked job waits on a lock with a holder other than itself,
+//  4. heap indices are consistent,
+//  5. the idle flag matches the absence of work.
+func checkInvariants(t *testing.T, s *Stage) {
+	t.Helper()
+	if s.running != nil && len(s.ready) > 0 {
+		if less(s.ready[0], s.running) {
+			t.Fatalf("ready job %d (eff %v) outranks running job %d (eff %v)",
+				s.ready[0].TaskID, s.ready[0].Effective(), s.running.TaskID, s.running.Effective())
+		}
+	}
+	for i, j := range s.ready {
+		if j.heapIdx != i {
+			t.Fatalf("heap index of job %d is %d, stored at %d", j.TaskID, j.heapIdx, i)
+		}
+		if j.blockedOn != nil {
+			t.Fatalf("blocked job %d present in ready heap", j.TaskID)
+		}
+	}
+	for _, l := range s.locks {
+		h := l.holder
+		if h == nil {
+			continue
+		}
+		if h.blockedOn != nil {
+			t.Fatalf("lock %d held by blocked job %d", l.id, h.TaskID)
+		}
+		live := s.running == h || h.heapIdx >= 0
+		if !live {
+			t.Fatalf("lock %d held by dead job %d", l.id, h.TaskID)
+		}
+	}
+	for _, b := range s.blocked {
+		if b.blockedOn == nil || b.blockedOn.holder == nil {
+			t.Fatalf("blocked job %d has no blocking holder", b.TaskID)
+		}
+		if b.blockedOn.holder == b {
+			t.Fatalf("job %d blocked on itself", b.TaskID)
+		}
+		if b.heapIdx >= 0 {
+			t.Fatalf("blocked job %d also in ready heap", b.TaskID)
+		}
+	}
+	hasWork := s.running != nil || len(s.ready) > 0 || len(s.blocked) > 0
+	if s.idle == hasWork {
+		t.Fatalf("idle flag %v inconsistent with work presence %v", s.idle, hasWork)
+	}
+}
+
+// randomSubtask builds a random subtask, possibly with a critical
+// section on one of two locks.
+func randomSubtask(g *dist.RNG) task.Subtask {
+	demand := g.ExpFloat64()*2 + 0.01
+	if g.Float64() < 0.4 {
+		lock := 1 + g.Intn(2)
+		cs := demand * (0.2 + 0.6*g.Float64())
+		pre := (demand - cs) * g.Float64()
+		post := demand - cs - pre
+		return task.Subtask{Demand: demand, Segments: []task.Segment{
+			{Duration: pre, Lock: task.NoLock},
+			{Duration: cs, Lock: lock},
+			{Duration: post, Lock: task.NoLock},
+		}}
+	}
+	return task.NewSubtask(demand)
+}
+
+// TestSchedulerInvariantsUnderRandomLoad drives a stage with randomized
+// submissions (random priorities, demands, critical sections, and
+// cancellations) and checks the structural invariants after every event.
+func TestSchedulerInvariantsUnderRandomLoad(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			g := dist.NewRNG(seed)
+			sim := des.New()
+			st := New(sim, "s0")
+			st.RegisterLock(1, 0)
+			st.RegisterLock(2, 0)
+
+			const n = 400
+			totalDemand := 0.0
+			completedDemand := 0.0
+			var jobs []*Job
+			at := 0.0
+			for i := 0; i < n; i++ {
+				at += g.ExpFloat64() * 1.2
+				id := task.ID(i)
+				sub := randomSubtask(g)
+				prio := math.Floor(g.Float64() * 10)
+				demand := sub.Demand
+				totalDemand += demand
+				releaseAt := at
+				sim.At(releaseAt, func() {
+					j := st.Submit(id, prio, sub, func(des.Time) { completedDemand += demand })
+					jobs = append(jobs, j)
+				})
+				// Occasionally cancel a random previously submitted job.
+				if g.Float64() < 0.15 {
+					cancelAt := releaseAt + g.ExpFloat64()
+					pick := g.Float64()
+					sim.At(cancelAt, func() {
+						if len(jobs) == 0 {
+							return
+						}
+						victim := jobs[int(pick*float64(len(jobs)))]
+						st.Cancel(victim)
+					})
+				}
+			}
+
+			for sim.Step() {
+				checkInvariants(t, st)
+			}
+
+			// Terminal state: no work left anywhere.
+			if !st.Idle() || st.ReadyLen() != 0 || st.BlockedLen() != 0 {
+				t.Fatalf("stage not drained: idle=%v ready=%d blocked=%d",
+					st.Idle(), st.ReadyLen(), st.BlockedLen())
+			}
+			stats := st.Stats()
+			if stats.Completed+stats.Cancelled != uint64(n) {
+				t.Fatalf("completed %d + cancelled %d != submitted %d",
+					stats.Completed, stats.Cancelled, n)
+			}
+			// Busy time can't exceed total demand and must cover at least
+			// the completed demand minus cancelled remainders.
+			busy := st.BusyTime(sim.Now())
+			if busy > totalDemand+1e-6 {
+				t.Fatalf("busy %v exceeds total demand %v", busy, totalDemand)
+			}
+			if busy < completedDemand-1e-6 {
+				t.Fatalf("busy %v below completed demand %v", busy, completedDemand)
+			}
+		})
+	}
+}
+
+// TestSchedulerDeterministicUnderRandomLoad replays the random scenario
+// and requires identical completion accounting.
+func TestSchedulerDeterministicUnderRandomLoad(t *testing.T) {
+	run := func() (uint64, float64) {
+		g := dist.NewRNG(99)
+		sim := des.New()
+		st := New(sim, "s0")
+		st.RegisterLock(1, 0)
+		st.RegisterLock(2, 0)
+		at := 0.0
+		for i := 0; i < 300; i++ {
+			at += g.ExpFloat64()
+			id := task.ID(i)
+			sub := randomSubtask(g)
+			prio := g.Float64() * 10
+			releaseAt := at
+			sim.At(releaseAt, func() { st.Submit(id, prio, sub, nil) })
+		}
+		sim.Run()
+		return st.Stats().Completed, st.BusyTime(sim.Now())
+	}
+	c1, b1 := run()
+	c2, b2 := run()
+	if c1 != c2 || b1 != b2 {
+		t.Fatalf("replay diverged: (%d, %v) vs (%d, %v)", c1, b1, c2, b2)
+	}
+}

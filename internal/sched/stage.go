@@ -1,0 +1,472 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+)
+
+// lock is a stage-local single-unit resource managed under the priority
+// ceiling protocol.
+type lock struct {
+	id      int
+	ceiling float64 // highest (numerically smallest) priority of any user
+	holder  *Job
+}
+
+// EventKind labels a scheduling event for observers.
+type EventKind uint8
+
+// Scheduling event kinds, in rough lifecycle order.
+const (
+	EventStart EventKind = iota + 1 // job dispatched onto the CPU
+	EventPreempt
+	EventBlock // blocked under PCP
+	EventComplete
+	EventCancel
+)
+
+// String returns the kind's label.
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventPreempt:
+		return "preempt"
+	case EventBlock:
+		return "block"
+	case EventComplete:
+		return "complete"
+	case EventCancel:
+		return "cancel"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduling occurrence reported to an observer.
+type Event struct {
+	Time  des.Time
+	Stage string
+	Task  task.ID
+	Kind  EventKind
+}
+
+// Stats are cumulative counters exposed for experiments and tests.
+type Stats struct {
+	Submitted   uint64
+	Completed   uint64
+	Cancelled   uint64
+	Preemptions uint64
+	MaxReady    int
+	// BusyPeriods counts completed busy periods (busy→idle transitions);
+	// LongestBusyPeriod is the longest one observed. Busy periods are
+	// the unit of analysis in the stage delay theorem's proof.
+	BusyPeriods       uint64
+	LongestBusyPeriod float64
+}
+
+// Stage is one preemptive fixed-priority resource. Create it with New;
+// the zero value is not usable.
+type Stage struct {
+	sim  *des.Simulator
+	name string
+
+	ready   readyHeap
+	blocked []*Job // jobs blocked under PCP, waiting for a lock release
+	running *Job
+
+	locks map[int]*lock
+
+	idle      bool
+	busySince des.Time
+	busyTotal float64
+
+	preemptionOverhead float64
+
+	idleFns []func(now des.Time)
+	observe func(Event)
+
+	seq   uint64
+	stats Stats
+}
+
+// New returns an idle stage driven by the given simulator clock.
+func New(sim *des.Simulator, name string) *Stage {
+	return &Stage{sim: sim, name: name, locks: map[int]*lock{}, idle: true}
+}
+
+// Name returns the stage's label.
+func (s *Stage) Name() string { return s.name }
+
+// Stats returns a snapshot of the stage's counters.
+func (s *Stage) Stats() Stats { return s.stats }
+
+// Idle reports whether the stage has no running, ready, or blocked work.
+func (s *Stage) Idle() bool { return s.idle }
+
+// ReadyLen returns the number of ready (queued, dispatchable) jobs,
+// excluding the running job.
+func (s *Stage) ReadyLen() int { return len(s.ready) }
+
+// BlockedLen returns the number of jobs blocked under PCP.
+func (s *Stage) BlockedLen() int { return len(s.blocked) }
+
+// SetPreemptionOverhead charges the given extra computation time to a
+// job every time it is preempted (modeling context-switch and cache
+// costs). The analysis assumes zero overhead, so a non-zero value lets
+// experiments quantify how the paper's guarantee erodes on real
+// hardware. It must be non-negative.
+func (s *Stage) SetPreemptionOverhead(eps float64) {
+	if eps < 0 || math.IsNaN(eps) {
+		panic(fmt.Sprintf("sched: preemption overhead must be non-negative, got %v", eps))
+	}
+	s.preemptionOverhead = eps
+}
+
+// OnEvent registers an observer for scheduling events (dispatch,
+// preemption, PCP blocking, completion, cancellation). At most one
+// observer is supported; tracing wires through here.
+func (s *Stage) OnEvent(fn func(Event)) { s.observe = fn }
+
+// emit reports an event to the observer, if any.
+func (s *Stage) emit(kind EventKind, id task.ID) {
+	if s.observe != nil {
+		s.observe(Event{Time: s.sim.Now(), Stage: s.name, Task: id, Kind: kind})
+	}
+}
+
+// OnIdle registers fn to be called whenever the stage transitions from
+// busy to idle. The admission controller uses this to reset the stage's
+// synthetic utilization (paper §4).
+func (s *Stage) OnIdle(fn func(now des.Time)) {
+	s.idleFns = append(s.idleFns, fn)
+}
+
+// RegisterLock declares a PCP-managed lock with the given priority
+// ceiling (the numerically smallest priority of any task that may use it).
+// If the lock already exists its ceiling is tightened to the more urgent
+// of the two values, so callers may register per-task.
+func (s *Stage) RegisterLock(id int, ceiling float64) {
+	if id == task.NoLock {
+		panic("sched: cannot register the NoLock sentinel as a lock")
+	}
+	if l, ok := s.locks[id]; ok {
+		l.ceiling = math.Min(l.ceiling, ceiling)
+		return
+	}
+	s.locks[id] = &lock{id: id, ceiling: ceiling}
+}
+
+// BusyTime returns the cumulative time the stage has been busy up to now.
+func (s *Stage) BusyTime(now des.Time) float64 {
+	if s.idle {
+		return s.busyTotal
+	}
+	return s.busyTotal + (now - s.busySince)
+}
+
+// Submit enqueues a subtask with the given fixed priority (lower = more
+// urgent). onComplete, if non-nil, runs when the job finishes all its
+// segments; it may submit further jobs to this or other stages.
+func (s *Stage) Submit(id task.ID, priority float64, sub task.Subtask, onComplete func(now des.Time)) *Job {
+	segs := sub.SegmentsOrWhole()
+	j := &Job{
+		TaskID:     id,
+		base:       priority,
+		inherited:  math.Inf(1),
+		seq:        s.seq,
+		segments:   segs,
+		submitted:  s.sim.Now(),
+		onComplete: onComplete,
+		heapIdx:    -1,
+	}
+	s.seq++
+	if len(segs) > 0 {
+		j.segRemaining = segs[0].Duration
+	}
+	for _, seg := range segs {
+		if seg.Lock != task.NoLock {
+			if _, ok := s.locks[seg.Lock]; !ok {
+				panic(fmt.Sprintf("sched: stage %q: job uses unregistered lock %d", s.name, seg.Lock))
+			}
+		}
+	}
+	s.stats.Submitted++
+	if s.idle {
+		s.idle = false
+		s.busySince = s.sim.Now()
+	}
+	heap.Push(&s.ready, j)
+	if n := len(s.ready); n > s.stats.MaxReady {
+		s.stats.MaxReady = n
+	}
+	s.schedule()
+	return j
+}
+
+// schedule enforces the scheduling invariant: the running job is the most
+// urgent dispatchable job. It preempts, dispatches, applies PCP blocking,
+// and transitions to idle as needed.
+func (s *Stage) schedule() {
+	for {
+		if s.running != nil {
+			if len(s.ready) == 0 || !less(s.ready[0], s.running) {
+				return
+			}
+			s.preempt()
+		}
+		if len(s.ready) == 0 {
+			s.goIdle()
+			return
+		}
+		j := heap.Pop(&s.ready).(*Job)
+		if !s.tryEnterSegment(j) {
+			continue // j blocked under PCP; try the next ready job
+		}
+		s.start(j)
+		return
+	}
+}
+
+// tryEnterSegment performs the PCP acquisition test for j's current
+// segment. It returns false (and records j as blocked, applying priority
+// inheritance) if the segment needs a lock j may not yet take.
+func (s *Stage) tryEnterSegment(j *Job) bool {
+	seg := j.segments[j.segIdx]
+	if seg.Lock == task.NoLock || j.acquired {
+		return true
+	}
+	l := s.locks[seg.Lock]
+	if l.holder == j {
+		j.acquired = true
+		return true
+	}
+	if blocker := s.pcpBlocker(j, l); blocker != nil {
+		s.block(j, blocker)
+		return false
+	}
+	l.holder = j
+	j.heldLock = l
+	j.acquired = true
+	return true
+}
+
+// pcpBlocker returns the lock that blocks j from acquiring want under the
+// priority ceiling protocol, or nil if acquisition may proceed: j may lock
+// only if its effective priority is strictly more urgent than the ceiling
+// of every lock held by another job.
+func (s *Stage) pcpBlocker(j *Job, want *lock) *lock {
+	if want.holder != nil && want.holder != j {
+		return want
+	}
+	var blocker *lock
+	for _, l := range s.locks {
+		if l.holder == nil || l.holder == j {
+			continue
+		}
+		if blocker == nil || l.ceiling < blocker.ceiling {
+			blocker = l
+		}
+	}
+	if blocker == nil {
+		return nil
+	}
+	if j.Effective() < blocker.ceiling {
+		// Strictly more urgent than the system ceiling (lower numeric
+		// value = more urgent): acquisition may proceed.
+		return nil
+	}
+	return blocker
+}
+
+// block parks j on the lock that blocks it and applies priority
+// inheritance to the holder.
+func (s *Stage) block(j *Job, l *lock) {
+	j.blockedOn = l
+	s.blocked = append(s.blocked, j)
+	s.emit(EventBlock, j.TaskID)
+	h := l.holder
+	if eff := j.Effective(); eff < h.inherited {
+		h.inherited = eff
+		if h.heapIdx >= 0 {
+			heap.Fix(&s.ready, h.heapIdx)
+		}
+	}
+}
+
+// start begins (or resumes) executing j's current segment.
+func (s *Stage) start(j *Job) {
+	s.running = j
+	j.segStart = s.sim.Now()
+	j.completion = s.sim.After(j.segRemaining, func() { s.onSegmentDone(j) })
+	s.emit(EventStart, j.TaskID)
+}
+
+// preempt pauses the running job, records its remaining work, and returns
+// it to the ready queue.
+func (s *Stage) preempt() {
+	j := s.running
+	s.running = nil
+	elapsed := s.sim.Now() - j.segStart
+	j.segRemaining -= elapsed
+	if j.segRemaining < 0 {
+		j.segRemaining = 0
+	}
+	j.segRemaining += s.preemptionOverhead
+	s.sim.Cancel(j.completion)
+	j.completion = nil
+	heap.Push(&s.ready, j)
+	s.stats.Preemptions++
+	s.emit(EventPreempt, j.TaskID)
+}
+
+// onSegmentDone fires when the running job finishes its current segment.
+func (s *Stage) onSegmentDone(j *Job) {
+	now := s.sim.Now()
+	s.running = nil
+	j.completion = nil
+	j.segRemaining = 0
+
+	seg := j.segments[j.segIdx]
+	if seg.Lock != task.NoLock && j.heldLock != nil && j.heldLock.id == seg.Lock {
+		s.release(j)
+	}
+	j.acquired = false
+
+	j.segIdx++
+	if j.segIdx < len(j.segments) {
+		j.segRemaining = j.segments[j.segIdx].Duration
+		heap.Push(&s.ready, j)
+		s.schedule()
+		return
+	}
+
+	s.stats.Completed++
+	s.emit(EventComplete, j.TaskID)
+	if j.onComplete != nil {
+		j.onComplete(now)
+	}
+	s.schedule()
+}
+
+// release returns j's held lock, clears inheritance, and re-readies every
+// PCP-blocked job: blocked jobs re-run the acquisition test at their next
+// dispatch, which also re-establishes inheritance where still needed.
+func (s *Stage) release(j *Job) {
+	j.heldLock.holder = nil
+	j.heldLock = nil
+	j.inherited = math.Inf(1)
+	if len(s.blocked) == 0 {
+		return
+	}
+	for _, b := range s.blocked {
+		b.blockedOn = nil
+		heap.Push(&s.ready, b)
+	}
+	s.blocked = s.blocked[:0]
+	for _, l := range s.locks {
+		if l.holder != nil {
+			l.holder.inherited = math.Inf(1)
+		}
+	}
+	heap.Init(&s.ready) // inheritance resets may have reordered keys
+}
+
+// Cancel aborts a job that was submitted to this stage and has not yet
+// completed: it is removed from execution, the ready queue, or the
+// blocked set, any held lock is released, and its completion callback
+// will never fire. Cancel reports whether the job was found (false for
+// jobs already completed or never submitted here). The load-shedding
+// architecture of the paper's §5 uses this to drop less important work.
+func (s *Stage) Cancel(j *Job) bool {
+	switch {
+	case s.running == j:
+		s.sim.Cancel(j.completion)
+		j.completion = nil
+		s.running = nil
+		if j.heldLock != nil {
+			s.release(j)
+		}
+		s.stats.Cancelled++
+		s.emit(EventCancel, j.TaskID)
+		s.schedule()
+		return true
+	case j.heapIdx >= 0:
+		heap.Remove(&s.ready, j.heapIdx)
+		if j.heldLock != nil {
+			s.release(j) // preempted inside its critical section
+			s.schedule() // a flushed waiter may now outrank the runner
+		} else if s.running == nil {
+			s.schedule()
+		}
+		s.stats.Cancelled++
+		s.emit(EventCancel, j.TaskID)
+		return true
+	case j.blockedOn != nil:
+		for i, b := range s.blocked {
+			if b == j {
+				s.blocked = append(s.blocked[:i], s.blocked[i+1:]...)
+				break
+			}
+		}
+		j.blockedOn = nil
+		s.recomputeInheritance()
+		s.stats.Cancelled++
+		s.emit(EventCancel, j.TaskID)
+		// Dropping inheritance may demote the running job below a ready
+		// one; re-establish the scheduling invariant.
+		s.schedule()
+		return true
+	default:
+		return false
+	}
+}
+
+// recomputeInheritance re-derives every lock holder's inherited priority
+// from the remaining blocked jobs (after a blocked job is cancelled).
+func (s *Stage) recomputeInheritance() {
+	changed := false
+	for _, l := range s.locks {
+		if l.holder != nil && l.holder.inherited != math.Inf(1) {
+			l.holder.inherited = math.Inf(1)
+			changed = true
+		}
+	}
+	for _, b := range s.blocked {
+		h := b.blockedOn.holder
+		if eff := b.Effective(); eff < h.inherited {
+			h.inherited = eff
+			changed = true
+		}
+	}
+	if changed {
+		heap.Init(&s.ready)
+	}
+}
+
+// goIdle transitions the stage to idle and fires the idle hooks.
+func (s *Stage) goIdle() {
+	if s.idle {
+		return
+	}
+	if len(s.blocked) > 0 {
+		// A lock is only held by a running or preempted-but-ready job, so
+		// ready+running empty implies no holders and thus no blocked jobs.
+		panic(fmt.Sprintf("sched: stage %q going idle with %d blocked jobs", s.name, len(s.blocked)))
+	}
+	now := s.sim.Now()
+	s.idle = true
+	length := now - s.busySince
+	s.busyTotal += length
+	s.stats.BusyPeriods++
+	if length > s.stats.LongestBusyPeriod {
+		s.stats.LongestBusyPeriod = length
+	}
+	for _, fn := range s.idleFns {
+		fn(now)
+	}
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve for Chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart renders named series over a shared x-axis as an ASCII scatter
+// chart (one symbol per series, overlaps shown by the later series).
+// It is how cmd/experiments -plot draws the paper's figures in a
+// terminal. Width and height are the plot area size in characters.
+func Chart(title string, x []float64, series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if len(x) == 0 || len(series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	xmin, xmax := x[0], x[0]
+	for _, v := range x {
+		xmin = math.Min(xmin, v)
+		xmax = math.Max(xmax, v)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if math.IsInf(ymin, 1) {
+		ymin, ymax = 0, 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	// Pad the y-range slightly so extremes stay visible.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	symbols := []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+	for si, s := range series {
+		sym := symbols[si%len(symbols)]
+		for i, v := range s.Y {
+			if i >= len(x) || math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			col := int((x[i] - xmin) / (xmax - xmin) * float64(width-1))
+			row := int((v - ymin) / (ymax - ymin) * float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			grid[height-1-row][col] = sym
+		}
+	}
+
+	for r, rowBytes := range grid {
+		yLabel := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%8.3f |%s|\n", yLabel, string(rowBytes))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.4g%*.4g\n", "", width/2, xmin, width-width/2, xmax)
+	legend := make([]string, len(series))
+	for si, s := range series {
+		legend[si] = fmt.Sprintf("%c %s", symbols[si%len(symbols)], s.Name)
+	}
+	b.WriteString("          " + strings.Join(legend, "   ") + "\n")
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("demo", []float64{0, 1, 2}, []Series{
+		{Name: "a", Y: []float64{0, 1, 2}},
+		{Name: "b", Y: []float64{2, 1, 0}},
+	}, 30, 8)
+	if !strings.Contains(out, "demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing points:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 rows + axis + labels + legend
+	if len(lines) != 12 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("", nil, nil, 30, 8)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	out := Chart("", []float64{1, 2}, []Series{{Name: "c", Y: []float64{5, 5}}}, 20, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestChartSkipsNonFinite(t *testing.T) {
+	inf := 1.0
+	for i := 0; i < 400; i++ {
+		inf *= 10
+	}
+	out := Chart("", []float64{0, 1, 2}, []Series{{Name: "a", Y: []float64{1, inf, 2}}}, 20, 6)
+	if strings.Count(out, "*") != 3 { // two points + legend symbol
+		t.Fatalf("non-finite point not skipped:\n%s", out)
+	}
+}

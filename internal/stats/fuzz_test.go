@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantile: the estimator never panics and, for well-behaved input,
+// stays within the observed range.
+func FuzzQuantile(f *testing.F) {
+	f.Add(0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+	f.Add(0.99, -1.0, -2.0, 0.0, 7.5, 100.0, 3.3)
+	f.Fuzz(func(t *testing.T, p, a, b, c, d, e, g float64) {
+		if p <= 0 || p >= 1 || math.IsNaN(p) {
+			return
+		}
+		values := []float64{a, b, c, d, e, g}
+		min, max := math.Inf(1), math.Inf(-1)
+		q := NewQuantile(p)
+		for _, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+			q.Add(v)
+			min = math.Min(min, v)
+			max = math.Max(max, v)
+		}
+		got := q.Value()
+		if got < min-1e-9 || got > max+1e-9 {
+			t.Fatalf("quantile %v outside sample range [%v, %v]", got, min, max)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile is a streaming quantile estimator implementing the P² (P
+// squared) algorithm of Jain & Chlamtac (1985): it tracks five markers
+// whose positions are adjusted with piecewise-parabolic interpolation,
+// estimating the p-quantile in O(1) space without storing observations.
+//
+// Estimates are exact until five observations arrive and approximate
+// afterwards; accuracy is excellent for smooth distributions (the usual
+// P² behavior). The zero value is not usable; construct with NewQuantile.
+type Quantile struct {
+	p       float64
+	n       uint64
+	heights [5]float64 // marker heights (q_i)
+	pos     [5]float64 // actual marker positions (n_i)
+	want    [5]float64 // desired marker positions (n'_i)
+	incr    [5]float64 // desired position increments (dn'_i)
+	initial []float64  // first observations until the estimator seeds
+}
+
+// NewQuantile returns an estimator for the p-quantile, 0 < p < 1.
+func NewQuantile(p float64) *Quantile {
+	if p <= 0 || p >= 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: quantile p must be in (0, 1), got %v", p))
+	}
+	return &Quantile{
+		p:    p,
+		want: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		incr: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// Count returns the number of observations.
+func (q *Quantile) Count() uint64 { return q.n }
+
+// Add incorporates one observation.
+func (q *Quantile) Add(x float64) {
+	q.n++
+	if len(q.initial) < 5 {
+		q.initial = append(q.initial, x)
+		if len(q.initial) == 5 {
+			sort.Float64s(q.initial)
+			for i := 0; i < 5; i++ {
+				q.heights[i] = q.initial[i]
+				q.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+
+	// Find the cell k the observation falls into, adjusting extremes.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		q.want[i] += q.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction.
+func (q *Quantile) parabolic(i int, d float64) float64 {
+	return q.heights[i] + d/(q.pos[i+1]-q.pos[i-1])*
+		((q.pos[i]-q.pos[i-1]+d)*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+			(q.pos[i+1]-q.pos[i]-d)*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+// linear is the fallback height prediction.
+func (q *Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it returns the exact sample quantile (nearest rank); with
+// none it returns 0.
+func (q *Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if len(q.initial) < 5 {
+		sorted := append([]float64(nil), q.initial...)
+		sort.Float64s(sorted)
+		idx := int(math.Ceil(q.p*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx]
+	}
+	return q.heights[2]
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"feasregion/internal/dist"
+)
+
+// exactQuantile computes the nearest-rank sample quantile.
+func exactQuantile(values []float64, p float64) float64 {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+func TestQuantileExactBelowFiveObservations(t *testing.T) {
+	q := NewQuantile(0.5)
+	for _, x := range []float64{5, 1, 3} {
+		q.Add(x)
+	}
+	if got := q.Value(); got != 3 {
+		t.Fatalf("median of {5,1,3} = %v, want 3", got)
+	}
+	if q.Count() != 3 {
+		t.Fatalf("Count = %d", q.Count())
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	q := NewQuantile(0.9)
+	if q.Value() != 0 {
+		t.Fatal("empty estimator must return 0")
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		q := NewQuantile(p)
+		g := dist.NewRNG(1)
+		var all []float64
+		for i := 0; i < 50_000; i++ {
+			x := g.Float64() * 100
+			q.Add(x)
+			all = append(all, x)
+		}
+		got := q.Value()
+		want := exactQuantile(all, p)
+		if math.Abs(got-want) > 1.5 {
+			t.Errorf("p=%v: P² estimate %.3f, exact %.3f", p, got, want)
+		}
+	}
+}
+
+func TestQuantileExponential(t *testing.T) {
+	q := NewQuantile(0.95)
+	g := dist.NewRNG(2)
+	var all []float64
+	for i := 0; i < 50_000; i++ {
+		x := g.ExpFloat64() * 10
+		q.Add(x)
+		all = append(all, x)
+	}
+	got, want := q.Value(), exactQuantile(all, 0.95)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("exp p95: estimate %.3f, exact %.3f", got, want)
+	}
+}
+
+func TestQuantileSortedInput(t *testing.T) {
+	// Monotone input is a classic P² stress case.
+	q := NewQuantile(0.5)
+	for i := 1; i <= 10_001; i++ {
+		q.Add(float64(i))
+	}
+	if got := q.Value(); math.Abs(got-5001) > 250 {
+		t.Errorf("median of 1..10001 estimated %v, want ≈5001", got)
+	}
+}
+
+func TestQuantileConstantInput(t *testing.T) {
+	q := NewQuantile(0.9)
+	for i := 0; i < 1000; i++ {
+		q.Add(7)
+	}
+	if got := q.Value(); got != 7 {
+		t.Fatalf("constant stream quantile %v, want 7", got)
+	}
+}
+
+func TestQuantileOrderingAcrossPs(t *testing.T) {
+	// p50 ≤ p90 ≤ p99 on the same stream.
+	q50, q90, q99 := NewQuantile(0.5), NewQuantile(0.9), NewQuantile(0.99)
+	g := dist.NewRNG(3)
+	for i := 0; i < 20_000; i++ {
+		x := g.ExpFloat64()
+		q50.Add(x)
+		q90.Add(x)
+		q99.Add(x)
+	}
+	if !(q50.Value() <= q90.Value() && q90.Value() <= q99.Value()) {
+		t.Fatalf("quantiles out of order: %v %v %v", q50.Value(), q90.Value(), q99.Value())
+	}
+}
+
+func TestQuantileInvalidP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewQuantile(%v) should panic", p)
+				}
+			}()
+			NewQuantile(p)
+		}()
+	}
+}

@@ -1,0 +1,91 @@
+package task
+
+import (
+	"feasregion/internal/dist"
+)
+
+// Policy assigns scheduling priorities to tasks. Priorities are numeric
+// with lower values more urgent, and — for the fixed-priority policies the
+// analysis covers — are fixed across all pipeline stages and independent of
+// arrival time.
+type Policy interface {
+	// Name identifies the policy in experiment logs.
+	Name() string
+	// Assign returns the task's priority. Policies that randomize draw
+	// from g; deterministic policies ignore it.
+	Assign(t *Task, g *dist.RNG) float64
+	// Fixed reports whether the policy is fixed-priority in the paper's
+	// sense (priority not a function of arrival time). EDF is not.
+	Fixed() bool
+}
+
+// DeadlineMonotonic prioritizes tasks by relative deadline (shorter
+// deadline = higher priority). It is the optimal uniprocessor fixed-priority
+// policy for aperiodic tasks and has urgency-inversion parameter α = 1.
+type DeadlineMonotonic struct{}
+
+// Name implements Policy.
+func (DeadlineMonotonic) Name() string { return "deadline-monotonic" }
+
+// Assign implements Policy: priority equals the relative deadline.
+func (DeadlineMonotonic) Assign(t *Task, _ *dist.RNG) float64 { return t.Deadline }
+
+// Fixed implements Policy.
+func (DeadlineMonotonic) Fixed() bool { return true }
+
+// EDF prioritizes tasks by absolute deadline. It is NOT a fixed-priority
+// policy in the paper's sense (priority depends on arrival time), so the
+// feasible-region guarantee does not apply; it is provided as a comparison
+// scheduler for the simulator.
+type EDF struct{}
+
+// Name implements Policy.
+func (EDF) Name() string { return "edf" }
+
+// Assign implements Policy: priority equals the absolute deadline.
+func (EDF) Assign(t *Task, _ *dist.RNG) float64 { return t.AbsoluteDeadline() }
+
+// Fixed implements Policy.
+func (EDF) Fixed() bool { return false }
+
+// Random assigns uniformly random priorities. Its urgency-inversion
+// parameter over a task set with deadlines in [Dleast, Dmost] is
+// α = Dleast/Dmost (paper §2).
+type Random struct{}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Assign implements Policy: priority is a uniform random draw.
+func (Random) Assign(_ *Task, g *dist.RNG) float64 { return g.Float64() }
+
+// Fixed implements Policy.
+func (Random) Fixed() bool { return true }
+
+// SemanticImportance prioritizes tasks by semantic importance (more
+// important = higher priority), the naive alternative the TSCE section
+// argues against: it is fixed-priority but generally exhibits urgency
+// inversion (α < 1).
+type SemanticImportance struct{}
+
+// Name implements Policy.
+func (SemanticImportance) Name() string { return "semantic-importance" }
+
+// Assign implements Policy: priority is the negated importance.
+func (SemanticImportance) Assign(t *Task, _ *dist.RNG) float64 { return -t.Importance }
+
+// Fixed implements Policy.
+func (SemanticImportance) Fixed() bool { return true }
+
+// FIFO serves tasks in arrival order. Like EDF it is arrival-time
+// dependent and serves only as a simulator baseline.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// Assign implements Policy: priority is the arrival time.
+func (FIFO) Assign(t *Task, _ *dist.RNG) float64 { return t.Arrival }
+
+// Fixed implements Policy.
+func (FIFO) Fixed() bool { return false }

@@ -1,0 +1,168 @@
+// Package task defines the workload model of the paper: aperiodically
+// arriving tasks with per-stage computation demands, end-to-end relative
+// deadlines, optional critical sections, and optional DAG-structured
+// subtask graphs. It also defines the fixed-priority assignment policies
+// whose urgency-inversion parameter α the analysis depends on.
+package task
+
+import (
+	"fmt"
+	"math"
+)
+
+// ID identifies a task instance within one simulation run. IDs key the
+// synthetic-utilization ledgers and departure marking, so they must be
+// unique across ALL tasks offered or injected into one system —
+// partition the ID space when combining independent generators.
+type ID int64
+
+// NoLock marks a segment that executes outside any critical section.
+const NoLock = -1
+
+// Segment is one contiguous piece of a subtask's execution. A segment with
+// Lock != NoLock executes inside a critical section guarded by that
+// stage-local lock (acquired at segment start, released at segment end).
+type Segment struct {
+	Duration float64
+	Lock     int
+}
+
+// Subtask is the work a task performs on one pipeline stage (or DAG node's
+// resource). Demand is the total computation time; Segments optionally
+// partitions it into critical and non-critical pieces.
+type Subtask struct {
+	Demand   float64
+	Segments []Segment
+}
+
+// NewSubtask returns a subtask with a single non-critical segment.
+func NewSubtask(demand float64) Subtask {
+	return Subtask{Demand: demand}
+}
+
+// SegmentsOrWhole returns the explicit segment list, or a synthetic
+// single non-critical segment covering the whole demand.
+func (s Subtask) SegmentsOrWhole() []Segment {
+	if len(s.Segments) > 0 {
+		return s.Segments
+	}
+	return []Segment{{Duration: s.Demand, Lock: NoLock}}
+}
+
+// Validate checks that explicit segments, when present, sum to Demand.
+func (s Subtask) Validate() error {
+	if s.Demand < 0 || math.IsNaN(s.Demand) {
+		return fmt.Errorf("task: subtask demand %v is negative or NaN", s.Demand)
+	}
+	if len(s.Segments) == 0 {
+		return nil
+	}
+	sum := 0.0
+	for i, seg := range s.Segments {
+		if seg.Duration < 0 || math.IsNaN(seg.Duration) {
+			return fmt.Errorf("task: segment %d duration %v is negative or NaN", i, seg.Duration)
+		}
+		sum += seg.Duration
+	}
+	if math.Abs(sum-s.Demand) > 1e-9*(1+s.Demand) {
+		return fmt.Errorf("task: segments sum to %v, demand is %v", sum, s.Demand)
+	}
+	return nil
+}
+
+// Task is one aperiodic arrival: it enters the pipeline at Arrival and must
+// depart the final stage by Arrival+Deadline. For chain (pipeline) tasks,
+// Subtasks[j] is the work on stage j. For DAG tasks, set Graph instead and
+// leave Subtasks nil.
+type Task struct {
+	ID       ID
+	Arrival  float64 // A_i: arrival time at the first stage
+	Deadline float64 // D_i: relative end-to-end deadline
+
+	// Subtasks is the precedence-constrained chain, one entry per stage.
+	Subtasks []Subtask
+
+	// Graph, when non-nil, replaces Subtasks with an arbitrary DAG of
+	// subtasks allocated to named resources (paper §3.3).
+	Graph *Graph
+
+	// Priority is the scheduler priority, fixed across all stages; lower
+	// values are more urgent. It is assigned by a Policy before submission.
+	Priority float64
+
+	// Importance is the semantic importance used for load shedding in the
+	// TSCE application (§5); larger is more important. It is independent of
+	// the scheduling priority.
+	Importance float64
+
+	// Class labels the task's stream (e.g. "tracking") for statistics.
+	Class string
+}
+
+// AbsoluteDeadline returns A_i + D_i.
+func (t *Task) AbsoluteDeadline() float64 { return t.Arrival + t.Deadline }
+
+// TotalDemand returns the sum of computation demands across all subtasks.
+func (t *Task) TotalDemand() float64 {
+	if t.Graph != nil {
+		sum := 0.0
+		for _, n := range t.Graph.Nodes {
+			sum += n.Subtask.Demand
+		}
+		return sum
+	}
+	sum := 0.0
+	for _, s := range t.Subtasks {
+		sum += s.Demand
+	}
+	return sum
+}
+
+// StageDemand returns C_ij for stage j of a chain task. Out-of-range
+// stages have zero demand.
+func (t *Task) StageDemand(j int) float64 {
+	if j < 0 || j >= len(t.Subtasks) {
+		return 0
+	}
+	return t.Subtasks[j].Demand
+}
+
+// Contribution returns the synthetic-utilization increment C_ij/D_i this
+// task adds to stage j while current.
+func (t *Task) Contribution(j int) float64 {
+	if t.Deadline <= 0 {
+		return math.Inf(1)
+	}
+	return t.StageDemand(j) / t.Deadline
+}
+
+// Validate checks structural invariants of the task.
+func (t *Task) Validate() error {
+	if t.Deadline <= 0 || math.IsNaN(t.Deadline) {
+		return fmt.Errorf("task %d: deadline %v must be positive", t.ID, t.Deadline)
+	}
+	if t.Graph != nil {
+		if len(t.Subtasks) > 0 {
+			return fmt.Errorf("task %d: has both a subtask chain and a graph", t.ID)
+		}
+		return t.Graph.Validate()
+	}
+	if len(t.Subtasks) == 0 {
+		return fmt.Errorf("task %d: has no subtasks", t.ID)
+	}
+	for j, s := range t.Subtasks {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("task %d stage %d: %w", t.ID, j, err)
+		}
+	}
+	return nil
+}
+
+// Chain builds a chain task from plain per-stage demands.
+func Chain(id ID, arrival, deadline float64, demands ...float64) *Task {
+	subs := make([]Subtask, len(demands))
+	for i, d := range demands {
+		subs[i] = NewSubtask(d)
+	}
+	return &Task{ID: id, Arrival: arrival, Deadline: deadline, Subtasks: subs}
+}

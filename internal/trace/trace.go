@@ -1,0 +1,186 @@
+// Package trace records simulation events — admission decisions, stage
+// scheduling (dispatch/preempt/block/complete), departures, and deadline
+// misses — and renders them as CSV or as a per-stage ASCII timeline.
+// Tracing is opt-in and adds no cost when not wired.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"feasregion/internal/task"
+)
+
+// Record is one traced event.
+type Record struct {
+	Time   float64
+	Source string // stage name, "admission", "pipeline", ...
+	Task   task.ID
+	Kind   string // start, preempt, block, complete, cancel, admit, reject, shed, depart, miss, ...
+}
+
+// Recorder accumulates records. The zero value is unbounded; use New to
+// cap memory with a ring buffer.
+type Recorder struct {
+	max     int
+	start   int // ring start when wrapped
+	recs    []Record
+	dropped uint64
+}
+
+// New returns a recorder keeping at most max records (the newest ones);
+// max ≤ 0 means unbounded.
+func New(max int) *Recorder { return &Recorder{max: max} }
+
+// Add appends one record.
+func (r *Recorder) Add(rec Record) {
+	if r.max > 0 && len(r.recs) == r.max {
+		r.recs[r.start] = rec
+		r.start = (r.start + 1) % r.max
+		r.dropped++
+		return
+	}
+	r.recs = append(r.recs, rec)
+}
+
+// Len returns the number of retained records.
+func (r *Recorder) Len() int { return len(r.recs) }
+
+// Dropped returns how many records the ring buffer evicted.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Records returns the retained records in chronological order.
+func (r *Recorder) Records() []Record {
+	out := make([]Record, 0, len(r.recs))
+	out = append(out, r.recs[r.start:]...)
+	out = append(out, r.recs[:r.start]...)
+	return out
+}
+
+// WriteCSV writes "time,source,task,kind" rows.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "time,source,task,kind\n"); err != nil {
+		return err
+	}
+	for _, rec := range r.Records() {
+		if _, err := fmt.Fprintf(w, "%.9g,%s,%d,%s\n", rec.Time, rec.Source, rec.Task, rec.Kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Span is one contiguous execution interval of a task on a source.
+type Span struct {
+	Source string
+	Task   task.ID
+	From   float64
+	To     float64
+}
+
+// Spans reconstructs execution intervals from start/preempt/complete/
+// cancel records: each start opens an interval closed by the next
+// preempt, complete, or cancel of the same task on the same source.
+// Open intervals at the end of the trace are closed at the last record's
+// timestamp.
+func (r *Recorder) Spans() []Span {
+	type key struct {
+		source string
+		id     task.ID
+	}
+	open := map[key]float64{}
+	var spans []Span
+	last := 0.0
+	for _, rec := range r.Records() {
+		if rec.Time > last {
+			last = rec.Time
+		}
+		k := key{rec.Source, rec.Task}
+		switch rec.Kind {
+		case "start":
+			open[k] = rec.Time
+		case "preempt", "complete", "cancel":
+			if from, ok := open[k]; ok {
+				spans = append(spans, Span{Source: rec.Source, Task: rec.Task, From: from, To: rec.Time})
+				delete(open, k)
+			}
+		}
+	}
+	for k, from := range open {
+		spans = append(spans, Span{Source: k.source, Task: k.id, From: from, To: last})
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Source != spans[j].Source {
+			return spans[i].Source < spans[j].Source
+		}
+		if spans[i].From != spans[j].From {
+			return spans[i].From < spans[j].From
+		}
+		return spans[i].Task < spans[j].Task
+	})
+	return spans
+}
+
+// RenderTimeline writes an ASCII Gantt chart, one row per source, width
+// columns wide, covering [t0, t1] (auto-derived when t1 ≤ t0). Each cell
+// shows the task occupying that slice (last digit of its ID), '.' for
+// idle.
+func (r *Recorder) RenderTimeline(w io.Writer, width int, t0, t1 float64) error {
+	if width < 10 {
+		width = 10
+	}
+	spans := r.Spans()
+	if len(spans) == 0 {
+		_, err := io.WriteString(w, "(no execution spans)\n")
+		return err
+	}
+	if t1 <= t0 {
+		t0, t1 = spans[0].From, spans[0].To
+		for _, sp := range spans {
+			if sp.From < t0 {
+				t0 = sp.From
+			}
+			if sp.To > t1 {
+				t1 = sp.To
+			}
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	scale := float64(width) / (t1 - t0)
+
+	rows := map[string][]byte{}
+	var sources []string
+	for _, sp := range spans {
+		row, ok := rows[sp.Source]
+		if !ok {
+			row = []byte(strings.Repeat(".", width))
+			rows[sp.Source] = row
+			sources = append(sources, sp.Source)
+		}
+		from := int((sp.From - t0) * scale)
+		to := int((sp.To - t0) * scale)
+		if to == from {
+			to = from + 1
+		}
+		for i := from; i < to && i < width; i++ {
+			if i < 0 {
+				continue
+			}
+			row[i] = byte('0' + int(sp.Task)%10)
+		}
+	}
+	sort.Strings(sources)
+	if _, err := fmt.Fprintf(w, "timeline [%.4g, %.4g] (cells show task id mod 10)\n", t0, t1); err != nil {
+		return err
+	}
+	for _, src := range sources {
+		if _, err := fmt.Fprintf(w, "%-12s |%s|\n", src, rows[src]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

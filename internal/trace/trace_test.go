@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderUnbounded(t *testing.T) {
+	r := New(0)
+	for i := 0; i < 100; i++ {
+		r.Add(Record{Time: float64(i), Source: "s", Task: 1, Kind: "start"})
+	}
+	if r.Len() != 100 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestRecorderRingBuffer(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Record{Time: float64(i), Source: "s", Task: 1, Kind: "k"})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len=%d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped=%d, want 6", r.Dropped())
+	}
+	recs := r.Records()
+	// Newest four, in chronological order: times 6..9.
+	for i, rec := range recs {
+		if rec.Time != float64(6+i) {
+			t.Fatalf("records %+v not the newest in order", recs)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := New(0)
+	r.Add(Record{Time: 1.5, Source: "stage-0", Task: 7, Kind: "start"})
+	r.Add(Record{Time: 2.25, Source: "stage-0", Task: 7, Kind: "complete"})
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "time,source,task,kind\n1.5,stage-0,7,start\n2.25,stage-0,7,complete\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSpansFromStartPreemptComplete(t *testing.T) {
+	r := New(0)
+	// Task 1 runs [0,2), preempted; task 2 runs [2,3); task 1 resumes
+	// [3,5).
+	r.Add(Record{Time: 0, Source: "s", Task: 1, Kind: "start"})
+	r.Add(Record{Time: 2, Source: "s", Task: 1, Kind: "preempt"})
+	r.Add(Record{Time: 2, Source: "s", Task: 2, Kind: "start"})
+	r.Add(Record{Time: 3, Source: "s", Task: 2, Kind: "complete"})
+	r.Add(Record{Time: 3, Source: "s", Task: 1, Kind: "start"})
+	r.Add(Record{Time: 5, Source: "s", Task: 1, Kind: "complete"})
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans %+v, want 3", spans)
+	}
+	want := []Span{
+		{Source: "s", Task: 1, From: 0, To: 2},
+		{Source: "s", Task: 2, From: 2, To: 3},
+		{Source: "s", Task: 1, From: 3, To: 5},
+	}
+	for i := range want {
+		if spans[i] != want[i] {
+			t.Fatalf("spans %+v, want %+v", spans, want)
+		}
+	}
+}
+
+func TestSpansCancelClosesInterval(t *testing.T) {
+	r := New(0)
+	r.Add(Record{Time: 0, Source: "s", Task: 1, Kind: "start"})
+	r.Add(Record{Time: 1.5, Source: "s", Task: 1, Kind: "cancel"})
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].To != 1.5 {
+		t.Fatalf("spans %+v", spans)
+	}
+}
+
+func TestSpansOpenIntervalClosedAtTraceEnd(t *testing.T) {
+	r := New(0)
+	r.Add(Record{Time: 0, Source: "s", Task: 1, Kind: "start"})
+	r.Add(Record{Time: 4, Source: "pipeline", Task: 2, Kind: "depart"})
+	spans := r.Spans()
+	if len(spans) != 1 || spans[0].To != 4 {
+		t.Fatalf("spans %+v, want one span closed at 4", spans)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	r := New(0)
+	r.Add(Record{Time: 0, Source: "stage-0", Task: 1, Kind: "start"})
+	r.Add(Record{Time: 5, Source: "stage-0", Task: 1, Kind: "complete"})
+	r.Add(Record{Time: 5, Source: "stage-1", Task: 1, Kind: "start"})
+	r.Add(Record{Time: 10, Source: "stage-1", Task: 1, Kind: "complete"})
+	var b strings.Builder
+	if err := r.RenderTimeline(&b, 20, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline:\n%s", out)
+	}
+	// Stage 0 busy in the first half, stage 1 in the second.
+	if !strings.Contains(lines[1], "1111111111..........") {
+		t.Fatalf("stage-0 row wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "..........1111111111") {
+		t.Fatalf("stage-1 row wrong:\n%s", out)
+	}
+}
+
+func TestRenderTimelineEmpty(t *testing.T) {
+	r := New(0)
+	var b strings.Builder
+	if err := r.RenderTimeline(&b, 20, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no execution spans") {
+		t.Fatalf("empty timeline output %q", b.String())
+	}
+}
+
+// errWriter fails after n bytes, to exercise error propagation.
+type errWriter struct{ left int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errWriteFull
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errWriteFull
+	}
+	return n, nil
+}
+
+var errWriteFull = errFull{}
+
+type errFull struct{}
+
+func (errFull) Error() string { return "writer full" }
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	r := New(0)
+	r.Add(Record{Time: 1, Source: "s", Task: 1, Kind: "start"})
+	if err := r.WriteCSV(&errWriter{left: 5}); err == nil {
+		t.Fatal("expected write error")
+	}
+	if err := r.WriteCSV(&errWriter{left: 0}); err == nil {
+		t.Fatal("expected header write error")
+	}
+}
+
+func TestRenderTimelinePropagatesErrors(t *testing.T) {
+	r := New(0)
+	r.Add(Record{Time: 0, Source: "s", Task: 1, Kind: "start"})
+	r.Add(Record{Time: 2, Source: "s", Task: 1, Kind: "complete"})
+	if err := r.RenderTimeline(&errWriter{left: 3}, 20, 0, 2); err == nil {
+		t.Fatal("expected render error")
+	}
+}
+
+func TestRenderTimelineAutoRange(t *testing.T) {
+	r := New(0)
+	r.Add(Record{Time: 5, Source: "s", Task: 1, Kind: "start"})
+	r.Add(Record{Time: 9, Source: "s", Task: 1, Kind: "complete"})
+	var b strings.Builder
+	if err := r.RenderTimeline(&b, 20, 0, 0); err != nil { // auto-derive [5, 9]
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "[5, 9]") {
+		t.Fatalf("auto range wrong:\n%s", b.String())
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+)
+
+func TestBurstyPreservesMeanRate(t *testing.T) {
+	spec := BurstySpec{
+		Pipeline:   PipelineSpec{Stages: 1, Load: 1.0, MeanDemand: 1, Resolution: 50},
+		Burstiness: 5,
+		MeanOn:     20,
+	}
+	sim := des.New()
+	count := 0
+	src := NewBurstySource(sim, spec, 7, 50_000, func(*task.Task) { count++ })
+	src.Start()
+	sim.Run()
+	// λ = 1, horizon 50k: expect ≈50k arrivals (±10% — burstiness adds
+	// variance).
+	if count < 42_000 || count > 58_000 {
+		t.Fatalf("bursty source generated %d arrivals, want ≈50000", count)
+	}
+}
+
+func TestBurstyIsActuallyBursty(t *testing.T) {
+	spec := BurstySpec{
+		Pipeline:   PipelineSpec{Stages: 1, Load: 1.0, MeanDemand: 1, Resolution: 50},
+		Burstiness: 8,
+		MeanOn:     25,
+	}
+	sim := des.New()
+	var arrivals []float64
+	src := NewBurstySource(sim, spec, 7, 20_000, func(tk *task.Task) { arrivals = append(arrivals, tk.Arrival) })
+	src.Start()
+	sim.Run()
+
+	// Index of dispersion of counts in windows of 10 time units: Poisson
+	// gives ≈1, an 8x on-off process far more.
+	const window = 10.0
+	counts := map[int]int{}
+	for _, a := range arrivals {
+		counts[int(a/window)]++
+	}
+	n := int(20_000 / window)
+	mean := float64(len(arrivals)) / float64(n)
+	varsum := 0.0
+	for i := 0; i < n; i++ {
+		d := float64(counts[i]) - mean
+		varsum += d * d
+	}
+	dispersion := varsum / float64(n) / mean
+	if dispersion < 3 {
+		t.Fatalf("index of dispersion %.2f; expected clearly super-Poissonian (> 3)", dispersion)
+	}
+}
+
+func TestBurstyOffFractionMatches(t *testing.T) {
+	spec := BurstySpec{
+		Pipeline:   PipelineSpec{Stages: 1, Load: 1.0, MeanDemand: 1, Resolution: 50},
+		Burstiness: 4,
+		MeanOn:     10,
+	}
+	if got := spec.MeanOff(); math.Abs(got-30) > 1e-12 {
+		t.Fatalf("MeanOff = %v, want 30 (on-fraction 1/4)", got)
+	}
+}
+
+func TestBurstyValidation(t *testing.T) {
+	base := PipelineSpec{Stages: 1, Load: 1, MeanDemand: 1, Resolution: 10}
+	for _, spec := range []BurstySpec{
+		{Pipeline: base, Burstiness: 1, MeanOn: 1},
+		{Pipeline: base, Burstiness: 0.5, MeanOn: 1},
+		{Pipeline: base, Burstiness: 2, MeanOn: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("spec %+v: expected panic", spec)
+				}
+			}()
+			sim := des.New()
+			NewBurstySource(sim, spec, 1, 10, func(*task.Task) {})
+		}()
+	}
+}
+
+func TestBurstyRespectsHorizon(t *testing.T) {
+	spec := BurstySpec{
+		Pipeline:   PipelineSpec{Stages: 1, Load: 2, MeanDemand: 1, Resolution: 10},
+		Burstiness: 3,
+		MeanOn:     5,
+	}
+	sim := des.New()
+	last := 0.0
+	src := NewBurstySource(sim, spec, 3, 100, func(tk *task.Task) { last = tk.Arrival })
+	src.Start()
+	sim.Run()
+	if last > 100 {
+		t.Fatalf("arrival at %v past horizon", last)
+	}
+}

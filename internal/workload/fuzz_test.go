@@ -1,0 +1,38 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseReplay: arbitrary input must never panic; any trace that
+// parses must survive a write/reparse round trip with the same task
+// count and stage count.
+func FuzzParseReplay(f *testing.F) {
+	f.Add(sampleTrace)
+	f.Add("arrival,deadline,c1\n1,2,3\n")
+	f.Add("1,2,3\n4,5,6\n")
+	f.Add(",,,\n")
+	f.Add("a,b,c\n1,-2,3\n")
+	f.Add("1e308,1e308,1e308\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rep, err := ParseReplay(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := rep.WriteCSV(&b); err != nil {
+			t.Fatalf("WriteCSV on parsed trace: %v", err)
+		}
+		back, err := ParseReplay(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("reparsing own output: %v\n%s", err, b.String())
+		}
+		if len(back.Tasks) != len(rep.Tasks) {
+			t.Fatalf("round trip changed task count %d -> %d", len(rep.Tasks), len(back.Tasks))
+		}
+		if back.Stages() != rep.Stages() {
+			t.Fatalf("round trip changed stages %d -> %d", rep.Stages(), back.Stages())
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/task"
+)
+
+// ClassSpec describes one request class in a mixed workload: a Poisson
+// stream with its own demand profile, deadline, and semantic importance
+// (the webserver and TSCE scenarios are mixes of such classes).
+type ClassSpec struct {
+	// Name labels instances (Task.Class).
+	Name string
+	// Rate is the class's Poisson arrival rate.
+	Rate float64
+	// Demands are per-stage demand distributions.
+	Demands []dist.Distribution
+	// Deadline is the relative end-to-end deadline distribution.
+	Deadline dist.Distribution
+	// Importance is the semantic importance of instances.
+	Importance float64
+}
+
+// validate panics on an impossible class.
+func (c ClassSpec) validate(stages int) {
+	if c.Rate <= 0 {
+		panic(fmt.Sprintf("workload: class %q needs a positive rate", c.Name))
+	}
+	if len(c.Demands) != stages {
+		panic(fmt.Sprintf("workload: class %q has %d demand distributions for %d stages", c.Name, len(c.Demands), stages))
+	}
+	if c.Deadline == nil {
+		panic(fmt.Sprintf("workload: class %q needs a deadline distribution", c.Name))
+	}
+}
+
+// MixedSource generates a superposition of per-class Poisson streams.
+type MixedSource struct {
+	counts map[string]uint64
+}
+
+// NewMixedSource schedules all classes' arrivals into offer until
+// horizon. Task IDs start at firstID and are unique across classes.
+func NewMixedSource(sim *des.Simulator, stages int, classes []ClassSpec, seed int64, firstID task.ID, horizon des.Time, offer func(*task.Task)) *MixedSource {
+	if stages <= 0 {
+		panic(fmt.Sprintf("workload: mixed source needs stages, got %d", stages))
+	}
+	if len(classes) == 0 {
+		panic("workload: mixed source needs at least one class")
+	}
+	if offer == nil {
+		panic("workload: nil offer sink")
+	}
+	ms := &MixedSource{counts: map[string]uint64{}}
+	root := dist.NewRNG(seed)
+	id := firstID
+	nextID := func() task.ID {
+		v := id
+		id++
+		return v
+	}
+	for _, c := range classes {
+		c := c
+		c.validate(stages)
+		stream := root.Split()
+		var arrive func()
+		at := 0.0
+		arrive = func() {
+			at += stream.ExpFloat64() / c.Rate
+			if at > horizon {
+				return
+			}
+			releaseAt := at
+			taskID := nextID()
+			sim.At(releaseAt, func() {
+				demands := make([]float64, stages)
+				for j, d := range c.Demands {
+					demands[j] = d.Sample(stream)
+				}
+				t := task.Chain(taskID, releaseAt, c.Deadline.Sample(stream), demands...)
+				t.Class = c.Name
+				t.Importance = c.Importance
+				ms.counts[c.Name]++
+				offer(t)
+				arrive()
+			})
+		}
+		arrive()
+	}
+	return ms
+}
+
+// Generated returns per-class arrival counts so far.
+func (ms *MixedSource) Generated() map[string]uint64 {
+	out := make(map[string]uint64, len(ms.counts))
+	for k, v := range ms.counts {
+		out[k] = v
+	}
+	return out
+}

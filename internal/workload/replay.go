@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+)
+
+// Replay is a recorded workload: explicit arrivals with deadlines and
+// per-stage demands, replayable into a pipeline. It supports trace-driven
+// evaluation against production request logs.
+type Replay struct {
+	Tasks []*task.Task
+}
+
+// ParseReplay reads a workload trace in CSV form:
+//
+//	arrival,deadline,c1,c2,...,cN
+//
+// A header row is permitted (detected by a non-numeric first field).
+// Every row must carry the same number of demand columns. Tasks are
+// sorted by arrival time; IDs are assigned by position.
+func ParseReplay(r io.Reader) (*Replay, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better errors
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	rep := &Replay{}
+	stages := -1
+	for i, row := range rows {
+		if len(row) == 0 {
+			continue
+		}
+		if _, err := strconv.ParseFloat(row[0], 64); err != nil && i == 0 {
+			continue // header
+		}
+		if len(row) < 3 {
+			return nil, fmt.Errorf("workload: trace row %d has %d fields, need arrival,deadline,demands...", i+1, len(row))
+		}
+		if stages == -1 {
+			stages = len(row) - 2
+		} else if len(row)-2 != stages {
+			return nil, fmt.Errorf("workload: trace row %d has %d demand columns, want %d", i+1, len(row)-2, stages)
+		}
+		vals := make([]float64, len(row))
+		for k, cell := range row {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace row %d field %d: %w", i+1, k+1, err)
+			}
+			vals[k] = v
+		}
+		if vals[1] <= 0 {
+			return nil, fmt.Errorf("workload: trace row %d: deadline %v must be positive", i+1, vals[1])
+		}
+		for _, c := range vals[2:] {
+			if c < 0 {
+				return nil, fmt.Errorf("workload: trace row %d: negative demand", i+1)
+			}
+		}
+		rep.Tasks = append(rep.Tasks, task.Chain(0, vals[0], vals[1], vals[2:]...))
+	}
+	if len(rep.Tasks) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	sort.SliceStable(rep.Tasks, func(a, b int) bool { return rep.Tasks[a].Arrival < rep.Tasks[b].Arrival })
+	for i, t := range rep.Tasks {
+		t.ID = task.ID(i)
+	}
+	return rep, nil
+}
+
+// Stages returns the number of demand columns in the trace.
+func (r *Replay) Stages() int {
+	if len(r.Tasks) == 0 {
+		return 0
+	}
+	return len(r.Tasks[0].Subtasks)
+}
+
+// Horizon returns the last arrival time.
+func (r *Replay) Horizon() float64 {
+	if len(r.Tasks) == 0 {
+		return 0
+	}
+	return r.Tasks[len(r.Tasks)-1].Arrival
+}
+
+// Schedule replays every arrival into offer at its recorded time.
+func (r *Replay) Schedule(sim *des.Simulator, offer func(*task.Task)) {
+	for _, t := range r.Tasks {
+		t := t
+		sim.At(t.Arrival, func() { offer(t) })
+	}
+}
+
+// WriteCSV writes the replay in the format ParseReplay reads (with a
+// header), so generated workloads can be saved and replayed.
+func (r *Replay) WriteCSV(w io.Writer) error {
+	n := r.Stages()
+	header := "arrival,deadline"
+	for j := 1; j <= n; j++ {
+		header += fmt.Sprintf(",c%d", j)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, t := range r.Tasks {
+		if _, err := fmt.Fprintf(w, "%.17g,%.17g", t.Arrival, t.Deadline); err != nil {
+			return err
+		}
+		for j := 0; j < n; j++ {
+			if _, err := fmt.Fprintf(w, ",%.17g", t.StageDemand(j)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecordReplay captures a generated workload (e.g. from NewSource) into
+// a Replay by interposing on the offer callback.
+func RecordReplay(offer func(*task.Task)) (*Replay, func(*task.Task)) {
+	rep := &Replay{}
+	return rep, func(t *task.Task) {
+		rep.Tasks = append(rep.Tasks, t)
+		if offer != nil {
+			offer(t)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+)
+
+const sampleTrace = `arrival,deadline,c1,c2
+0.5,10,1,2
+0.1,8,0.5,0.5
+2.0,12,3,1
+`
+
+func TestParseReplay(t *testing.T) {
+	rep, err := ParseReplay(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tasks) != 3 || rep.Stages() != 2 {
+		t.Fatalf("parsed %d tasks, %d stages", len(rep.Tasks), rep.Stages())
+	}
+	// Sorted by arrival, IDs positional.
+	if rep.Tasks[0].Arrival != 0.1 || rep.Tasks[0].ID != 0 {
+		t.Fatalf("first task %+v", rep.Tasks[0])
+	}
+	if rep.Tasks[2].Arrival != 2.0 || rep.Tasks[2].StageDemand(0) != 3 {
+		t.Fatalf("last task %+v", rep.Tasks[2])
+	}
+	if rep.Horizon() != 2.0 {
+		t.Fatalf("horizon %v", rep.Horizon())
+	}
+}
+
+func TestParseReplayWithoutHeader(t *testing.T) {
+	rep, err := ParseReplay(strings.NewReader("1,5,0.5\n2,5,0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tasks) != 2 || rep.Stages() != 1 {
+		t.Fatalf("parsed %+v", rep)
+	}
+}
+
+func TestParseReplayErrors(t *testing.T) {
+	tests := []struct {
+		name, trace string
+	}{
+		{"empty", ""},
+		{"header only", "arrival,deadline,c1\n"},
+		{"too few fields", "1,5\n"},
+		{"ragged demands", "1,5,1\n2,5,1,2\n"},
+		{"bad number", "1,5,xyz\n"},
+		{"zero deadline", "1,0,1\n"},
+		{"negative demand", "1,5,-1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseReplay(strings.NewReader(tt.trace)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestReplaySchedule(t *testing.T) {
+	rep, err := ParseReplay(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	var arrivals []float64
+	rep.Schedule(sim, func(tk *task.Task) { arrivals = append(arrivals, tk.Arrival) })
+	sim.Run()
+	want := []float64{0.1, 0.5, 2.0}
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals %v", arrivals)
+	}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrivals %v, want %v", arrivals, want)
+		}
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	// Generate -> record -> write -> parse -> identical tasks.
+	spec := PipelineSpec{Stages: 2, Load: 1, MeanDemand: 1, Resolution: 20}
+	sim := des.New()
+	rep, sink := RecordReplay(nil)
+	src := NewSource(sim, spec, 5, 100, sink)
+	src.Start()
+	sim.Run()
+	if len(rep.Tasks) == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	var b strings.Builder
+	if err := rep.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReplay(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tasks) != len(rep.Tasks) {
+		t.Fatalf("round trip count %d != %d", len(back.Tasks), len(rep.Tasks))
+	}
+	for i := range rep.Tasks {
+		a, b := rep.Tasks[i], back.Tasks[i]
+		if a.Arrival != b.Arrival || a.Deadline != b.Deadline {
+			t.Fatalf("task %d header mismatch: %+v vs %+v", i, a, b)
+		}
+		for j := 0; j < 2; j++ {
+			if a.StageDemand(j) != b.StageDemand(j) {
+				t.Fatalf("task %d stage %d demand %v vs %v", i, j, a.StageDemand(j), b.StageDemand(j))
+			}
+		}
+	}
+}
+
+func TestRecordReplayForwards(t *testing.T) {
+	forwarded := 0
+	rep, sink := RecordReplay(func(*task.Task) { forwarded++ })
+	sink(task.Chain(1, 0, 1, 0.5))
+	if forwarded != 1 || len(rep.Tasks) != 1 {
+		t.Fatalf("forwarded %d, recorded %d", forwarded, len(rep.Tasks))
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/task"
+)
+
+// TSCE models the Table 1 mission execution system (paper §5). Times are
+// in seconds. Stage 1 = tracking processors, stage 2 = distributors,
+// stage 3 = console displays.
+//
+// Following the paper's own modeling choice for stage 3 ("different tasks
+// have different consoles ... we do not add their utilizations, but take
+// the largest one"), only the largest stage-3 consumer (UAV video) runs
+// on the shared stage-3 resource; Weapon Detection's display and Weapon
+// Targeting's weapon release execute on their private consoles/hardware
+// outside the shared pipeline, so their stage-3 demands are zero here.
+type TSCE struct {
+	// WeaponDetection is an aperiodic hard real-time threat assessment:
+	// D = 500 ms, C = (100 ms, 65 ms, —). Simulated sporadically at its
+	// worst-case rate (one instance per deadline window).
+	WeaponDetection PeriodicStream
+	// WeaponTargeting runs at P = D = 50 ms with C = (5 ms, 5 ms, —).
+	WeaponTargeting PeriodicStream
+	// UAVVideo runs at P = D = 500 ms with C = (50 ms, 10 ms, 50 ms).
+	UAVVideo PeriodicStream
+	// TrackDistribution packages track data each second for the 10
+	// consoles: C = (—, 2 ms × 10, 20 ms) at P = D = 1 s. It is part of
+	// the Target Tracking service but independent of the track count.
+	TrackDistribution PeriodicStream
+	// TrackUpdatePeriod/Deadline/Demand describe one per-track update
+	// task: C1 = 1 ms at P = D = 1 s.
+	TrackUpdatePeriod   float64
+	TrackUpdateDeadline float64
+	TrackUpdateDemand   float64
+	// AdmissionHold is the §5 wait-queue allowance (200 ms).
+	AdmissionHold float64
+}
+
+// NewTSCE returns the Table 1 scenario with the paper's parameters.
+func NewTSCE() TSCE {
+	return TSCE{
+		WeaponDetection: PeriodicStream{
+			Name: "weapon-detection", Period: 0.5, Deadline: 0.5,
+			Demands: []float64{0.100, 0.065, 0}, Importance: 10,
+		},
+		WeaponTargeting: PeriodicStream{
+			Name: "weapon-targeting", Period: 0.05, Deadline: 0.05,
+			Demands: []float64{0.005, 0.005, 0}, Importance: 9,
+		},
+		UAVVideo: PeriodicStream{
+			Name: "uav-video", Period: 0.5, Deadline: 0.5,
+			Demands: []float64{0.050, 0.010, 0.050}, Importance: 5,
+		},
+		TrackDistribution: PeriodicStream{
+			Name: "track-distribution", Period: 1, Deadline: 1,
+			Demands: []float64{0, 0.020, 0.020}, Importance: 6,
+		},
+		TrackUpdatePeriod:   1,
+		TrackUpdateDeadline: 1,
+		TrackUpdateDemand:   0.001,
+		AdmissionHold:       0.2,
+	}
+}
+
+// ReservedStreams returns the pre-certified critical streams whose
+// synthetic utilization is reserved on each stage.
+func (c TSCE) ReservedStreams() []PeriodicStream {
+	return []PeriodicStream{c.WeaponDetection, c.WeaponTargeting, c.UAVVideo}
+}
+
+// ReservedUtilization computes the per-stage reserved synthetic
+// utilization Σ C_j/D over the critical streams — the paper's
+// (0.40, 0.25, 0.10).
+func (c TSCE) ReservedUtilization() []float64 {
+	res := make([]float64, 3)
+	for _, s := range c.ReservedStreams() {
+		for j, u := range s.Utilization() {
+			res[j] += u
+		}
+	}
+	return res
+}
+
+// ScheduleReserved injects the critical periodic streams (bypassing
+// admission — their capacity is the reserved floor) until horizon.
+func (c TSCE) ScheduleReserved(sim *des.Simulator, rng *dist.RNG, horizon des.Time, nextID *task.ID, inject func(*task.Task)) {
+	for _, s := range c.ReservedStreams() {
+		s.Schedule(sim, rng, horizon, nextID, inject)
+	}
+}
+
+// ScheduleTracking offers the dynamic Target Tracking workload for the
+// given number of tracks: the per-period distribution/display task plus
+// one update task per track, with uniformly random phases so track
+// updates spread across the period.
+func (c TSCE) ScheduleTracking(sim *des.Simulator, rng *dist.RNG, tracks int, horizon des.Time, nextID *task.ID, offer func(*task.Task)) {
+	c.TrackDistribution.Schedule(sim, rng, horizon, nextID, offer)
+	for i := 0; i < tracks; i++ {
+		stream := PeriodicStream{
+			Name:       "track-update",
+			Period:     c.TrackUpdatePeriod,
+			Phase:      rng.Float64() * c.TrackUpdatePeriod,
+			Deadline:   c.TrackUpdateDeadline,
+			Demands:    []float64{c.TrackUpdateDemand, 0, 0},
+			Importance: 3,
+		}
+		stream.Schedule(sim, rng, horizon, nextID, offer)
+	}
+}
