@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race test-short bench experiments experiments-quick examples fuzz verify clean
+.PHONY: all build vet test race test-race test-short bench experiments experiments-quick examples fuzz verify clean
 
 all: build vet test
 
@@ -14,6 +14,8 @@ vet:
 
 test:
 	$(GO) test ./...
+
+race: test-race
 
 test-race:
 	$(GO) test -race ./...

@@ -152,7 +152,9 @@ func BenchmarkAdmissionDecisionTaskCount(b *testing.B) {
 			c := core.NewController(sim, core.NewRegion(3), nil)
 			// Preload the ledgers with `active` tiny tasks.
 			for i := 0; i < active; i++ {
-				c.ForceAdmit(task.Chain(task.ID(i), 0, 1e9, 1, 1, 1))
+				if err := c.ForceAdmit(task.Chain(task.ID(i), 0, 1e9, 1, 1, 1)); err != nil {
+					b.Fatal(err)
+				}
 			}
 			probe := task.Chain(task.ID(active+1), 0, 100, 0.1, 0.1, 0.1)
 			b.ResetTimer()

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines] [-quick] [-csv dir]
+//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos] [-quick] [-csv dir]
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness")
+	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos")
 	quick := flag.Bool("quick", false, "reduced scale (shorter horizons, one replication)")
 	plot := flag.Bool("plot", false, "render Figures 4-7 as ASCII charts in addition to tables")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
@@ -154,6 +154,14 @@ func main() {
 		ms.Scale = scale
 		tables = append(tables, experiments.MultiServerScaling(ms))
 		tables = append(tables, experiments.AdversarialTightness(experiments.DefaultAdversarial()))
+	}
+
+	if want("chaos") {
+		cc := experiments.DefaultChaos()
+		if *quick {
+			cc.Seeds, cc.Horizon, cc.Warmup = 2, 300, 40
+		}
+		tables = append(tables, experiments.Chaos(cc))
 	}
 
 	if want("soundness") {

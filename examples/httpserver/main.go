@@ -10,7 +10,9 @@
 //     per-stage cost estimates;
 //   - admitted requests are processed end to end; rejected ones get 503
 //     immediately (fail fast instead of queueing into a missed goal);
-//   - stage-idle callbacks drive the paper's synthetic-utilization reset.
+//   - stage-idle callbacks drive the paper's synthetic-utilization reset;
+//   - a background watchdog reconciles the ledgers against leaks, the
+//     production safety net for lost departure callbacks.
 //
 // The demo fires a few thousand concurrent requests at twice the
 // service's capacity and reports acceptance, goal violations among
@@ -20,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,13 +35,24 @@ import (
 	feasregion "feasregion"
 )
 
+var (
+	errStageBusy   = errors.New("stage queue full")
+	errStageClosed = errors.New("stage closed")
+)
+
 // stage is a single-worker backend stage: requests queue FIFO and a
-// dedicated goroutine "executes" each job by sleeping its cost.
+// dedicated goroutine "executes" each job by sleeping its cost. The
+// idle callback is wired after construction (SetOnIdle) and may be nil;
+// Close stops the worker so the stage cannot leak its goroutine.
 type stage struct {
 	name    string
 	jobs    chan job
 	pending atomic.Int64
-	onIdle  func()
+	done    chan struct{}
+	closing sync.Once
+
+	mu     sync.Mutex
+	onIdle func()
 }
 
 type job struct {
@@ -46,26 +60,68 @@ type job struct {
 	done chan struct{}
 }
 
-func newStage(name string, onIdle func()) *stage {
-	s := &stage{name: name, jobs: make(chan job, 4096), onIdle: onIdle}
-	go func() {
-		for j := range s.jobs {
-			time.Sleep(j.cost)
-			close(j.done)
-			if s.pending.Add(-1) == 0 {
-				s.onIdle()
-			}
-		}
-	}()
+func newStage(name string, queue int) *stage {
+	s := &stage{name: name, jobs: make(chan job, queue), done: make(chan struct{})}
+	go s.work()
 	return s
 }
 
-// run executes cost on the stage and blocks until done.
-func (s *stage) run(cost time.Duration) {
+// SetOnIdle wires the drained-queue callback; before it is called (or
+// with a nil fn) idle transitions are simply not reported.
+func (s *stage) SetOnIdle(fn func()) {
+	s.mu.Lock()
+	s.onIdle = fn
+	s.mu.Unlock()
+}
+
+func (s *stage) work() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case j := <-s.jobs:
+			time.Sleep(j.cost)
+			close(j.done)
+			if s.pending.Add(-1) == 0 {
+				s.mu.Lock()
+				fn := s.onIdle
+				s.mu.Unlock()
+				if fn != nil {
+					fn()
+				}
+			}
+		}
+	}
+}
+
+// Close stops the worker goroutine; idempotent. In-flight run calls
+// return errStageClosed instead of blocking forever.
+func (s *stage) Close() {
+	s.closing.Do(func() { close(s.done) })
+}
+
+// run executes cost on the stage and blocks until done. A full queue
+// fails fast with errStageBusy rather than blocking the caller into a
+// blown deadline — backpressure belongs at admission, not in a hidden
+// unbounded wait.
+func (s *stage) run(cost time.Duration) error {
 	j := job{cost: cost, done: make(chan struct{})}
 	s.pending.Add(1)
-	s.jobs <- j
-	<-j.done
+	select {
+	case s.jobs <- j:
+	case <-s.done:
+		s.pending.Add(-1)
+		return errStageClosed
+	default:
+		s.pending.Add(-1)
+		return errStageBusy
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-s.done:
+		return errStageClosed
+	}
 }
 
 func main() {
@@ -75,10 +131,22 @@ func main() {
 		deadline = 60 * time.Millisecond
 	)
 
+	// Stages exist before the controller: until SetOnIdle wires them,
+	// idle transitions are silently (and safely) unreported.
+	app := newStage("app", 4096)
+	db := newStage("db", 4096)
+	defer db.Close()
+	defer app.Close()
+
 	ctrl := feasregion.NewOnlineController(feasregion.NewRegion(2), nil, nil)
-	var app, db *stage
-	app = newStage("app", func() { ctrl.StageIdle(0) })
-	db = newStage("db", func() { ctrl.StageIdle(1) })
+	app.SetOnIdle(func() { ctrl.StageIdle(0) })
+	db.SetOnIdle(func() { ctrl.StageIdle(1) })
+
+	// Self-healing: reconcile the ledgers periodically so a leaked
+	// contribution (a handler that crashed between admit and release)
+	// cannot pin synthetic utilization forever.
+	stopWatchdog := ctrl.StartWatchdog(25 * time.Millisecond)
+	defer stopWatchdog()
 
 	var nextID atomic.Uint64
 	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -92,15 +160,25 @@ func main() {
 			http.Error(w, "over capacity", http.StatusServiceUnavailable)
 			return
 		}
-		app.run(appCost)
+		// On any backend failure the admission charge is released so the
+		// region does not bleed capacity.
+		if err := app.run(appCost); err != nil {
+			ctrl.Release(id)
+			http.Error(w, "app stage unavailable", http.StatusServiceUnavailable)
+			return
+		}
 		ctrl.MarkDeparted(0, id)
-		db.run(dbCost)
+		if err := db.run(dbCost); err != nil {
+			ctrl.Release(id)
+			http.Error(w, "db stage unavailable", http.StatusServiceUnavailable)
+			return
+		}
 		ctrl.MarkDeparted(1, id)
 		fmt.Fprintln(w, "ok")
 	})
 
 	srv := httptest.NewServer(handler)
-	defer srv.Close()
+	defer srv.Close() // before the stage Closes: drain requests, then stop workers
 
 	// Client side: 1500 requests at roughly 2x the db stage's capacity
 	// (capacity ≈ 1/dbCost ≈ 333 req/s; we offer ≈ 660 req/s).
@@ -158,8 +236,8 @@ func main() {
 	fmt.Printf("  goal violations among accepted: %d\n", violated)
 	fmt.Printf("  latency p50 %v, p95 %v, p99 %v\n", pct(0.50), pct(0.95), pct(0.99))
 	s := ctrl.Stats()
-	fmt.Printf("  controller: %d admitted, %d rejected, final utilizations %.3v\n",
-		s.Admitted, s.Rejected, ctrl.Utilizations())
+	fmt.Printf("  controller: %d admitted, %d rejected, %d reconcile passes, final utilizations %.3v\n",
+		s.Admitted, s.Rejected, s.Reconciles, ctrl.Utilizations())
 	fmt.Println("\nEvery accepted request met (or came close to) its goal because the")
 	fmt.Println("controller bounded each stage's synthetic utilization; the excess")
 	fmt.Println("was refused up front instead of queueing everyone into failure.")

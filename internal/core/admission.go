@@ -182,13 +182,26 @@ func (c *Controller) TryAdmit(t *task.Task) bool {
 // ForceAdmit commits a task's contributions without testing the region.
 // It exists for certified critical tasks that were already accounted for
 // in the reserved floor to keep statistics honest; typical callers should
-// submit such tasks directly to the pipeline instead.
-func (c *Controller) ForceAdmit(t *task.Task) {
-	c.commit(t, c.deltas(t))
+// submit such tasks directly to the pipeline instead. A task with a
+// non-positive deadline has no finite utilization contribution and is
+// rejected with an error rather than committed.
+func (c *Controller) ForceAdmit(t *task.Task) error {
+	d := c.deltas(t)
+	if d == nil {
+		return fmt.Errorf("core: cannot force-admit task %d: non-positive deadline %v", t.ID, t.Deadline)
+	}
+	c.commit(t, d)
+	return nil
 }
 
-// commitAdmit implements regionAdmitter for the wait queue.
-func (c *Controller) commitAdmit(t *task.Task) { c.commit(t, c.deltas(t)) }
+// commitAdmit implements regionAdmitter for the wait queue. It is only
+// called after WouldAdmit accepted the task, which rejects non-positive
+// deadlines; the guard here keeps a misuse from panicking in commit.
+func (c *Controller) commitAdmit(t *task.Task) {
+	if d := c.deltas(t); d != nil {
+		c.commit(t, d)
+	}
+}
 
 func (c *Controller) commit(t *task.Task, d []float64) {
 	for j, l := range c.ledgers {
@@ -204,6 +217,29 @@ func (c *Controller) commit(t *task.Task, d []float64) {
 	})
 	c.stats.Admitted++
 	c.notifyChange()
+}
+
+// EstimateFor returns the demand estimate the admission test would use
+// for the task at the stage — the budget the overrun guard holds running
+// tasks to.
+func (c *Controller) EstimateFor(t *task.Task, stage int) float64 {
+	return c.estimate(t, stage)
+}
+
+// Recharge replaces the task's synthetic-utilization contribution at one
+// stage with the observed value — the overrun guard's re-charge policy.
+// The utilization point may leave the feasible region as a result; the
+// admission test then rejects arrivals until load drains, which is
+// exactly the desired back-pressure. It reports whether the task still
+// contributed at the stage.
+func (c *Controller) Recharge(id task.ID, stage int, contribution float64) bool {
+	if !c.ledgers[stage].Update(id, contribution) {
+		return false
+	}
+	if c.onChange != nil {
+		c.onChange(stage, c.sim.Now(), c.ledgers[stage].Utilization())
+	}
+	return true
 }
 
 // Evict removes a task's contribution from every stage immediately —

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"feasregion/internal/task"
+)
+
+// OverrunPolicy selects how the overrun guard responds when a running
+// task is observed consuming more computation time at a stage than the
+// estimate it was admitted under. The guarantee Σ f(U_j) ≤ α(1−Σβ_j)
+// only holds while admitted tasks stay within their declared demands, so
+// an unchecked overrun silently voids the deadline guarantee for every
+// in-flight task; the guard restores soundness by policy.
+type OverrunPolicy int
+
+const (
+	// OverrunIgnore disables detection entirely (the pre-guard behavior:
+	// trust every estimate unconditionally).
+	OverrunIgnore OverrunPolicy = iota
+
+	// OverrunLog detects and counts overruns but does not intervene —
+	// the observability-only mode for estimating a workload's lie rate.
+	OverrunLog
+
+	// OverrunRecharge re-charges the stage ledger with the observed
+	// demand: the overrunning task keeps running, but the admission test
+	// now sees the true utilization point and back-pressures arrivals
+	// until the excess drains. Deadlines of already-admitted tasks may
+	// still be at risk from the excess already consumed.
+	OverrunRecharge
+
+	// OverrunEvict aborts the overrunning task the instant it exhausts
+	// its admitted estimate and evicts its contributions, so its
+	// interference at every stage stays within what the region accounted
+	// for — truthfully-declared tasks keep their guarantee.
+	OverrunEvict
+)
+
+// String returns the policy's label.
+func (p OverrunPolicy) String() string {
+	switch p {
+	case OverrunIgnore:
+		return "ignore"
+	case OverrunLog:
+		return "log"
+	case OverrunRecharge:
+		return "recharge"
+	case OverrunEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("OverrunPolicy(%d)", int(p))
+	}
+}
+
+// GuardStats counts overrun-guard interventions.
+type GuardStats struct {
+	// Detected counts budget crossings (at most one per task per stage).
+	Detected uint64
+	// Recharged counts ledger re-charges (OverrunRecharge).
+	Recharged uint64
+	// Evictions counts abort-and-evict decisions (OverrunEvict).
+	Evictions uint64
+	// ExcessObserved accumulates observed-minus-declared demand across
+	// detections — the total estimate error the guard caught.
+	ExcessObserved float64
+}
+
+// Guard is the per-stage budget accountant for admitted demand
+// estimates. The pipeline submits every guarded job with budget
+// Budget(t, stage); when the scheduler's watchdog reports a crossing,
+// HandleOverrun applies the policy against the controller's ledgers and
+// tells the caller whether to abort the task.
+type Guard struct {
+	ctrl      *Controller
+	policy    OverrunPolicy
+	tolerance float64
+	stats     GuardStats
+}
+
+// NewGuard builds a guard over the controller. tolerance is the
+// fractional slack granted on top of the admitted estimate before the
+// guard trips (0 holds tasks to their exact declaration; approximate
+// per-task estimators such as MeanDemand need headroom, since truthful
+// tasks routinely exceed a mean). It must be non-negative.
+func NewGuard(ctrl *Controller, policy OverrunPolicy, tolerance float64) *Guard {
+	if ctrl == nil {
+		panic("core: guard needs a controller")
+	}
+	if tolerance < 0 || math.IsNaN(tolerance) {
+		panic(fmt.Sprintf("core: overrun tolerance must be non-negative, got %v", tolerance))
+	}
+	return &Guard{ctrl: ctrl, policy: policy, tolerance: tolerance}
+}
+
+// Policy returns the guard's configured response.
+func (g *Guard) Policy() OverrunPolicy { return g.policy }
+
+// Stats returns a snapshot of the guard's counters.
+func (g *Guard) Stats() GuardStats { return g.stats }
+
+// Budget returns the execution-time budget for the task at the stage:
+// the admitted estimate times (1 + tolerance), or +Inf when the guard is
+// configured to ignore overruns.
+func (g *Guard) Budget(t *task.Task, stage int) float64 {
+	if g.policy == OverrunIgnore {
+		return math.Inf(1)
+	}
+	return g.ctrl.EstimateFor(t, stage) * (1 + g.tolerance)
+}
+
+// HandleOverrun applies the policy to a detected budget crossing:
+// consumed is the computation the task has executed at the stage so far
+// and observed its projected total there. It returns evict=true when the
+// caller must abort the task and evict its contributions (the caller
+// owns job cancellation; eviction from the ledgers is per-stage state
+// the caller clears with Controller.Evict).
+func (g *Guard) HandleOverrun(t *task.Task, stage int, consumed, observed float64) (evict bool) {
+	g.stats.Detected++
+	if excess := observed - g.ctrl.EstimateFor(t, stage); excess > 0 {
+		g.stats.ExcessObserved += excess
+	}
+	switch g.policy {
+	case OverrunRecharge:
+		if t.Deadline > 0 {
+			if g.ctrl.Recharge(t.ID, stage, observed/t.Deadline) {
+				g.stats.Recharged++
+			}
+		}
+		return false
+	case OverrunEvict:
+		g.stats.Evictions++
+		return true
+	default: // OverrunLog (OverrunIgnore never arms a budget)
+		return false
+	}
+}

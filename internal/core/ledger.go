@@ -105,6 +105,38 @@ func (l *Ledger) Peak() float64 { return l.peak }
 // the start of a measurement window.
 func (l *Ledger) ResetPeak() { l.peak = l.Utilization() }
 
+// Update replaces a task's recorded contribution in place — the overrun
+// guard's re-charge primitive: when a task is observed consuming more
+// than it declared, its ledger entry is raised to the observed demand so
+// the admission test sees the truth. It reports whether the task was
+// present (an expired or reset contribution is not resurrected).
+func (l *Ledger) Update(id task.ID, contribution float64) bool {
+	if contribution < 0 {
+		panic("core: negative synthetic-utilization contribution")
+	}
+	old, ok := l.contrib[id]
+	if !ok {
+		return false
+	}
+	l.contrib[id] = contribution
+	l.add(contribution - old)
+	if u := l.Utilization(); u > l.peak {
+		l.peak = u
+	}
+	return true
+}
+
+// TaskIDs returns the IDs of all currently-contributing tasks, in no
+// particular order — the reconciliation pass uses it to scan for leaked
+// contributions.
+func (l *Ledger) TaskIDs() []task.ID {
+	ids := make([]task.ID, 0, len(l.contrib))
+	for id := range l.contrib {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
 // Contribution returns the task's recorded contribution and whether it
 // is still present.
 func (l *Ledger) Contribution(id task.ID) (float64, bool) {

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+)
+
+// TestReconfigureTightensWaitQueue raises the reserved floors while a
+// task is held in the wait queue and asserts the retry path cannot admit
+// past the tightened bound: the waiter only gets in once enough capacity
+// drains for the NEW configuration, not the one it arrived under.
+func TestReconfigureTightensWaitQueue(t *testing.T) {
+	sim := des.New()
+	region := NewRegion(1)
+	c := NewController(sim, region, nil)
+
+	admitted := map[task.ID]bool{}
+	wq := NewWaitQueue(sim, c, 50, func(tk *task.Task) { admitted[tk.ID] = true })
+
+	// Fill most of the region: for one stage the bound is f(U) ≤ α, i.e.
+	// U ≤ some u*; a large occupant plus the waiter must overflow it.
+	occupant := task.Chain(1, 0, 10, 4) // contribution 0.4
+	if !c.TryAdmit(occupant) {
+		t.Fatal("occupant should fit an empty region")
+	}
+	waiterTask := task.Chain(2, 0, 10, 3) // contribution 0.3 at arrival
+	wq.Submit(waiterTask)
+	if admitted[2] || wq.PendingLen() != 1 {
+		t.Fatalf("waiter should be held (pending=%d)", wq.PendingLen())
+	}
+
+	// Tighten: reserve a 0.5 floor. Even with the occupant gone, the
+	// waiter's contribution must now clear the bound over the floor.
+	c.Reconfigure([]float64{0.5})
+
+	// Free the occupant's 0.4. The release retries the wait queue; the
+	// waiter (≥0.3 contribution, growing as its deadline shrinks) on top
+	// of the 0.5 floor must NOT be admitted if that point leaves the
+	// region — verify against the region's own test.
+	sim.At(1, func() { c.Evict(occupant.ID) })
+	sim.RunUntil(2)
+
+	if admitted[2] {
+		us := c.Utilizations()
+		if region.Value(us) > region.Bound()+1e-9 {
+			t.Fatalf("waiter admitted past the tightened bound: point %v exceeds %v", region.Value(us), region.Bound())
+		}
+	} else {
+		// Still held: the tightened floor blocked it even though the
+		// pre-reconfigure configuration had room (0.4 freed > 0.3 needed).
+		if wq.PendingLen() != 1 {
+			t.Fatalf("waiter neither admitted nor pending (pending=%d)", wq.PendingLen())
+		}
+	}
+
+	// Lower the floor back down: the release hook must fire and admit
+	// the waiter while its deadline still has slack.
+	sim.At(3, func() { c.Reconfigure([]float64{0}) })
+	sim.RunUntil(4)
+	if !admitted[2] {
+		t.Fatal("waiter not admitted after floors were lowered")
+	}
+	st := wq.Stats()
+	if st.AdmittedAfterWait != 1 {
+		t.Errorf("wait stats = %+v, want exactly one late admission", st)
+	}
+
+	// The admitted point must satisfy the (current) region test.
+	if v := c.Value(); v > region.Bound()+1e-9 {
+		t.Errorf("post-admission point %v exceeds bound %v", v, region.Bound())
+	}
+}
+
+// TestReconfigureRaiseDoesNotRetry checks that raising floors alone does
+// not fire the release hook (nothing was freed), while lowering does.
+func TestReconfigureRaiseDoesNotRetry(t *testing.T) {
+	sim := des.New()
+	c := NewController(sim, NewRegion(2), nil)
+	fired := 0
+	c.OnRelease(func(des.Time) { fired++ })
+	c.Reconfigure([]float64{0.2, 0.2})
+	if fired != 0 {
+		t.Errorf("raising floors fired the release hook %d times", fired)
+	}
+	c.Reconfigure([]float64{0.1, 0.2})
+	if fired != 1 {
+		t.Errorf("lowering a floor fired the release hook %d times, want 1", fired)
+	}
+}

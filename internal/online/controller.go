@@ -51,10 +51,25 @@ func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiry)) }
 func (h *expiryHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-// Stats counts admission outcomes.
+// Stats counts admission outcomes and self-healing activity.
 type Stats struct {
 	Admitted uint64
 	Rejected uint64
+	// Expired counts contributions removed by the lazy deadline purge.
+	Expired uint64
+	// IdleResets counts StageIdle calls that freed at least one
+	// contribution.
+	IdleResets uint64
+	// Reconciles counts watchdog/reconciliation passes.
+	Reconciles uint64
+	// OrphansReaped counts leaked contributions the reconciliation pass
+	// removed: ledger entries with no pending expiry, which would
+	// otherwise inflate synthetic utilization forever.
+	OrphansReaped uint64
+	// ClockRegressions counts observations of the wall clock stepping
+	// backwards (VM migration, NTP correction, injected skew). The
+	// purge clock is monotone, so regressions cannot stall expiry.
+	ClockRegressions uint64
 }
 
 // Controller is a thread-safe wall-clock admission controller enforcing
@@ -67,7 +82,10 @@ type Controller struct {
 	mu       sync.Mutex
 	ledgers  []*core.Ledger
 	expiries expiryHeap
-	waitCh   chan struct{} // closed and replaced whenever utilization may drop
+	pending  map[uint64]time.Time // id → absolute deadline, for orphan detection
+	scales   []float64            // per-stage demand multipliers (degraded stages)
+	maxNow   time.Time            // monotone high-water mark of observed clock
+	waitCh   chan struct{}        // closed and replaced whenever utilization may drop
 	stats    Stats
 }
 
@@ -82,14 +100,23 @@ func New(region core.Region, reserved []float64, clock Clock) *Controller {
 		clock = time.Now
 	}
 	ledgers := make([]*core.Ledger, region.Stages)
+	scales := make([]float64, region.Stages)
 	for j := range ledgers {
 		f := 0.0
 		if reserved != nil {
 			f = reserved[j]
 		}
 		ledgers[j] = core.NewLedger(f)
+		scales[j] = 1
 	}
-	return &Controller{region: region, clock: clock, ledgers: ledgers, waitCh: make(chan struct{})}
+	return &Controller{
+		region:  region,
+		clock:   clock,
+		ledgers: ledgers,
+		scales:  scales,
+		pending: map[uint64]time.Time{},
+		waitCh:  make(chan struct{}),
+	}
 }
 
 // bumpLocked wakes AdmitWithin waiters after a utilization decrease.
@@ -99,13 +126,35 @@ func (c *Controller) bumpLocked() {
 	c.waitCh = make(chan struct{})
 }
 
+// monotoneLocked folds a clock observation into the controller's
+// monotone high-water mark. A wall clock can step backwards (NTP
+// correction, VM migration, injected skew); expiry must never stall
+// because of it, so all deadline arithmetic uses the monotone view.
+func (c *Controller) monotoneLocked(now time.Time) time.Time {
+	if now.Before(c.maxNow) {
+		c.stats.ClockRegressions++
+		return c.maxNow
+	}
+	c.maxNow = now
+	return now
+}
+
 // purgeLocked removes contributions whose deadlines have passed.
 func (c *Controller) purgeLocked(now time.Time) {
+	now = c.monotoneLocked(now)
 	purged := false
 	for len(c.expiries) > 0 && !c.expiries[0].at.After(now) {
 		e := heap.Pop(&c.expiries).(expiry)
+		delete(c.pending, e.id)
+		removed := false
 		for _, l := range c.ledgers {
-			l.Remove(coreID(e.id))
+			if _, ok := l.Contribution(coreID(e.id)); ok {
+				l.Remove(coreID(e.id))
+				removed = true
+			}
+		}
+		if removed {
+			c.stats.Expired++
 		}
 		purged = true
 	}
@@ -132,17 +181,17 @@ func (c *Controller) tryAdmit(r Request, countReject bool) bool {
 		}
 		return false
 	}
-	now := c.clock()
 	d := r.Deadline.Seconds()
-	deltas := make([]float64, len(r.Demands))
-	for j, dem := range r.Demands {
-		deltas[j] = dem.Seconds() / d
-	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.monotoneLocked(c.clock())
 	c.purgeLocked(now)
 
+	deltas := make([]float64, len(r.Demands))
+	for j, dem := range r.Demands {
+		deltas[j] = dem.Seconds() * c.scales[j] / d
+	}
 	sum := 0.0
 	for j, l := range c.ledgers {
 		sum += core.StageDelayFactor(l.Utilization() + deltas[j])
@@ -156,7 +205,9 @@ func (c *Controller) tryAdmit(r Request, countReject bool) bool {
 	for j, l := range c.ledgers {
 		l.Add(coreID(r.ID), deltas[j])
 	}
-	heap.Push(&c.expiries, expiry{at: now.Add(r.Deadline), id: r.ID})
+	at := now.Add(r.Deadline)
+	heap.Push(&c.expiries, expiry{at: at, id: r.ID})
+	c.pending[r.ID] = at
 	c.stats.Admitted++
 	return true
 }
@@ -232,7 +283,104 @@ func (c *Controller) StageIdle(stage int) {
 	defer c.mu.Unlock()
 	c.purgeLocked(c.clock())
 	if c.ledgers[stage].ResetIdle() > 0 {
+		c.stats.IdleResets++
 		c.bumpLocked()
+	}
+}
+
+// SetStageScale sets a demand multiplier for future admissions at the
+// stage — the self-healing hook for degraded stages: a replica running
+// at half speed effectively doubles every request's computation time
+// there, so scale 2 keeps the admission test honest until the stage
+// recovers (scale 1 restores nominal). Already-admitted contributions
+// are unchanged. scale must be positive and finite.
+func (c *Controller) SetStageScale(stage int, scale float64) {
+	if scale <= 0 || scale != scale || scale > 1e9 {
+		panic(fmt.Sprintf("online: stage scale %v must be positive and finite", scale))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.scales[stage]
+	c.scales[stage] = scale
+	if scale < old {
+		c.bumpLocked() // relaxed scaling may let waiters in
+	}
+}
+
+// StageScales returns the current per-stage demand multipliers.
+func (c *Controller) StageScales() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.scales...)
+}
+
+// ReconcileResult reports what one reconciliation pass found.
+type ReconcileResult struct {
+	// Orphans is the number of leaked contributions reaped: ledger
+	// entries with no pending expiry. They cannot arise through this
+	// API's normal flow, but a crashed caller, a lost departure
+	// callback combined with an application-level ledger bridge, or a
+	// future bug would otherwise pin synthetic utilization forever and
+	// starve admission.
+	Orphans int
+	// Expired is the number of contributions the accompanying purge
+	// removed (deadline passed).
+	Expired int
+}
+
+// Reconcile runs one watchdog pass: it purges expired contributions
+// using the monotone clock (so skew cannot stall expiry) and reaps
+// leaked contributions that no pending expiry covers. Embedding
+// applications call it periodically (or via StartWatchdog) as a safety
+// net; on a healthy controller it is a cheap no-op.
+func (c *Controller) Reconcile() ReconcileResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	before := c.stats.Expired
+	c.purgeLocked(c.clock())
+	res := ReconcileResult{Expired: int(c.stats.Expired - before)}
+	for _, l := range c.ledgers {
+		for _, id := range l.TaskIDs() {
+			if _, ok := c.pending[uint64(id)]; !ok {
+				l.Remove(id)
+				res.Orphans++
+			}
+		}
+	}
+	c.stats.Reconciles++
+	if res.Orphans > 0 {
+		c.stats.OrphansReaped += uint64(res.Orphans)
+		c.bumpLocked()
+	}
+	return res
+}
+
+// StartWatchdog runs Reconcile every interval on a background goroutine
+// until the returned stop function is called (stop is idempotent and
+// waits for the goroutine to exit).
+func (c *Controller) StartWatchdog(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		panic("online: watchdog interval must be positive")
+	}
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				c.Reconcile()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-exited
 	}
 }
 

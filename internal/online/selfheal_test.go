@@ -1,0 +1,185 @@
+package online
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"feasregion/internal/core"
+	"feasregion/internal/faults"
+)
+
+// TestOnlineClockRegression steps the wall clock backwards and checks
+// the monotone purge clock keeps expiry moving: a regression is counted,
+// never stalls a deadline decrement, and admissions made while the clock
+// is behind still expire on the monotone timeline.
+func TestOnlineClockRegression(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	if !c.TryAdmit(req(1, 2*time.Second, 600*time.Millisecond)) {
+		t.Fatal("first rejected")
+	}
+	clk.Advance(2100 * time.Millisecond)
+	if got := c.Utilizations()[0]; got != 0 {
+		t.Fatalf("utilization after expiry %v, want 0", got)
+	}
+	// NTP-style step back by 1.5s. The monotone view must hold at the
+	// high-water mark.
+	clk.Advance(-1500 * time.Millisecond)
+	if !c.TryAdmit(req(2, time.Second, 300*time.Millisecond)) {
+		t.Fatal("admission rejected during clock regression")
+	}
+	s := c.Stats()
+	if s.ClockRegressions == 0 {
+		t.Fatal("backwards clock step was not counted")
+	}
+	if s.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", s.Expired)
+	}
+	// The new contribution's deadline was anchored at the monotone now,
+	// so it expires 1s after the high-water mark, not 1s after the
+	// regressed clock. Advancing the real clock 1.5s+1s+ε clears it.
+	clk.Advance(2600 * time.Millisecond)
+	if got := c.Utilizations()[0]; got != 0 {
+		t.Fatalf("utilization after monotone expiry %v, want 0", got)
+	}
+	if got := c.Stats().Expired; got != 2 {
+		t.Fatalf("Expired = %d, want 2", got)
+	}
+}
+
+// TestOnlineUnderSkewedClock drives the controller with the fault
+// injector's sawtooth clock — drifting, and stepping backwards at every
+// period reset — and checks accounting survives: regressions are
+// observed, every admitted contribution eventually expires, and
+// utilization returns to zero.
+func TestOnlineUnderSkewedClock(t *testing.T) {
+	clk := newFakeClock()
+	skewed := faults.SkewedClock(clk.Now, 80*time.Millisecond, 300*time.Millisecond)
+	c := New(core.NewRegion(1), nil, Clock(skewed))
+	admitted := 0
+	for i := 0; i < 200; i++ {
+		if c.TryAdmit(req(uint64(i+1), 100*time.Millisecond, 10*time.Millisecond)) {
+			admitted++
+		}
+		clk.Advance(10 * time.Millisecond)
+		c.Utilizations() // purge opportunity under the skewed clock
+	}
+	clk.Advance(time.Second)
+	if got := c.Utilizations()[0]; math.Abs(got) > 1e-12 {
+		t.Fatalf("utilization %v after all deadlines passed, want 0", got)
+	}
+	s := c.Stats()
+	if admitted == 0 || s.Admitted != uint64(admitted) {
+		t.Fatalf("admitted %d, stats %+v", admitted, s)
+	}
+	if s.ClockRegressions == 0 {
+		t.Fatal("sawtooth clock never registered a regression")
+	}
+	if s.Expired != uint64(admitted) {
+		t.Fatalf("Expired = %d, want %d (every admission must expire exactly once)", s.Expired, admitted)
+	}
+}
+
+// TestOnlineReconcileReapsOrphans leaks a contribution straight into a
+// ledger (no pending expiry — the signature of a lost departure path)
+// and checks Reconcile reaps it while leaving healthy contributions
+// untouched.
+func TestOnlineReconcileReapsOrphans(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(2), nil, clk.Now)
+	if !c.TryAdmit(req(1, 4*time.Second, time.Second, time.Second)) {
+		t.Fatal("healthy request rejected")
+	}
+	c.mu.Lock()
+	c.ledgers[0].Add(coreID(999), 0.3) // leak: no expiry, no pending entry
+	c.mu.Unlock()
+
+	res := c.Reconcile()
+	if res.Orphans != 1 || res.Expired != 0 {
+		t.Fatalf("reconcile result %+v, want 1 orphan, 0 expired", res)
+	}
+	us := c.Utilizations()
+	if math.Abs(us[0]-0.25) > 1e-12 || math.Abs(us[1]-0.25) > 1e-12 {
+		t.Fatalf("utilizations %v after reap, want [0.25 0.25] (healthy entry intact)", us)
+	}
+	s := c.Stats()
+	if s.OrphansReaped != 1 || s.Reconciles != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// A second pass on a healthy controller is a no-op.
+	if res := c.Reconcile(); res.Orphans != 0 {
+		t.Fatalf("second reconcile reaped %d orphans on a healthy controller", res.Orphans)
+	}
+}
+
+// TestOnlineStageScale checks degraded-stage demand scaling tightens
+// admission: a request that fits at nominal speed is rejected when the
+// stage is marked degraded, and fits again after recovery.
+func TestOnlineStageScale(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	// 1.5s of work within 4s → contribution 0.375 ≤ 0.5 bound at scale 1,
+	// 0.75 > 0.5 at scale 2.
+	c.SetStageScale(0, 2)
+	if c.TryAdmit(req(1, 4*time.Second, 1500*time.Millisecond)) {
+		t.Fatal("admitted against a degraded stage at nominal demand")
+	}
+	c.SetStageScale(0, 1)
+	if !c.TryAdmit(req(2, 4*time.Second, 1500*time.Millisecond)) {
+		t.Fatal("rejected after the stage recovered")
+	}
+	if got := c.StageScales(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("StageScales() = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive scale must panic")
+		}
+	}()
+	c.SetStageScale(0, 0)
+}
+
+// TestOnlineIdleResetCounted checks the IdleResets counter tracks only
+// resets that freed a contribution.
+func TestOnlineIdleResetCounted(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	c.StageIdle(0) // nothing to free
+	if got := c.Stats().IdleResets; got != 0 {
+		t.Fatalf("IdleResets = %d after vacuous reset, want 0", got)
+	}
+	c.TryAdmit(req(1, 4*time.Second, time.Second))
+	c.MarkDeparted(0, 1)
+	c.StageIdle(0)
+	if got := c.Stats().IdleResets; got != 1 {
+		t.Fatalf("IdleResets = %d, want 1", got)
+	}
+}
+
+// TestOnlineWatchdog runs the background reconciler against a leaked
+// contribution and checks it is reaped without any explicit call; stop
+// is idempotent.
+func TestOnlineWatchdog(t *testing.T) {
+	c := New(core.NewRegion(1), nil, nil) // real clock
+	c.mu.Lock()
+	c.ledgers[0].Add(coreID(7), 0.4)
+	c.mu.Unlock()
+
+	stop := c.StartWatchdog(2 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().OrphansReaped == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never reaped the leaked contribution")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if got := c.Utilizations()[0]; got != 0 {
+		t.Fatalf("utilization %v after watchdog reap, want 0", got)
+	}
+	if c.Stats().Reconciles == 0 {
+		t.Fatal("watchdog ran without counting a reconcile pass")
+	}
+}

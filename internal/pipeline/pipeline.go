@@ -8,6 +8,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"feasregion/internal/trace"
@@ -15,6 +16,7 @@ import (
 	"feasregion/internal/core"
 	"feasregion/internal/des"
 	"feasregion/internal/dist"
+	"feasregion/internal/faults"
 	"feasregion/internal/sched"
 	"feasregion/internal/stats"
 	"feasregion/internal/task"
@@ -82,6 +84,27 @@ type Options struct {
 	// feasible-region controller.
 	EnableShedding bool
 
+	// OverrunPolicy arms the overrun guard: every guarded task's job is
+	// submitted with its admitted per-stage demand estimate as an
+	// execution budget, and crossing it triggers the policy (log,
+	// re-charge the ledger with the observed demand, or abort-and-evict
+	// so truthfully-declared tasks keep their guarantee). Requires the
+	// default feasible-region controller; injected (certified critical)
+	// tasks are never guarded. The zero value, core.OverrunIgnore,
+	// disables detection.
+	OverrunPolicy core.OverrunPolicy
+
+	// OverrunTolerance is the fractional slack on top of the admitted
+	// estimate before the guard trips (see core.NewGuard). Use a
+	// generous value with approximate estimators such as MeanDemand,
+	// where truthful tasks routinely exceed their per-task estimate.
+	OverrunTolerance float64
+
+	// Faults, when non-nil, attaches the fault-injection schedule to the
+	// stages (demand overruns, slowdowns, stalls) and filters stage-idle
+	// callbacks through its loss model.
+	Faults *faults.Injector
+
 	// PriorityRNG seeds randomized priority policies; nil uses a fixed
 	// internal seed.
 	PriorityRNG *dist.RNG
@@ -102,6 +125,8 @@ type Pipeline struct {
 	prng   *dist.RNG
 
 	shedding bool
+	guard    *core.Guard
+	faults   *faults.Injector
 	inflight map[task.ID]*inflight
 	tracer   *trace.Recorder
 
@@ -119,6 +144,7 @@ type Pipeline struct {
 	completed      uint64
 	missed         uint64
 	shed           uint64
+	overrunEvicted uint64
 	classes        map[string]*ClassMetrics
 }
 
@@ -133,9 +159,10 @@ type ClassMetrics struct {
 
 // inflight tracks one chain task's progress through the stages.
 type inflight struct {
-	t     *task.Task
-	stage int
-	job   *sched.Job // current stage's job, for shedding cancellation
+	t        *task.Task
+	stage    int
+	job      *sched.Job // current stage's job, for shedding cancellation
+	injected bool       // bypassed admission (certified critical): never guarded
 }
 
 // New builds a pipeline on the simulator.
@@ -193,15 +220,59 @@ func New(sim *des.Simulator, opts Options) *Pipeline {
 			panic("pipeline: shedding requires the default feasible-region controller")
 		}
 		p.shedding = true
+	}
+	if opts.OverrunPolicy != core.OverrunIgnore {
+		if p.ctrl == nil {
+			panic("pipeline: the overrun guard requires the default feasible-region controller")
+		}
+		p.guard = core.NewGuard(p.ctrl, opts.OverrunPolicy, opts.OverrunTolerance)
+		for j := range p.stages {
+			j := j
+			p.stages[j].OnOverrun(func(job *sched.Job, consumed, observed float64) {
+				p.handleOverrun(j, job, consumed, observed)
+			})
+		}
+	}
+	if p.shedding || p.guard != nil {
 		p.inflight = map[task.ID]*inflight{}
+	}
+	if opts.Faults != nil {
+		p.faults = opts.Faults
+		p.faults.Attach(sim, p.stages)
 	}
 	if p.adm != nil && !opts.DisableIdleReset {
 		for j := range p.stages {
 			j := j
-			p.stages[j].OnIdle(func(des.Time) { p.adm.HandleStageIdle(j) })
+			p.stages[j].OnIdle(func(now des.Time) {
+				if p.faults != nil && p.faults.DropIdle(j, now) {
+					return // injected fault: the idle callback never arrives
+				}
+				p.adm.HandleStageIdle(j)
+			})
 		}
 	}
 	return p
+}
+
+// Guard returns the overrun guard, or nil when no policy is armed.
+func (p *Pipeline) Guard() *core.Guard { return p.guard }
+
+// handleOverrun applies the guard policy when a running job crosses its
+// admitted budget. For the evict policy the task is aborted through the
+// same machinery as semantic load shedding.
+func (p *Pipeline) handleOverrun(stage int, job *sched.Job, consumed, observed float64) {
+	f := p.inflight[job.TaskID]
+	if f == nil || f.injected {
+		return // already shed/finished, or a certified task (never evicted)
+	}
+	p.trace(f.t.ID, "guard", "overrun")
+	if !p.guard.HandleOverrun(f.t, stage, consumed, observed) {
+		return
+	}
+	p.abort(f, "overrun-evict")
+	if p.measuring {
+		p.overrunEvicted++
+	}
 }
 
 // Controller returns the admission controller, or nil when admission is
@@ -289,22 +360,23 @@ func (p *Pipeline) shedFor(t *task.Task) bool {
 		return false
 	}
 	for _, id := range plan {
-		p.abort(byID[id])
+		p.abort(byID[id], "shed")
 	}
 	return true
 }
 
-// abort sheds one in-flight task: its current job is cancelled, its
-// synthetic-utilization contributions evicted, and it is counted as shed
-// rather than completed.
-func (p *Pipeline) abort(f *inflight) {
+// abort drops one in-flight task (semantic shedding or overrun
+// eviction): its current job is cancelled, its synthetic-utilization
+// contributions evicted, and it is counted as shed rather than
+// completed.
+func (p *Pipeline) abort(f *inflight, kind string) {
 	if f.job != nil {
 		p.stages[f.stage].Cancel(f.job)
 		f.job = nil
 	}
 	delete(p.inflight, f.t.ID)
 	p.ctrl.Evict(f.t.ID)
-	p.trace(f.t.ID, "admission", "shed")
+	p.trace(f.t.ID, "admission", kind)
 	if p.measuring {
 		p.shed++
 		p.class(f.t).Shed++
@@ -323,10 +395,11 @@ func (p *Pipeline) class(t *task.Task) *ClassMetrics {
 
 // Inject bypasses admission control and starts the task immediately —
 // for certified critical tasks whose utilization is covered by the
-// reserved floor (paper §5).
+// reserved floor (paper §5). Injected tasks are exempt from the overrun
+// guard: their capacity was certified offline, not estimated.
 func (p *Pipeline) Inject(t *task.Task) {
 	p.assignPriority(t)
-	p.start(t)
+	p.startAs(t, true)
 }
 
 func (p *Pipeline) assignPriority(t *task.Task) {
@@ -334,7 +407,9 @@ func (p *Pipeline) assignPriority(t *task.Task) {
 }
 
 // start begins execution at the first stage with non-zero demand.
-func (p *Pipeline) start(t *task.Task) {
+func (p *Pipeline) start(t *task.Task) { p.startAs(t, false) }
+
+func (p *Pipeline) startAs(t *task.Task, injected bool) {
 	if len(t.Subtasks) != len(p.stages) {
 		panic(fmt.Sprintf("pipeline: task %d has %d subtasks for %d stages", t.ID, len(t.Subtasks), len(p.stages)))
 	}
@@ -342,8 +417,8 @@ func (p *Pipeline) start(t *task.Task) {
 		p.enteredService++
 		p.class(t).Entered++
 	}
-	f := &inflight{t: t, stage: 0}
-	if p.shedding {
+	f := &inflight{t: t, stage: 0, injected: injected}
+	if p.inflight != nil {
 		p.inflight[t.ID] = f
 	}
 	p.advance(f, p.sim.Now())
@@ -364,8 +439,12 @@ func (p *Pipeline) advance(f *inflight, now des.Time) {
 			f.stage++
 			continue
 		}
+		budget := math.Inf(1)
+		if p.guard != nil && !f.injected {
+			budget = p.guard.Budget(t, j)
+		}
 		enq := p.sim.Now()
-		f.job = p.stages[j].Submit(t.ID, t.Priority, sub, func(done des.Time) {
+		f.job = p.stages[j].SubmitBudgeted(t.ID, t.Priority, sub, budget, func(done des.Time) {
 			if p.measuring {
 				p.stageDelays[j].Add(done - enq)
 			}
@@ -381,7 +460,7 @@ func (p *Pipeline) advance(f *inflight, now des.Time) {
 }
 
 func (p *Pipeline) finish(t *task.Task, now des.Time) {
-	if p.shedding {
+	if p.inflight != nil {
 		delete(p.inflight, t.ID)
 	}
 	miss := now > t.AbsoluteDeadline()+1e-9
@@ -425,6 +504,7 @@ func (p *Pipeline) BeginMeasurement() {
 	p.stageDelays = make([]stats.Welford, len(p.stages))
 	p.missRatio = stats.Ratio{}
 	p.offered, p.enteredService, p.completed, p.missed, p.shed = 0, 0, 0, 0, 0
+	p.overrunEvicted = 0
 	p.classes = map[string]*ClassMetrics{}
 	if p.ctrl != nil {
 		for j := 0; j < len(p.stages); j++ {
@@ -446,9 +526,18 @@ type Metrics struct {
 	EnteredService uint64
 	Completed      uint64
 	Missed         uint64
+	// Shed counts tasks dropped mid-flight, both semantic-importance
+	// shedding and overrun evictions; OverrunEvicted is the subset the
+	// overrun guard aborted.
 	Shed           uint64
+	OverrunEvicted uint64
 	MissRatio      float64
 	AcceptRatio    float64
+
+	// GuardStats snapshots the overrun guard's cumulative counters
+	// (zero when no guard is armed). Unlike the window counters above,
+	// these span the pipeline's whole lifetime.
+	GuardStats core.GuardStats
 
 	ResponseTimes stats.Welford
 	// ResponseP50/P95/P99 are streaming (P²) response-time percentile
@@ -475,6 +564,7 @@ func (p *Pipeline) Snapshot() Metrics {
 		Completed:        p.completed,
 		Missed:           p.missed,
 		Shed:             p.shed,
+		OverrunEvicted:   p.overrunEvicted,
 		MissRatio:        p.missRatio.Value(),
 		ResponseTimes:    p.responseTimes,
 		ResponseP50:      p.respP50.Value(),
@@ -482,6 +572,9 @@ func (p *Pipeline) Snapshot() Metrics {
 		ResponseP99:      p.respP99.Value(),
 		StageDelays:      append([]stats.Welford(nil), p.stageDelays...),
 		ByClass:          map[string]ClassMetrics{},
+	}
+	if p.guard != nil {
+		m.GuardStats = p.guard.Stats()
 	}
 	for name, cm := range p.classes {
 		m.ByClass[name] = *cm

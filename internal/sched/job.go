@@ -33,6 +33,16 @@ type Job struct {
 	segStart   des.Time
 	submitted  des.Time
 
+	// Budget accounting for the overrun guard: consumed accumulates the
+	// computation time actually executed; budget is the admitted demand
+	// estimate (+Inf when unguarded); watch is the pending
+	// budget-exhaustion event; overrunFired latches so each job trips the
+	// guard at most once.
+	consumed     float64
+	budget       float64
+	watch        *des.Event
+	overrunFired bool
+
 	onComplete func(now des.Time)
 
 	heapIdx int // index in the ready heap; -1 when not enqueued
@@ -47,6 +57,15 @@ func (j *Job) Priority() float64 { return j.base }
 
 // Submitted returns the time the job entered the stage's ready queue.
 func (j *Job) Submitted() des.Time { return j.submitted }
+
+// Consumed returns the computation time the job has executed so far,
+// excluding the partially-run current dispatch (updated at preemption
+// and segment completion; the overrun watchdog adds the in-flight part
+// itself).
+func (j *Job) Consumed() float64 { return j.consumed }
+
+// Budget returns the job's overrun budget (+Inf when unguarded).
+func (j *Job) Budget() float64 { return j.budget }
 
 // Remaining returns the total computation time the job has left.
 func (j *Job) Remaining() float64 {

@@ -82,10 +82,23 @@ type Stage struct {
 	locks map[int]*lock
 
 	idle      bool
+	paused    bool
 	busySince des.Time
 	busyTotal float64
 
 	preemptionOverhead float64
+
+	// execModel, when set, maps each segment's nominal duration to the
+	// time the stage actually spends executing it — the fault-injection
+	// point for demand overruns and degraded-stage slowdowns. The hot
+	// path is untouched when nil.
+	execModel func(id task.ID, nominal float64) float64
+
+	// onOverrun fires (at most once per job) when a budgeted job's
+	// consumed computation time crosses its budget. consumed is the time
+	// executed so far; observedTotal is consumed plus the job's remaining
+	// work. The handler may Cancel the job.
+	onOverrun func(j *Job, consumed, observedTotal float64)
 
 	idleFns []func(now des.Time)
 	observe func(Event)
@@ -125,6 +138,26 @@ func (s *Stage) SetPreemptionOverhead(eps float64) {
 		panic(fmt.Sprintf("sched: preemption overhead must be non-negative, got %v", eps))
 	}
 	s.preemptionOverhead = eps
+}
+
+// SetExecModel installs a transform from a segment's nominal duration to
+// the time the stage actually executes — the injection point for demand
+// overruns (a task that lied about its demand) and degraded-stage
+// slowdowns. It applies to jobs submitted after the call; nil restores
+// nominal execution. The transform must return a non-negative finite
+// value.
+func (s *Stage) SetExecModel(fn func(id task.ID, nominal float64) float64) {
+	s.execModel = fn
+}
+
+// OnOverrun registers the budget watchdog observer: it fires, at most
+// once per job, at the exact simulated instant a budgeted job's consumed
+// computation time crosses its budget (see SubmitBudgeted). consumed is
+// the computation executed so far; observedTotal adds the job's
+// remaining work. The handler runs while the job is still resident and
+// may Cancel it. At most one observer is supported.
+func (s *Stage) OnOverrun(fn func(j *Job, consumed, observedTotal float64)) {
+	s.onOverrun = fn
 }
 
 // OnEvent registers an observer for scheduling events (dispatch,
@@ -173,13 +206,39 @@ func (s *Stage) BusyTime(now des.Time) float64 {
 // urgent). onComplete, if non-nil, runs when the job finishes all its
 // segments; it may submit further jobs to this or other stages.
 func (s *Stage) Submit(id task.ID, priority float64, sub task.Subtask, onComplete func(now des.Time)) *Job {
+	return s.SubmitBudgeted(id, priority, sub, math.Inf(1), onComplete)
+}
+
+// SubmitBudgeted is Submit with an overrun budget: when the job's
+// consumed computation time crosses budget, the OnOverrun observer fires
+// (once). A +Inf budget disables the watchdog. The budget is compared
+// against actual execution time, which the exec model may have inflated
+// beyond the nominal subtask demand.
+func (s *Stage) SubmitBudgeted(id task.ID, priority float64, sub task.Subtask, budget float64, onComplete func(now des.Time)) *Job {
+	if math.IsNaN(budget) || budget < 0 {
+		panic(fmt.Sprintf("sched: stage %q: invalid budget %v for task %d", s.name, budget, id))
+	}
 	segs := sub.SegmentsOrWhole()
+	if s.execModel != nil {
+		// Transform a copy: SegmentsOrWhole may alias the task's own
+		// segment slice, which other stages and retries still read.
+		actual := make([]task.Segment, len(segs))
+		for i, seg := range segs {
+			d := s.execModel(id, seg.Duration)
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				panic(fmt.Sprintf("sched: stage %q: exec model returned %v for task %d", s.name, d, id))
+			}
+			actual[i] = task.Segment{Duration: d, Lock: seg.Lock}
+		}
+		segs = actual
+	}
 	j := &Job{
 		TaskID:     id,
 		base:       priority,
 		inherited:  math.Inf(1),
 		seq:        s.seq,
 		segments:   segs,
+		budget:     budget,
 		submitted:  s.sim.Now(),
 		onComplete: onComplete,
 		heapIdx:    -1,
@@ -212,6 +271,9 @@ func (s *Stage) Submit(id task.ID, priority float64, sub task.Subtask, onComplet
 // urgent dispatchable job. It preempts, dispatches, applies PCP blocking,
 // and transitions to idle as needed.
 func (s *Stage) schedule() {
+	if s.paused {
+		return // stalled: nothing dispatches until Resume
+	}
 	for {
 		if s.running != nil {
 			if len(s.ready) == 0 || !less(s.ready[0], s.running) {
@@ -303,7 +365,42 @@ func (s *Stage) start(j *Job) {
 	s.running = j
 	j.segStart = s.sim.Now()
 	j.completion = s.sim.After(j.segRemaining, func() { s.onSegmentDone(j) })
+	s.armWatch(j)
 	s.emit(EventStart, j.TaskID)
+}
+
+// armWatch schedules the budget-exhaustion event for this dispatch if
+// the job will cross its budget before the segment completes. The
+// completion event is scheduled first, so a job that consumes exactly
+// its budget completes without tripping the watchdog.
+func (s *Stage) armWatch(j *Job) {
+	if s.onOverrun == nil || j.overrunFired || math.IsInf(j.budget, 1) {
+		return
+	}
+	slack := j.budget - j.consumed
+	if j.segRemaining <= slack {
+		return // cannot cross during this dispatch
+	}
+	if slack < 0 {
+		slack = 0
+	}
+	j.watch = s.sim.After(slack, func() {
+		j.watch = nil
+		j.overrunFired = true
+		consumed := j.consumed + (s.sim.Now() - j.segStart)
+		// j.consumed excludes the in-flight dispatch and j.Remaining()
+		// still counts the whole current segment, so their sum is the
+		// job's total actual work.
+		s.onOverrun(j, consumed, j.consumed+j.Remaining())
+	})
+}
+
+// disarmWatch withdraws a pending budget-exhaustion event.
+func (s *Stage) disarmWatch(j *Job) {
+	if j.watch != nil {
+		s.sim.Cancel(j.watch)
+		j.watch = nil
+	}
 }
 
 // preempt pauses the running job, records its remaining work, and returns
@@ -312,6 +409,7 @@ func (s *Stage) preempt() {
 	j := s.running
 	s.running = nil
 	elapsed := s.sim.Now() - j.segStart
+	j.consumed += elapsed
 	j.segRemaining -= elapsed
 	if j.segRemaining < 0 {
 		j.segRemaining = 0
@@ -319,6 +417,7 @@ func (s *Stage) preempt() {
 	j.segRemaining += s.preemptionOverhead
 	s.sim.Cancel(j.completion)
 	j.completion = nil
+	s.disarmWatch(j)
 	heap.Push(&s.ready, j)
 	s.stats.Preemptions++
 	s.emit(EventPreempt, j.TaskID)
@@ -329,7 +428,9 @@ func (s *Stage) onSegmentDone(j *Job) {
 	now := s.sim.Now()
 	s.running = nil
 	j.completion = nil
+	j.consumed += now - j.segStart
 	j.segRemaining = 0
+	s.disarmWatch(j)
 
 	seg := j.segments[j.segIdx]
 	if seg.Lock != task.NoLock && j.heldLock != nil && j.heldLock.id == seg.Lock {
@@ -387,6 +488,7 @@ func (s *Stage) Cancel(j *Job) bool {
 	case s.running == j:
 		s.sim.Cancel(j.completion)
 		j.completion = nil
+		s.disarmWatch(j)
 		s.running = nil
 		if j.heldLock != nil {
 			s.release(j)
@@ -469,4 +571,54 @@ func (s *Stage) goIdle() {
 	for _, fn := range s.idleFns {
 		fn(now)
 	}
+}
+
+// Paused reports whether the stage is stalled (see Pause).
+func (s *Stage) Paused() bool { return s.paused }
+
+// Pause stalls the stage: the running job (if any) is preempted back to
+// the ready queue and nothing dispatches until Resume. Work keeps
+// queueing while paused, and the stage still counts as busy — a stalled
+// stage with pending work is occupied, just not progressing. Pausing a
+// paused stage is a no-op. This is the fault-injection point for stage
+// stalls and crash-and-restart windows.
+func (s *Stage) Pause() {
+	if s.paused {
+		return
+	}
+	if s.running != nil {
+		s.preempt()
+	}
+	s.paused = true
+}
+
+// Resume ends a stall and re-establishes the scheduling invariant.
+func (s *Stage) Resume() {
+	if !s.paused {
+		return
+	}
+	s.paused = false
+	s.schedule()
+}
+
+// DropProgress models a crash: every queued job loses the progress of
+// its current segment and will re-execute it from the start (lock state
+// is preserved — a held lock survives the restart, mirroring a process
+// that recovers its critical section from a journal). Consumed-time
+// accounting is NOT rolled back: re-executed work is real computation,
+// so a crash can push a job over its overrun budget. Call it between
+// Pause and Resume. It returns the number of jobs affected.
+func (s *Stage) DropProgress() int {
+	if s.running != nil {
+		panic(fmt.Sprintf("sched: stage %q: DropProgress while a job is running; Pause first", s.name))
+	}
+	n := 0
+	for _, j := range s.ready {
+		full := j.segments[j.segIdx].Duration
+		if j.segRemaining != full {
+			j.segRemaining = full
+			n++
+		}
+	}
+	return n
 }
