@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-race test-short bench experiments experiments-quick examples fuzz verify clean
+.PHONY: all build vet test race test-race test-short bench bench-json experiments experiments-quick examples fuzz verify clean
 
 all: build vet test
 
@@ -25,6 +25,11 @@ test-short:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Metrics-overhead benchmarks (admit hot path, instruments off vs on)
+# as machine-readable go-test JSON for regression tracking.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Metrics(Off|On)' -benchmem -count 3 -json . > BENCH_metrics.json
 
 # Regenerates every table and figure of the paper's evaluation.
 experiments:

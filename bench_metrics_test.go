@@ -1,0 +1,77 @@
+package feasregion_test
+
+import (
+	"testing"
+	"time"
+
+	"feasregion/internal/core"
+	"feasregion/internal/des"
+	"feasregion/internal/metrics"
+	"feasregion/internal/online"
+	"feasregion/internal/task"
+)
+
+// Metrics-overhead benchmarks: the same admit hot path with instruments
+// disabled (no registry wired — every instrument is a nil receiver) and
+// enabled. The PR's acceptance criterion is <5% overhead in the
+// disabled case versus the pre-metrics baseline; since disabled
+// instruments are nil-receiver no-ops, the Off variants ARE that
+// baseline, and comparing Off vs On bounds what enabling costs.
+// `make bench-json` emits these as BENCH_metrics.json.
+
+// coreAdmitLoop drives one TryAdmit+Evict cycle per iteration — the
+// full simulation admit path including ledger bookkeeping and, when a
+// registry is wired, counter increments and region-gauge updates.
+func coreAdmitLoop(b *testing.B, reg *metrics.Registry) {
+	sim := des.New()
+	c := core.NewController(sim, core.NewRegion(3), nil)
+	if reg != nil {
+		c.SetMetrics(reg)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := task.ID(i)
+		if !c.TryAdmit(task.Chain(id, sim.Now(), 1e9, 0.001, 0.001, 0.001)) {
+			b.Fatal("admission unexpectedly rejected")
+		}
+		c.Evict(id)
+	}
+}
+
+func BenchmarkCoreAdmitMetricsOff(b *testing.B) {
+	coreAdmitLoop(b, nil)
+}
+
+func BenchmarkCoreAdmitMetricsOn(b *testing.B) {
+	coreAdmitLoop(b, metrics.NewRegistry())
+}
+
+// onlineAdmitLoop is the wall-clock analogue: TryAdmit+Release on the
+// online controller. Its exported series are read-on-scrape funcs, so
+// RegisterMetrics should cost nothing on this path at all — the On
+// variant guards against someone later moving work into the hot path.
+func onlineAdmitLoop(b *testing.B, reg *metrics.Registry) {
+	c := online.New(core.NewRegion(3), nil, nil)
+	if reg != nil {
+		c.RegisterMetrics(reg)
+	}
+	demands := []time.Duration{time.Microsecond, time.Microsecond, time.Microsecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := uint64(i + 1)
+		if !c.TryAdmit(online.Request{ID: id, Deadline: 10 * time.Millisecond, Demands: demands}) {
+			b.Fatal("admission unexpectedly rejected")
+		}
+		c.Release(id)
+	}
+}
+
+func BenchmarkOnlineAdmitMetricsOff(b *testing.B) {
+	onlineAdmitLoop(b, nil)
+}
+
+func BenchmarkOnlineAdmitMetricsOn(b *testing.B) {
+	onlineAdmitLoop(b, metrics.NewRegistry())
+}

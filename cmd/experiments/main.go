@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos] [-quick] [-csv dir]
+//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos|health] [-quick] [-csv dir]
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos")
+	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health")
 	quick := flag.Bool("quick", false, "reduced scale (shorter horizons, one replication)")
 	plot := flag.Bool("plot", false, "render Figures 4-7 as ASCII charts in addition to tables")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
@@ -162,6 +162,15 @@ func main() {
 			cc.Seeds, cc.Horizon, cc.Warmup = 2, 300, 40
 		}
 		tables = append(tables, experiments.Chaos(cc))
+	}
+
+	if want("health") {
+		hc := experiments.DefaultHealth()
+		if *quick {
+			hc.Seeds, hc.Horizon, hc.Warmup = 2, 500, 50
+			hc.SlowStart, hc.SlowLen = 120, 250
+		}
+		tables = append(tables, experiments.Health(hc).Table())
 	}
 
 	if want("soundness") {

@@ -1,4 +1,5 @@
-// Httpserver: the wall-clock admission controller in a real service.
+// Httpserver: the wall-clock admission controller in a real service,
+// now with the observability loop closed.
 //
 // Unlike the other examples (which run on the simulated clock), this one
 // spins up an actual net/http server whose handler pushes work through
@@ -12,22 +13,33 @@
 //     immediately (fail fast instead of queueing into a missed goal);
 //   - stage-idle callbacks drive the paper's synthetic-utilization reset;
 //   - a background watchdog reconciles the ledgers against leaks, the
-//     production safety net for lost departure callbacks.
+//     production safety net for lost departure callbacks;
+//   - a /metrics endpoint exports the controller's counters, per-stage
+//     synthetic utilization, region headroom, and request latency
+//     histograms in Prometheus text format;
+//   - a stage-health monitor watches each stage's actual service time
+//     against its declared cost and drives the controller's per-stage
+//     demand scale when a stage degrades — admission throttles itself
+//     instead of over-admitting into a slow backend.
 //
 // The demo fires a few thousand concurrent requests at twice the
-// service's capacity and reports acceptance, goal violations among
-// accepted requests, and tail latency.
+// service's capacity, degrades the db stage 3x for the middle of the
+// run, and reports acceptance, goal violations, tail latency, what the
+// health monitor did, and a slice of the /metrics page.
 //
 // Run with: go run ./examples/httpserver
 package main
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,12 +56,19 @@ var (
 // dedicated goroutine "executes" each job by sleeping its cost. The
 // idle callback is wired after construction (SetOnIdle) and may be nil;
 // Close stops the worker so the stage cannot leak its goroutine.
+// slowdown (in units of 1/100) models a degraded backend: the worker
+// multiplies every job's cost by slowdown/100.
 type stage struct {
-	name    string
-	jobs    chan job
-	pending atomic.Int64
-	done    chan struct{}
-	closing sync.Once
+	name     string
+	jobs     chan job
+	pending  atomic.Int64
+	slowdown atomic.Int64 // cost multiplier ×100; 100 = nominal
+	done     chan struct{}
+	closing  sync.Once
+
+	// observe, when non-nil, receives (declared cost, actual service
+	// time) for every executed job — the stage-health monitor's input.
+	observe func(declared, actual time.Duration)
 
 	mu     sync.Mutex
 	onIdle func()
@@ -62,6 +81,7 @@ type job struct {
 
 func newStage(name string, queue int) *stage {
 	s := &stage{name: name, jobs: make(chan job, queue), done: make(chan struct{})}
+	s.slowdown.Store(100)
 	go s.work()
 	return s
 }
@@ -80,7 +100,11 @@ func (s *stage) work() {
 		case <-s.done:
 			return
 		case j := <-s.jobs:
-			time.Sleep(j.cost)
+			start := time.Now()
+			time.Sleep(j.cost * time.Duration(s.slowdown.Load()) / 100)
+			if s.observe != nil {
+				s.observe(j.cost, time.Since(start))
+			}
 			close(j.done)
 			if s.pending.Add(-1) == 0 {
 				s.mu.Lock()
@@ -142,6 +166,36 @@ func main() {
 	app.SetOnIdle(func() { ctrl.StageIdle(0) })
 	db.SetOnIdle(func() { ctrl.StageIdle(1) })
 
+	// Observability: one registry serves /metrics; the controller
+	// describes itself with read-on-scrape series, the handler adds
+	// request counters and a latency histogram.
+	reg := feasregion.NewMetricsRegistry()
+	ctrl.RegisterMetrics(reg)
+	reqOK := reg.Counter("httpserver_requests_ok_total", "requests served within the pipeline")
+	reqRejected := reg.Counter("httpserver_requests_rejected_total", "requests refused 503 at admission")
+	latency := reg.Histogram("httpserver_request_duration_seconds", "end-to-end handler latency",
+		feasregion.ExponentialBuckets(0.001, 2, 10))
+
+	// Stage-health feedback: the monitor compares each stage's actual
+	// service time against its declared cost and scales the controller's
+	// admission demands when a stage degrades — the online analogue of
+	// the -run health experiment.
+	mon := feasregion.NewStageHealthMonitor(feasregion.StageHealthConfig{
+		Stages:           2,
+		Alpha:            0.3,
+		MinSamples:       10,
+		DegradeThreshold: 1.5,
+		RecoverThreshold: 1.15,
+		MaxScale:         8,
+	}, ctrl)
+	mon.SetMetrics(reg)
+	app.observe = func(declared, actual time.Duration) {
+		mon.Observe(0, declared.Seconds(), actual.Seconds())
+	}
+	db.observe = func(declared, actual time.Duration) {
+		mon.Observe(1, declared.Seconds(), actual.Seconds())
+	}
+
 	// Self-healing: reconcile the ledgers periodically so a leaked
 	// contribution (a handler that crashed between admit and release)
 	// cannot pin synthetic utilization forever.
@@ -149,7 +203,10 @@ func main() {
 	defer stopWatchdog()
 
 	var nextID atomic.Uint64
-	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		id := nextID.Add(1)
 		ok := ctrl.TryAdmit(feasregion.OnlineRequest{
 			ID:       id,
@@ -157,6 +214,7 @@ func main() {
 			Demands:  []time.Duration{appCost, dbCost},
 		})
 		if !ok {
+			reqRejected.Inc()
 			http.Error(w, "over capacity", http.StatusServiceUnavailable)
 			return
 		}
@@ -174,14 +232,19 @@ func main() {
 			return
 		}
 		ctrl.MarkDeparted(1, id)
+		reqOK.Inc()
+		latency.Observe(time.Since(start).Seconds())
 		fmt.Fprintln(w, "ok")
 	})
 
-	srv := httptest.NewServer(handler)
+	srv := httptest.NewServer(mux)
 	defer srv.Close() // before the stage Closes: drain requests, then stop workers
 
 	// Client side: 1500 requests at roughly 2x the db stage's capacity
-	// (capacity ≈ 1/dbCost ≈ 333 req/s; we offer ≈ 660 req/s).
+	// (capacity ≈ 1/dbCost ≈ 333 req/s; we offer ≈ 660 req/s). For the
+	// middle third the db backend runs 3x slow — the health monitor
+	// should notice and throttle admission instead of letting accepted
+	// requests pile into the slow stage.
 	const total = 1500
 	gap := 1500 * time.Microsecond
 	var (
@@ -194,6 +257,12 @@ func main() {
 	var wg sync.WaitGroup
 	client := srv.Client()
 	for i := 0; i < total; i++ {
+		switch i {
+		case total / 3:
+			db.slowdown.Store(300)
+		case 2 * total / 3:
+			db.slowdown.Store(100)
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -230,7 +299,7 @@ func main() {
 		return latencies[idx]
 	}
 
-	fmt.Printf("offered %d requests at ≈2x capacity, %v response-time goal\n", total, deadline)
+	fmt.Printf("offered %d requests at ≈2x capacity, %v response-time goal, db 3x slow for the middle third\n", total, deadline)
 	fmt.Printf("  accepted: %d (%.1f%%), rejected with 503: %d\n",
 		accepted, 100*float64(accepted)/total, rejected)
 	fmt.Printf("  goal violations among accepted: %d\n", violated)
@@ -238,7 +307,49 @@ func main() {
 	s := ctrl.Stats()
 	fmt.Printf("  controller: %d admitted, %d rejected, %d reconcile passes, final utilizations %.3v\n",
 		s.Admitted, s.Rejected, s.Reconciles, ctrl.Utilizations())
-	fmt.Println("\nEvery accepted request met (or came close to) its goal because the")
-	fmt.Println("controller bounded each stage's synthetic utilization; the excess")
-	fmt.Println("was refused up front instead of queueing everyone into failure.")
+	dbHealth := mon.Health(1)
+	fmt.Printf("  health monitor: %d scale changes, max scale %.3g, db stage ratio EWMA %.3g (scale now %.3g)\n",
+		mon.ScaleChanges(), mon.MaxScaleApplied(), dbHealth.Ratio, dbHealth.Scale)
+
+	// Scrape /metrics the way Prometheus would and sanity-check the page.
+	resp, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		fmt.Println("scraping /metrics:", err)
+		return
+	}
+	defer resp.Body.Close()
+	series, samples := 0, 0
+	var shown []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			fmt.Printf("  UNPARSEABLE metrics line: %q\n", line)
+			return
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			fmt.Printf("  UNPARSEABLE metrics value: %q\n", line)
+			return
+		}
+		samples++
+		if strings.HasPrefix(line, "feasregion_online_") || strings.HasPrefix(line, "httpserver_requests_") {
+			series++
+			if len(shown) < 8 {
+				shown = append(shown, line)
+			}
+		}
+	}
+	fmt.Printf("\n/metrics: %d samples, all parseable; a slice:\n", samples)
+	for _, line := range shown {
+		fmt.Println("  " + line)
+	}
+
+	fmt.Println("\nThe admission controller bounded each stage's synthetic utilization,")
+	fmt.Println("and when the db backend degraded the health monitor raised that")
+	fmt.Println("stage's demand scale, so admission throttled itself instead of")
+	fmt.Println("accepting requests into a backlog they could never clear in time.")
 }

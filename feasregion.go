@@ -5,6 +5,8 @@ import (
 	"feasregion/internal/curve"
 	"feasregion/internal/des"
 	"feasregion/internal/dist"
+	"feasregion/internal/metrics"
+	"feasregion/internal/obs"
 	"feasregion/internal/online"
 	"feasregion/internal/pipeline"
 	"feasregion/internal/task"
@@ -207,6 +209,46 @@ type OnlineClock = online.Clock
 // optional per-stage reserved floors; clock may be nil (time.Now).
 func NewOnlineController(region Region, reserved []float64, clock OnlineClock) *OnlineController {
 	return online.New(region, reserved, clock)
+}
+
+// ---- Observability (metrics & stage-health feedback) ----
+
+// MetricsRegistry is the dependency-free instrument registry: counters,
+// gauges, histograms, and EWMAs with a zero-alloc hot path, exported in
+// Prometheus text format (Handler/WritePrometheus) and via expvar. A nil
+// registry disables metrics at no cost.
+type MetricsRegistry = metrics.Registry
+
+// MetricLabel is one name="value" pair attached to a metric series.
+type MetricLabel = metrics.Label
+
+// NewMetricsRegistry returns an empty, enabled registry. Pass it via
+// PipelineOptions.Metrics, Controller.SetMetrics, or
+// OnlineController.RegisterMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// ExponentialBuckets returns count histogram bucket bounds starting at
+// start and multiplying by factor.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	return metrics.ExponentialBuckets(start, factor, count)
+}
+
+// StageHealthMonitor closes the loop from observed per-stage service
+// times back into admission: an EWMA of actual/declared demand drives
+// the controller's per-stage scale when a stage degrades.
+type StageHealthMonitor = obs.Monitor
+
+// StageHealthConfig parameterizes a StageHealthMonitor.
+type StageHealthConfig = obs.Config
+
+// StageScaler is the actuator a StageHealthMonitor drives; both
+// Controller and OnlineController implement it.
+type StageScaler = obs.Scaler
+
+// NewStageHealthMonitor builds a monitor driving scaler (which may be
+// nil and wired later with SetScaler).
+func NewStageHealthMonitor(cfg StageHealthConfig, scaler StageScaler) *StageHealthMonitor {
+	return obs.NewMonitor(cfg, scaler)
 }
 
 // ---- Synthetic-utilization curves (Figure 1) ----

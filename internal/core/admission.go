@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"feasregion/internal/des"
+	"feasregion/internal/metrics"
 	"feasregion/internal/task"
 )
 
@@ -47,10 +48,20 @@ type Controller struct {
 	region   Region
 	ledgers  []*Ledger
 	estimate Estimator
+	scales   []float64 // per-stage demand multipliers; nil until first SetStageScale
 
 	onRelease []func(now des.Time)
 	onChange  func(stage int, now des.Time, u float64)
 	stats     Stats
+
+	// Instruments are nil (free no-ops) until SetMetrics.
+	metAdmitted *metrics.Counter
+	metRejected *metrics.Counter
+	metEvicted  *metrics.Counter
+	metUtil     []*metrics.Gauge
+	metScale    []*metrics.Gauge
+	metValue    *metrics.Gauge
+	metHeadroom *metrics.Gauge
 }
 
 // NewController returns a controller for the given region. reserved, when
@@ -81,8 +92,93 @@ func (c *Controller) SetEstimator(e Estimator) {
 	c.estimate = e
 }
 
+// SetMetrics registers the controller's observability instruments with
+// the registry: admission outcome counters, per-stage synthetic
+// utilization U_j(t) gauges, the region value Σ f(U_j), and the region
+// headroom bound − Σ f(U_j). A nil registry (metrics disabled) leaves
+// the hot path untouched. Call it once, at wiring time.
+func (c *Controller) SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	c.metAdmitted = r.Counter("feasregion_admitted_total", "tasks accepted by the admission test")
+	c.metRejected = r.Counter("feasregion_rejected_total", "tasks rejected by the admission test")
+	c.metEvicted = r.Counter("feasregion_evicted_total", "in-flight tasks evicted (shedding or overrun)")
+	c.metValue = r.Gauge("feasregion_region_value", "current region value sum f(U_j)")
+	c.metHeadroom = r.Gauge("feasregion_region_headroom", "region bound minus current value; admission stops at 0")
+	c.metUtil = make([]*metrics.Gauge, len(c.ledgers))
+	c.metScale = make([]*metrics.Gauge, len(c.ledgers))
+	for j := range c.ledgers {
+		c.metUtil[j] = r.Gauge("feasregion_stage_synthetic_utilization", "per-stage synthetic utilization U_j(t)", metrics.Stage(j))
+		c.metScale[j] = r.Gauge("feasregion_stage_scale", "per-stage admission demand multiplier (1 = nominal)", metrics.Stage(j))
+		c.metScale[j].Set(c.scaleFor(j))
+	}
+	c.updateRegionGauges()
+}
+
+// updateRegionGauges refreshes the utilization and headroom gauges; a
+// no-op (single nil check) when metrics are not wired.
+func (c *Controller) updateRegionGauges() {
+	if c.metValue == nil {
+		return
+	}
+	sum := 0.0
+	for j, l := range c.ledgers {
+		u := l.Utilization()
+		c.metUtil[j].Set(u)
+		sum += StageDelayFactor(u)
+	}
+	c.metValue.Set(sum)
+	c.metHeadroom.Set(c.region.Bound() - sum)
+}
+
 // Region returns the controller's feasible region.
 func (c *Controller) Region() Region { return c.region }
+
+// SetStageScale sets a demand multiplier for future admissions at the
+// stage — the simulation-side analogue of online.Controller.SetStageScale
+// and the actuator of the stage-health feedback loop: when a stage is
+// observed running slow, scaling its admission-time demand estimates up
+// keeps the admission test honest until it recovers (scale 1 restores
+// nominal). Already-admitted contributions are unchanged. The overrun
+// guard's budgets (EstimateFor) stay at the declared estimates: a
+// degraded stage is the platform's fault, not the task's. scale must be
+// positive and finite.
+func (c *Controller) SetStageScale(stage int, scale float64) {
+	if scale <= 0 || scale != scale || scale > 1e9 {
+		panic(fmt.Sprintf("core: stage scale %v must be positive and finite", scale))
+	}
+	if c.scales == nil {
+		if scale == 1 {
+			return
+		}
+		c.scales = make([]float64, len(c.ledgers))
+		for j := range c.scales {
+			c.scales[j] = 1
+		}
+	}
+	c.scales[stage] = scale
+	if c.metScale != nil {
+		c.metScale[stage].Set(scale)
+	}
+}
+
+// StageScales returns the current per-stage demand multipliers.
+func (c *Controller) StageScales() []float64 {
+	out := make([]float64, len(c.ledgers))
+	for j := range out {
+		out[j] = c.scaleFor(j)
+	}
+	return out
+}
+
+// scaleFor returns the stage's demand multiplier (1 when never scaled).
+func (c *Controller) scaleFor(stage int) float64 {
+	if c.scales == nil {
+		return 1
+	}
+	return c.scales[stage]
+}
 
 // Stats returns a snapshot of admission counters.
 func (c *Controller) Stats() Stats { return c.stats }
@@ -124,8 +220,10 @@ func (c *Controller) OnUtilizationChange(fn func(stage int, now des.Time, u floa
 	c.onChange = fn
 }
 
-// notifyChange reports every stage's utilization to the observer.
+// notifyChange reports every stage's utilization to the observer and
+// refreshes the utilization gauges.
 func (c *Controller) notifyChange() {
+	c.updateRegionGauges()
 	if c.onChange == nil {
 		return
 	}
@@ -151,6 +249,11 @@ func (c *Controller) deltas(t *task.Task) []float64 {
 	for j := range d {
 		d[j] = c.estimate(t, j) / t.Deadline
 	}
+	if c.scales != nil {
+		for j := range d {
+			d[j] *= c.scales[j]
+		}
+	}
 	return d
 }
 
@@ -173,6 +276,7 @@ func (c *Controller) WouldAdmit(t *task.Task) bool {
 func (c *Controller) TryAdmit(t *task.Task) bool {
 	if !c.WouldAdmit(t) {
 		c.stats.Rejected++
+		c.metRejected.Inc()
 		return false
 	}
 	c.commit(t, c.deltas(t))
@@ -216,6 +320,7 @@ func (c *Controller) commit(t *task.Task, d []float64) {
 		c.fireRelease()
 	})
 	c.stats.Admitted++
+	c.metAdmitted.Inc()
 	c.notifyChange()
 }
 
@@ -236,6 +341,7 @@ func (c *Controller) Recharge(id task.ID, stage int, contribution float64) bool 
 	if !c.ledgers[stage].Update(id, contribution) {
 		return false
 	}
+	c.updateRegionGauges()
 	if c.onChange != nil {
 		c.onChange(stage, c.sim.Now(), c.ledgers[stage].Utilization())
 	}
@@ -257,6 +363,7 @@ func (c *Controller) Evict(id task.ID) {
 		}
 	}
 	if removed {
+		c.metEvicted.Inc()
 		c.notifyChange()
 		c.fireRelease()
 	}
@@ -335,6 +442,7 @@ func (c *Controller) MarkDeparted(stage int, id task.ID) {
 // sched.Stage.OnIdle.
 func (c *Controller) HandleStageIdle(stage int) {
 	if c.ledgers[stage].ResetIdle() > 0 {
+		c.updateRegionGauges()
 		if c.onChange != nil {
 			c.onChange(stage, c.sim.Now(), c.ledgers[stage].Utilization())
 		}

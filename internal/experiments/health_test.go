@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+// quickHealth is a reduced-scale config for CI.
+func quickHealth() HealthConfig {
+	cfg := DefaultHealth()
+	cfg.Seeds = 2
+	cfg.Horizon = 500
+	cfg.Warmup = 50
+	cfg.SlowStart = 120
+	cfg.SlowLen = 250
+	return cfg
+}
+
+// TestHealthFeedbackReducesMisses is the PR's acceptance property: under
+// an identical seeded slowdown, the EWMA stage-health monitor must
+// auto-scale the degraded stage and finish with strictly fewer deadline
+// misses than the unmonitored baseline.
+func TestHealthFeedbackReducesMisses(t *testing.T) {
+	res := Health(quickHealth())
+	base, mon := res.Variants[0], res.Variants[1]
+
+	if base.Missed == 0 {
+		t.Fatalf("baseline run missed no deadlines; the fault schedule is too gentle to demonstrate anything: %+v", base)
+	}
+	if mon.Missed >= base.Missed {
+		t.Fatalf("monitored run must miss strictly fewer deadlines: monitored %d vs unmonitored %d", mon.Missed, base.Missed)
+	}
+	if mon.ScaleChanges == 0 || mon.MaxScale <= 1 {
+		t.Fatalf("monitor never acted: %+v", mon)
+	}
+	if base.ScaleChanges != 0 {
+		t.Fatalf("unmonitored variant reported scale changes: %+v", base)
+	}
+}
+
+// TestHealthRecovery checks the loop reopens: after the slowdown window
+// ends, healthy completions decay the EWMA and the stage returns to
+// nominal scale (the monitor applied at least one up- and one
+// down-scale).
+func TestHealthRecovery(t *testing.T) {
+	cfg := quickHealth()
+	cfg.Seeds = 1
+	res := Health(cfg)
+	mon := res.Variants[1]
+	if mon.ScaleChanges < 2 {
+		t.Fatalf("expected scale-up then recovery, got %d changes", mon.ScaleChanges)
+	}
+}

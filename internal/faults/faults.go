@@ -85,6 +85,13 @@ type Config struct {
 	// IdleLossProb is the probability that any individual stage-idle
 	// callback is dropped before reaching the admission controller.
 	IdleLossProb float64
+
+	// StallWindows and SlowWindows append explicitly placed windows to
+	// the randomized schedule — for experiments that need the same
+	// deterministic fault at a known instant across runs (e.g. the
+	// stage-health feedback demonstration).
+	StallWindows []StallWindow
+	SlowWindows  []SlowWindow
 }
 
 func (c Config) validate() {
@@ -105,6 +112,16 @@ func (c Config) validate() {
 	}
 	if c.IdleLossProb < 0 || c.IdleLossProb > 1 {
 		panic(fmt.Sprintf("faults: idle-loss probability %v outside [0, 1]", c.IdleLossProb))
+	}
+	for _, w := range c.StallWindows {
+		if w.Stage < 0 || w.Stage >= c.Stages || w.Duration < 0 {
+			panic(fmt.Sprintf("faults: invalid explicit stall window %+v", w))
+		}
+	}
+	for _, w := range c.SlowWindows {
+		if w.Stage < 0 || w.Stage >= c.Stages || w.Duration < 0 || w.Factor <= 0 {
+			panic(fmt.Sprintf("faults: invalid explicit slowdown window %+v", w))
+		}
 	}
 }
 
@@ -158,6 +175,8 @@ func New(cfg Config, seed int64) *Injector {
 			Factor:   cfg.SlowdownFactor,
 		})
 	}
+	in.stalls = append(in.stalls, cfg.StallWindows...)
+	in.slows = append(in.slows, cfg.SlowWindows...)
 	return in
 }
 

@@ -114,7 +114,7 @@ func TestStallWindowBlocksStage(t *testing.T) {
 	in.Attach(sim, []*sched.Stage{st})
 	// A long job spanning the stall: completion slips by the stall length.
 	var done des.Time
-	sim.At(w.Start - 1, func() {
+	sim.At(w.Start-1, func() {
 		st.Submit(1, 1, task.NewSubtask(3), func(now des.Time) { done = now })
 	})
 	sim.Run()

@@ -1,0 +1,520 @@
+// Package metrics is a dependency-free instrument registry for the
+// feasregion runtime: atomic counters, gauges, fixed-log-bucket
+// histograms, and exponentially-weighted moving averages, with snapshot
+// export in Prometheus text format and via expvar.
+//
+// Two properties shape the design:
+//
+//   - Zero-allocation hot path. Instruments are pre-registered once and
+//     updated with single atomic operations; Observe/Inc/Set never
+//     allocate, so they are safe inside the admission test and the
+//     per-dispatch scheduler path.
+//   - Free when disabled. A nil *Registry hands out nil instruments, and
+//     every instrument method is nil-receiver-safe, so instrumented code
+//     needs no conditionals and pays one predictable nil check when
+//     metrics are off. The disabled-overhead budget is enforced by
+//     BenchmarkCoreAdmitMetrics{Off,On}.
+//
+// Series are identified by a family name plus optional labels; repeated
+// registration of the same (name, labels) returns the existing
+// instrument, so independent components may idempotently describe the
+// same series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the instrument type of a family, fixed at first registration.
+type Kind uint8
+
+// Instrument kinds, mapping onto Prometheus metric types.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+	KindEWMA // exported as a gauge
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge, KindEWMA:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name="value" pair attached to a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Stage returns the conventional per-stage label.
+func Stage(j int) Label { return Label{Name: "stage", Value: fmt.Sprintf("%d", j)} }
+
+// series is the common identity of one registered instrument.
+type series struct {
+	labels string // rendered {a="b",...} suffix, "" when unlabeled
+	// value reads the series' current scalar value (counter, gauge,
+	// EWMA, or func instruments); nil for histograms.
+	value func() float64
+	hist  *Histogram
+}
+
+// family groups all series registered under one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	order  []string           // label keys in registration order
+	byKey  map[string]*series // label key → series
+	owners map[string]any     // label key → concrete instrument, for idempotent re-registration
+}
+
+// Registry holds registered instruments and renders snapshots. A nil
+// *Registry is the disabled mode: every lookup returns a nil instrument
+// whose methods are no-ops. Construct enabled registries with
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // registration order of families
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Enabled reports whether the registry records anything (false for nil).
+func (r *Registry) Enabled() bool { return r != nil }
+
+// labelKey renders labels into the canonical {k="v",...} suffix, sorted
+// by label name. Values are escaped per the Prometheus text format.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text exposition
+// format: backslash, double-quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// register resolves (name, labels) to its series slot, creating family
+// and slot as needed, and enforcing one kind per family. It returns the
+// existing owner instrument when the series was already registered, or
+// nil when the caller should install its own via installOwner.
+func (r *Registry) register(name, help string, kind Kind, labels []Label) (f *family, key string, existing any) {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byKey: map[string]*series{}, owners: map[string]any{}}
+		r.families[name] = f
+		r.names = append(r.names, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, re-registered as %s", name, f.kind, kind))
+	}
+	key = labelKey(labels)
+	return f, key, f.owners[key]
+}
+
+// installOwner records a freshly created instrument for its series.
+func (f *family) installOwner(key string, owner any, value func() float64, hist *Histogram) {
+	f.owners[key] = owner
+	f.byKey[key] = &series{labels: key, value: value, hist: hist}
+	f.order = append(f.order, key)
+}
+
+// Counter returns the monotonically increasing counter for the series,
+// registering it on first use. Returns nil (a no-op) on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, key, existing := r.register(name, help, KindCounter, labels)
+	if existing != nil {
+		return existing.(*Counter)
+	}
+	c := &Counter{}
+	f.installOwner(key, c, func() float64 { return float64(c.Value()) }, nil)
+	return c
+}
+
+// Gauge returns the gauge for the series, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, key, existing := r.register(name, help, KindGauge, labels)
+	if existing != nil {
+		return existing.(*Gauge)
+	}
+	g := &Gauge{}
+	f.installOwner(key, g, g.Value, nil)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at snapshot
+// time — for mirroring externally maintained state (e.g. a controller's
+// internal counters) without touching its hot path. Re-registering the
+// same series replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.funcSeries(name, help, KindGauge, fn, labels)
+}
+
+// CounterFunc is GaugeFunc for monotone values: the series is exported
+// with TYPE counter.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.funcSeries(name, help, KindCounter, fn, labels)
+}
+
+func (r *Registry) funcSeries(name, help string, kind Kind, fn func() float64, labels []Label) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		panic("metrics: nil func for series " + name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, key, existing := r.register(name, help, kind, labels)
+	if existing != nil {
+		f.byKey[key].value = fn
+		return
+	}
+	f.installOwner(key, fn, fn, nil)
+}
+
+// Histogram returns the histogram for the series, registering it on
+// first use. buckets are the inclusive upper bounds of each bucket, in
+// strictly increasing order (the +Inf bucket is implicit); they are
+// fixed at first registration and ignored on re-registration.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, key, existing := r.register(name, help, KindHistogram, labels)
+	if existing != nil {
+		return existing.(*Histogram)
+	}
+	h := newHistogram(buckets)
+	f.installOwner(key, h, nil, h)
+	return h
+}
+
+// EWMA returns the exponentially-weighted moving average for the series,
+// registering it on first use. alpha in (0, 1] is the per-observation
+// smoothing weight; it is fixed at first registration.
+func (r *Registry) EWMA(name, help string, alpha float64, labels ...Label) *EWMA {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, key, existing := r.register(name, help, KindEWMA, labels)
+	if existing != nil {
+		return existing.(*EWMA)
+	}
+	e := NewEWMA(alpha)
+	f.installOwner(key, e, e.Value, nil)
+	return e
+}
+
+// ---- Counter ----
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready; all methods are nil-receiver-safe no-ops.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// ---- Gauge ----
+
+// Gauge is an instantaneous float64 value. The zero value reads 0; all
+// methods are nil-receiver-safe no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (atomic via CAS).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// ---- Histogram ----
+
+// Histogram counts observations into fixed buckets with inclusive upper
+// bounds, plus a running sum and count. Updates are lock-free; snapshots
+// are weakly consistent (bucket counts and sum may momentarily disagree
+// under concurrent writes), which Prometheus scraping tolerates.
+// All methods are nil-receiver-safe no-ops.
+type Histogram struct {
+	bounds  []float64       // inclusive upper bounds, ascending
+	counts  []atomic.Uint64 // one per bound, plus the +Inf overflow at the end
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// ExponentialBuckets returns count bucket bounds starting at start and
+// multiplying by factor — the fixed-log-bucket layout used for latency
+// histograms. start must be positive and factor > 1.
+func ExponentialBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic(fmt.Sprintf("metrics: invalid exponential buckets (start %v, factor %v, count %d)", start, factor, count))
+	}
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i, b := range buckets {
+		if math.IsNaN(b) || (i > 0 && b <= buckets[i-1]) {
+			panic(fmt.Sprintf("metrics: histogram bounds must be strictly increasing, got %v", buckets))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// Observe records one value. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Linear scan: bucket counts are small (≤ ~25) and the branch
+	// predictor does well on latency-shaped data; no allocation.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile returns an estimate of the q-quantile (q in [0, 1]) assuming
+// observations are spread uniformly within each bucket. It returns the
+// highest finite bound for mass in the overflow bucket, and 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n >= rank && n > 0 {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - cum) / n
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshotBuckets returns cumulative bucket counts aligned with bounds,
+// the overflow count folded into the final (+Inf) entry.
+func (h *Histogram) snapshotBuckets() (bounds []float64, cumulative []uint64) {
+	cumulative = make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cumulative[i] = cum
+	}
+	return h.bounds, cumulative
+}
+
+// ---- EWMA ----
+
+// EWMA is an exponentially-weighted moving average over a stream of
+// observations: after each Observe(x), value ← α·x + (1−α)·value, with
+// the first observation seeding the average. It is the building block of
+// the stage-health monitor. All methods are nil-receiver-safe no-ops.
+type EWMA struct {
+	alpha float64
+	mu    sync.Mutex
+	value float64
+	n     uint64
+}
+
+// NewEWMA returns an EWMA with per-observation weight alpha in (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		panic(fmt.Sprintf("metrics: EWMA alpha %v outside (0, 1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one observation into the average. NaN is dropped.
+func (e *EWMA) Observe(x float64) {
+	if e == nil || math.IsNaN(x) {
+		return
+	}
+	e.mu.Lock()
+	if e.n == 0 {
+		e.value = x
+	} else {
+		e.value = e.alpha*x + (1-e.alpha)*e.value
+	}
+	e.n++
+	e.mu.Unlock()
+}
+
+// Value returns the current average (0 before any observation or nil).
+func (e *EWMA) Value() float64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
+
+// Count returns the number of observations folded in (0 for nil).
+func (e *EWMA) Count() uint64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}

@@ -1,0 +1,227 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	c := r.Counter("a", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c", "", []float64{1})
+	e := r.EWMA("d", "", 0.5)
+	r.GaugeFunc("e", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	e.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || e.Value() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry export = %q, %v", sb.String(), err)
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x", Stage(1))
+	b := r.Counter("x_total", "x", Stage(1))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	other := r.Counter("x_total", "x", Stage(2))
+	if other == a {
+		t.Fatal("distinct labels must return distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", ExponentialBuckets(1, 2, 4)) // 1 2 4 8
+	for _, v := range []float64{0.5, 1, 1.5, 3, 7, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 113 {
+		t.Fatalf("sum = %v, want 113", h.Sum())
+	}
+	bounds, cum := h.snapshotBuckets()
+	wantCum := []uint64{2, 3, 4, 5, 6}
+	if len(bounds) != 4 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Fatalf("cumulative = %v, want %v", cum, wantCum)
+		}
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 4 {
+		t.Fatalf("median estimate %v outside [1, 4]", q)
+	}
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("overflow quantile = %v, want highest bound 8", q)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	e.Observe(4) // seeds
+	if e.Value() != 4 {
+		t.Fatalf("seed = %v, want 4", e.Value())
+	}
+	e.Observe(8)
+	if e.Value() != 6 {
+		t.Fatalf("ewma = %v, want 6", e.Value())
+	}
+	if e.Count() != 2 {
+		t.Fatalf("count = %d, want 2", e.Count())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("feas_admitted_total", "admitted tasks").Add(7)
+	r.Gauge("feas_util", "utilization", Stage(0)).Set(0.25)
+	r.Gauge("feas_util", "utilization", Stage(1)).Set(0.5)
+	h := r.Histogram("feas_latency_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	r.CounterFunc("feas_expired_total", "expired", func() float64 { return 3 })
+	r.EWMA("feas_health", `ratio with "quotes" and \slash`, 0.2, Label{Name: "stage", Value: `a"b`}).Observe(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE feas_admitted_total counter\n",
+		"feas_admitted_total 7\n",
+		"# TYPE feas_util gauge\n",
+		`feas_util{stage="0"} 0.25`,
+		`feas_util{stage="1"} 0.5`,
+		"# TYPE feas_latency_seconds histogram\n",
+		`feas_latency_seconds_bucket{le="0.1"} 1`,
+		`feas_latency_seconds_bucket{le="1"} 1`,
+		`feas_latency_seconds_bucket{le="+Inf"} 2`,
+		"feas_latency_seconds_sum 5.05\n",
+		"feas_latency_seconds_count 2\n",
+		"# TYPE feas_expired_total counter\n",
+		"feas_expired_total 3\n",
+		`feas_health{stage="a\"b"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q in:\n%s", want, out)
+		}
+	}
+	// HELP lines must not contain raw newlines and quotes in help are fine.
+	if strings.Contains(out, "# HELP feas_health ratio with \"quotes\" and \\slash\n") == false {
+		t.Fatalf("help line mangled:\n%s", out)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "").Add(2)
+	r.Histogram("h", "", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	if snap["c_total"] != float64(2) {
+		t.Fatalf("snapshot counter = %v", snap["c_total"])
+	}
+	hs, ok := snap["h"].(HistogramSnapshot)
+	if !ok || hs.Count != 1 || hs.Sum != 0.5 {
+		t.Fatalf("snapshot histogram = %#v", snap["h"])
+	}
+}
+
+func TestConcurrentUpdatesAndExport(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", ExponentialBuckets(0.001, 4, 8))
+	e := r.EWMA("e", "", 0.1)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) / 10)
+				e.Observe(float64(w))
+				if i%100 == 0 {
+					var sb strings.Builder
+					_ = r.WritePrometheus(&sb)
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 4000 || g.Value() != 4000 || h.Count() != 4000 || e.Count() != 4000 {
+		t.Fatalf("lost updates: c=%d g=%v h=%d e=%d", c.Value(), g.Value(), h.Count(), e.Count())
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h", "", ExponentialBuckets(1e-6, 4, 12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-5)
+	}
+}

@@ -1,0 +1,262 @@
+// Package obs closes the feedback loop from observed stage behavior
+// back into admission control: a Monitor ingests per-job (declared,
+// actual) service-time pairs per stage, tracks the inflation ratio
+// actual/declared as an EWMA, and drives a Scaler's per-stage demand
+// multiplier when a stage degrades — the "wire SetStageScale to a real
+// health signal" item of the roadmap, and the adaptive end-to-end
+// feedback studied in arXiv:1306.0448.
+//
+// The loop is deliberately conservative:
+//
+//   - it acts only after MinSamples observations at a stage, so a single
+//     outlier cannot trigger a scale change;
+//   - scaling up requires the EWMA ratio to cross DegradeThreshold and
+//     scaling back to 1 requires it to fall below RecoverThreshold, a
+//     hysteresis band that prevents flapping at the boundary;
+//   - successive re-scales are suppressed unless the target differs from
+//     the current scale by more than Deadband (relative), so a slowly
+//     drifting ratio does not thrash the admission test.
+//
+// Monitor is safe for concurrent use (wall-clock pipelines observe from
+// many goroutines); in the deterministic simulation it is driven from
+// the single event loop.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"feasregion/internal/metrics"
+)
+
+// Scaler is the actuator the monitor drives. Both core.Controller and
+// online.Controller implement it.
+type Scaler interface {
+	// SetStageScale sets the stage's admission demand multiplier
+	// (1 = nominal; >1 inflates future admission estimates).
+	SetStageScale(stage int, scale float64)
+}
+
+// Config parameterizes a Monitor. Zero values select the documented
+// defaults.
+type Config struct {
+	// Stages is the pipeline length. Required.
+	Stages int
+	// Alpha is the per-observation EWMA weight in (0, 1]. Default 0.1.
+	Alpha float64
+	// MinSamples is the number of observations a stage needs before the
+	// monitor may act on it. Default 10.
+	MinSamples int
+	// DegradeThreshold is the EWMA ratio at or above which the stage is
+	// considered degraded and the scale follows the ratio. Default 1.25.
+	DegradeThreshold float64
+	// RecoverThreshold is the EWMA ratio at or below which a scaled
+	// stage returns to nominal (scale 1). Must be below
+	// DegradeThreshold. Default 1.1.
+	RecoverThreshold float64
+	// MaxScale clamps the applied multiplier. Default 16.
+	MaxScale float64
+	// Deadband is the minimum relative change between the current and
+	// target scale for a re-scale to be applied (entering and leaving
+	// nominal always applies). Default 0.1.
+	Deadband float64
+}
+
+// withDefaults fills zero fields and validates.
+func (c Config) withDefaults() Config {
+	if c.Stages <= 0 {
+		panic(fmt.Sprintf("obs: need at least one stage, got %d", c.Stages))
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.1
+	}
+	if c.Alpha < 0 || c.Alpha > 1 || math.IsNaN(c.Alpha) {
+		panic(fmt.Sprintf("obs: alpha %v outside (0, 1]", c.Alpha))
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 10
+	}
+	if c.DegradeThreshold == 0 {
+		c.DegradeThreshold = 1.25
+	}
+	if c.RecoverThreshold == 0 {
+		c.RecoverThreshold = 1.1
+	}
+	if c.RecoverThreshold >= c.DegradeThreshold {
+		panic(fmt.Sprintf("obs: recover threshold %v must be below degrade threshold %v",
+			c.RecoverThreshold, c.DegradeThreshold))
+	}
+	if c.MaxScale == 0 {
+		c.MaxScale = 16
+	}
+	if c.MaxScale < 1 {
+		panic(fmt.Sprintf("obs: max scale %v must be at least 1", c.MaxScale))
+	}
+	if c.Deadband == 0 {
+		c.Deadband = 0.1
+	}
+	if c.Deadband < 0 {
+		panic(fmt.Sprintf("obs: deadband %v must be non-negative", c.Deadband))
+	}
+	return c
+}
+
+// StageHealth is one stage's monitored state.
+type StageHealth struct {
+	// Ratio is the EWMA of actual/declared service time (0 before the
+	// first observation).
+	Ratio float64
+	// Samples is the number of observations folded in.
+	Samples uint64
+	// Scale is the multiplier currently applied to the stage.
+	Scale float64
+	// Degraded reports whether the stage is currently scaled above
+	// nominal.
+	Degraded bool
+}
+
+// Monitor tracks per-stage service-time inflation and drives a Scaler.
+type Monitor struct {
+	cfg Config
+
+	mu       sync.Mutex
+	scaler   Scaler
+	ratio    []float64
+	samples  []uint64
+	scale    []float64
+	changes  uint64
+	maxScale float64 // high-water mark of applied scales
+
+	metRatio   []*metrics.Gauge
+	metScale   []*metrics.Gauge
+	metChanges *metrics.Counter
+}
+
+// NewMonitor builds a monitor over cfg driving scaler. scaler may be nil
+// at construction (the pipeline is usually built in between) and wired
+// later with SetScaler; observations before that only update the EWMAs.
+func NewMonitor(cfg Config, scaler Scaler) *Monitor {
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		cfg:      cfg,
+		scaler:   scaler,
+		ratio:    make([]float64, cfg.Stages),
+		samples:  make([]uint64, cfg.Stages),
+		scale:    make([]float64, cfg.Stages),
+		maxScale: 1,
+	}
+	for j := range m.scale {
+		m.scale[j] = 1
+	}
+	return m
+}
+
+// SetScaler wires (or replaces) the actuator.
+func (m *Monitor) SetScaler(s Scaler) {
+	m.mu.Lock()
+	m.scaler = s
+	m.mu.Unlock()
+}
+
+// SetMetrics registers the monitor's gauges and counters with the
+// registry: per-stage health ratio and applied scale, and the cumulative
+// scale-change count. A nil registry is a no-op.
+func (m *Monitor) SetMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.metRatio = make([]*metrics.Gauge, m.cfg.Stages)
+	m.metScale = make([]*metrics.Gauge, m.cfg.Stages)
+	for j := 0; j < m.cfg.Stages; j++ {
+		m.metRatio[j] = r.Gauge("feasregion_stage_health_ratio", "EWMA of actual/declared service time per stage", metrics.Stage(j))
+		m.metScale[j] = r.Gauge("feasregion_stage_health_scale", "admission demand multiplier applied by the health monitor", metrics.Stage(j))
+		m.metScale[j].Set(m.scale[j])
+	}
+	m.metChanges = r.Counter("feasregion_stage_health_scale_changes_total", "scale changes applied by the health monitor")
+}
+
+// Observe folds one completed job's service time at the stage into the
+// health EWMA and, past the warmup, drives the scaler through the
+// hysteresis logic. declared is the admission-time estimate C_ij; actual
+// is the computation time the stage really spent. Non-positive declared
+// or negative/NaN actual observations are ignored.
+func (m *Monitor) Observe(stage int, declared, actual float64) {
+	if stage < 0 || stage >= m.cfg.Stages || declared <= 0 || actual < 0 || math.IsNaN(actual) || math.IsNaN(declared) {
+		return
+	}
+	ratio := actual / declared
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.samples[stage] == 0 {
+		m.ratio[stage] = ratio
+	} else {
+		m.ratio[stage] = m.cfg.Alpha*ratio + (1-m.cfg.Alpha)*m.ratio[stage]
+	}
+	m.samples[stage]++
+	if m.metRatio != nil {
+		m.metRatio[stage].Set(m.ratio[stage])
+	}
+	if m.samples[stage] < uint64(m.cfg.MinSamples) {
+		return
+	}
+
+	cur := m.scale[stage]
+	target := cur
+	switch ewma := m.ratio[stage]; {
+	case ewma >= m.cfg.DegradeThreshold:
+		target = math.Min(ewma, m.cfg.MaxScale)
+	case ewma <= m.cfg.RecoverThreshold:
+		target = 1
+	}
+	if target == cur {
+		return
+	}
+	// Inside the degraded regime, require a Deadband-sized relative move
+	// before re-scaling; transitions into or out of nominal always apply.
+	if cur != 1 && target != 1 && math.Abs(target-cur)/cur <= m.cfg.Deadband {
+		return
+	}
+	m.scale[stage] = target
+	m.changes++
+	if target > m.maxScale {
+		m.maxScale = target
+	}
+	if m.metScale != nil {
+		m.metScale[stage].Set(target)
+	}
+	m.metChanges.Inc()
+	if m.scaler != nil {
+		m.scaler.SetStageScale(stage, target)
+	}
+}
+
+// Health returns the stage's current monitored state.
+func (m *Monitor) Health(stage int) StageHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return StageHealth{
+		Ratio:    m.ratio[stage],
+		Samples:  m.samples[stage],
+		Scale:    m.scale[stage],
+		Degraded: m.scale[stage] != 1,
+	}
+}
+
+// ScaleChanges returns how many scale changes the monitor has applied.
+func (m *Monitor) ScaleChanges() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.changes
+}
+
+// MaxScaleApplied returns the largest multiplier ever applied (1 when
+// the monitor never acted).
+func (m *Monitor) MaxScaleApplied() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxScale
+}

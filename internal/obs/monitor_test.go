@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"feasregion/internal/metrics"
+)
+
+// fakeScaler records SetStageScale calls.
+type fakeScaler struct {
+	mu    sync.Mutex
+	calls []struct {
+		stage int
+		scale float64
+	}
+}
+
+func (f *fakeScaler) SetStageScale(stage int, scale float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, struct {
+		stage int
+		scale float64
+	}{stage, scale})
+}
+
+func (f *fakeScaler) last() (int, float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.calls) == 0 {
+		return 0, 0, false
+	}
+	c := f.calls[len(f.calls)-1]
+	return c.stage, c.scale, true
+}
+
+func TestMonitorScalesUpAndRecovers(t *testing.T) {
+	sc := &fakeScaler{}
+	m := NewMonitor(Config{Stages: 2, Alpha: 0.5, MinSamples: 4}, sc)
+
+	// Healthy observations: no action.
+	for i := 0; i < 10; i++ {
+		m.Observe(0, 1, 1)
+	}
+	if _, _, ok := sc.last(); ok {
+		t.Fatalf("scaler driven on healthy stage: %+v", sc.calls)
+	}
+
+	// Stage 1 degrades 3x: after warmup the EWMA crosses the threshold
+	// and the scale follows the ratio.
+	for i := 0; i < 10; i++ {
+		m.Observe(1, 1, 3)
+	}
+	stage, scale, ok := sc.last()
+	if !ok || stage != 1 || scale < 2 || scale > 3.001 {
+		t.Fatalf("expected stage 1 scaled towards 3, got %+v", sc.calls)
+	}
+	if h := m.Health(1); !h.Degraded || h.Samples != 10 {
+		t.Fatalf("health = %+v", h)
+	}
+	if m.MaxScaleApplied() < 2 {
+		t.Fatalf("max scale = %v", m.MaxScaleApplied())
+	}
+
+	// Recovery: ratio returns to 1, the EWMA decays below the recover
+	// threshold, and the scale snaps back to nominal.
+	for i := 0; i < 20; i++ {
+		m.Observe(1, 1, 1)
+	}
+	if _, scale, _ := sc.last(); scale != 1 {
+		t.Fatalf("expected recovery to scale 1, got %+v", sc.calls)
+	}
+	if h := m.Health(1); h.Degraded {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+	if m.ScaleChanges() < 2 {
+		t.Fatalf("scale changes = %d, want at least up+down", m.ScaleChanges())
+	}
+}
+
+func TestMonitorWarmupAndDeadband(t *testing.T) {
+	sc := &fakeScaler{}
+	m := NewMonitor(Config{Stages: 1, Alpha: 1, MinSamples: 5, Deadband: 0.5}, sc)
+	// Fewer than MinSamples observations never act, however degraded.
+	for i := 0; i < 4; i++ {
+		m.Observe(0, 1, 10)
+	}
+	if _, _, ok := sc.last(); ok {
+		t.Fatal("monitor acted during warmup")
+	}
+	m.Observe(0, 1, 10)
+	if _, scale, ok := sc.last(); !ok || scale != 10 {
+		t.Fatalf("expected scale 10 after warmup, got %+v", sc.calls)
+	}
+	// A drift within the deadband (10 → 12, +20% < 50%) is suppressed.
+	m.Observe(0, 1, 12)
+	if n := m.ScaleChanges(); n != 1 {
+		t.Fatalf("deadband violated: %d changes, calls %+v", n, sc.calls)
+	}
+	// A large move re-scales.
+	for i := 0; i < 3; i++ {
+		m.Observe(0, 1, 30)
+	}
+	if _, scale, _ := sc.last(); scale < 15 {
+		t.Fatalf("expected re-scale towards 30, got %+v", sc.calls)
+	}
+}
+
+func TestMonitorClampsAndIgnoresBadInput(t *testing.T) {
+	sc := &fakeScaler{}
+	m := NewMonitor(Config{Stages: 1, Alpha: 1, MinSamples: 1, MaxScale: 4}, sc)
+	m.Observe(0, 0, 5)  // declared ≤ 0 ignored
+	m.Observe(0, 1, -1) // negative actual ignored
+	m.Observe(-1, 1, 5) // bad stage ignored
+	m.Observe(5, 1, 5)  // bad stage ignored
+	if h := m.Health(0); h.Samples != 0 {
+		t.Fatalf("bad observations counted: %+v", h)
+	}
+	m.Observe(0, 1, 100)
+	if _, scale, ok := sc.last(); !ok || scale != 4 {
+		t.Fatalf("expected clamp at MaxScale 4, got %+v", sc.calls)
+	}
+}
+
+func TestMonitorMetricsAndConcurrency(t *testing.T) {
+	sc := &fakeScaler{}
+	m := NewMonitor(Config{Stages: 2, MinSamples: 1}, sc)
+	reg := metrics.NewRegistry()
+	m.SetMetrics(reg)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m.Observe(i%2, 1, 2)
+				_ = m.Health(i % 2)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`feasregion_stage_health_ratio{stage="0"} 2`,
+		`feasregion_stage_health_scale{stage="1"} 2`,
+		"feasregion_stage_health_scale_changes_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics export missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no stages":           {},
+		"bad alpha":           {Stages: 1, Alpha: 2},
+		"inverted hysteresis": {Stages: 1, DegradeThreshold: 1.1, RecoverThreshold: 1.2},
+		"max scale below 1":   {Stages: 1, MaxScale: 0.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewMonitor(cfg, nil)
+		}()
+	}
+}

@@ -1,0 +1,53 @@
+package online
+
+import (
+	"feasregion/internal/core"
+	"feasregion/internal/metrics"
+)
+
+// RegisterMetrics describes the controller's state to the registry as
+// read-on-scrape series, so the admission hot path is untouched: counter
+// funcs mirror the Stats fields and gauge funcs read the per-stage
+// synthetic utilization, demand scales, and region value/headroom under
+// the controller's lock at snapshot time. A nil registry is a no-op.
+// Call it once, at wiring time.
+func (c *Controller) RegisterMetrics(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	stat := func(read func(Stats) uint64) func() float64 {
+		return func() float64 { return float64(read(c.Stats())) }
+	}
+	r.CounterFunc("feasregion_online_admitted_total", "requests accepted by the admission test",
+		stat(func(s Stats) uint64 { return s.Admitted }))
+	r.CounterFunc("feasregion_online_rejected_total", "requests rejected by the admission test",
+		stat(func(s Stats) uint64 { return s.Rejected }))
+	r.CounterFunc("feasregion_online_expired_total", "contributions removed by the lazy deadline purge",
+		stat(func(s Stats) uint64 { return s.Expired }))
+	r.CounterFunc("feasregion_online_idle_resets_total", "stage-idle calls that freed at least one contribution",
+		stat(func(s Stats) uint64 { return s.IdleResets }))
+	r.CounterFunc("feasregion_online_reconciles_total", "watchdog reconciliation passes",
+		stat(func(s Stats) uint64 { return s.Reconciles }))
+	r.CounterFunc("feasregion_online_orphans_reaped_total", "leaked contributions removed by reconciliation",
+		stat(func(s Stats) uint64 { return s.OrphansReaped }))
+	r.CounterFunc("feasregion_online_clock_regressions_total", "observations of the wall clock stepping backwards",
+		stat(func(s Stats) uint64 { return s.ClockRegressions }))
+
+	for j := 0; j < c.region.Stages; j++ {
+		j := j
+		r.GaugeFunc("feasregion_online_stage_synthetic_utilization", "per-stage synthetic utilization U_j(t)",
+			func() float64 { return c.Utilizations()[j] }, metrics.Stage(j))
+		r.GaugeFunc("feasregion_online_stage_scale", "per-stage admission demand multiplier (1 = nominal)",
+			func() float64 { return c.StageScales()[j] }, metrics.Stage(j))
+	}
+	value := func() float64 {
+		sum := 0.0
+		for _, u := range c.Utilizations() {
+			sum += core.StageDelayFactor(u)
+		}
+		return sum
+	}
+	r.GaugeFunc("feasregion_online_region_value", "current region value sum f(U_j)", value)
+	r.GaugeFunc("feasregion_online_region_headroom", "region bound minus current value; admission stops at 0",
+		func() float64 { return c.region.Bound() - value() })
+}

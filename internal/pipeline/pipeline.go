@@ -17,6 +17,8 @@ import (
 	"feasregion/internal/des"
 	"feasregion/internal/dist"
 	"feasregion/internal/faults"
+	"feasregion/internal/metrics"
+	"feasregion/internal/obs"
 	"feasregion/internal/sched"
 	"feasregion/internal/stats"
 	"feasregion/internal/task"
@@ -112,6 +114,20 @@ type Options struct {
 	// Trace, when non-nil, records admission and scheduling events for
 	// offline inspection (CSV, ASCII timeline).
 	Trace *trace.Recorder
+
+	// Metrics, when non-nil, registers runtime instruments with the
+	// registry: admission counters and region gauges (on the default
+	// controller), per-stage queue depth and service-time/sojourn
+	// histograms, and pipeline-level departure/deadline-miss counters.
+	// Unlike the measurement-window Snapshot, these span the pipeline's
+	// whole lifetime and cost nothing when nil.
+	Metrics *metrics.Registry
+
+	// Health, when non-nil, receives a (declared, actual) service-time
+	// observation for every completed stage job — the input of the
+	// stage-health feedback loop. Wire its scaler to the pipeline's
+	// controller (obs.Monitor.SetScaler) to close the loop.
+	Health *obs.Monitor
 }
 
 // Pipeline is the simulated system under test.
@@ -129,6 +145,12 @@ type Pipeline struct {
 	faults   *faults.Injector
 	inflight map[task.ID]*inflight
 	tracer   *trace.Recorder
+	health   *obs.Monitor
+
+	// Lifetime instruments; nil (free no-ops) without Options.Metrics.
+	metDeparted *metrics.Counter
+	metMissed   *metrics.Counter
+	metShed     *metrics.Counter
 
 	measuring      bool
 	measureStart   des.Time
@@ -206,6 +228,24 @@ func New(sim *des.Simulator, opts Options) *Pipeline {
 		if opts.MaxWait > 0 {
 			p.wq = core.NewWaitQueue(sim, p.ctrl, opts.MaxWait, func(t *task.Task) { p.start(t) })
 		}
+	}
+	p.health = opts.Health
+	if opts.Metrics != nil {
+		if p.ctrl != nil {
+			p.ctrl.SetMetrics(opts.Metrics)
+		}
+		buckets := metrics.ExponentialBuckets(1e-3, 4, 12)
+		for j, st := range p.stages {
+			st.SetInstruments(sched.Instruments{
+				QueueDepth:  opts.Metrics.Gauge("feasregion_stage_queue_depth", "ready jobs queued at the stage", metrics.Stage(j)),
+				ServiceTime: opts.Metrics.Histogram("feasregion_stage_service_time", "executed computation time per completed job (simulated seconds)", buckets, metrics.Stage(j)),
+				Sojourn:     opts.Metrics.Histogram("feasregion_stage_sojourn_time", "submission-to-completion time per job at the stage (simulated seconds)", buckets, metrics.Stage(j)),
+				Overruns:    opts.Metrics.Counter("feasregion_stage_overruns_total", "budget-watchdog firings at the stage", metrics.Stage(j)),
+			})
+		}
+		p.metDeparted = opts.Metrics.Counter("feasregion_departed_total", "tasks that completed all stages")
+		p.metMissed = opts.Metrics.Counter("feasregion_deadline_miss_total", "completed tasks that missed their end-to-end deadline")
+		p.metShed = opts.Metrics.Counter("feasregion_shed_total", "in-flight tasks aborted (semantic shedding or overrun eviction)")
 	}
 	if opts.Trace != nil {
 		p.tracer = opts.Trace
@@ -376,6 +416,7 @@ func (p *Pipeline) abort(f *inflight, kind string) {
 	}
 	delete(p.inflight, f.t.ID)
 	p.ctrl.Evict(f.t.ID)
+	p.metShed.Inc()
 	p.trace(f.t.ID, "admission", kind)
 	if p.measuring {
 		p.shed++
@@ -448,6 +489,11 @@ func (p *Pipeline) advance(f *inflight, now des.Time) {
 			if p.measuring {
 				p.stageDelays[j].Add(done - enq)
 			}
+			if p.health != nil {
+				// f.job is still this stage's completed job here; advance
+				// replaces it only after the observation.
+				p.health.Observe(j, t.StageDemand(j), f.job.Consumed())
+			}
 			if p.adm != nil {
 				p.adm.MarkDeparted(j, t.ID)
 			}
@@ -464,8 +510,10 @@ func (p *Pipeline) finish(t *task.Task, now des.Time) {
 		delete(p.inflight, t.ID)
 	}
 	miss := now > t.AbsoluteDeadline()+1e-9
+	p.metDeparted.Inc()
 	p.trace(t.ID, "pipeline", "depart")
 	if miss {
+		p.metMissed.Inc()
 		p.trace(t.ID, "pipeline", "miss")
 	}
 	if !p.measuring {

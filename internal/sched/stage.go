@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"feasregion/internal/des"
+	"feasregion/internal/metrics"
 	"feasregion/internal/task"
 )
 
@@ -103,9 +104,31 @@ type Stage struct {
 	idleFns []func(now des.Time)
 	observe func(Event)
 
+	ins Instruments
+
 	seq   uint64
 	stats Stats
 }
+
+// Instruments are the stage's observability hooks. Every field may be
+// nil: a nil instrument's methods are free no-ops, so the dispatch path
+// carries no conditionals for the disabled case.
+type Instruments struct {
+	// QueueDepth tracks the number of ready (queued, dispatchable) jobs.
+	QueueDepth *metrics.Gauge
+	// ServiceTime observes each completed job's executed computation
+	// time (inflated by the exec model when faults are injected).
+	ServiceTime *metrics.Histogram
+	// Sojourn observes each completed job's total time at the stage,
+	// submission to completion (queueing + preemption + execution).
+	Sojourn *metrics.Histogram
+	// Overruns counts budget-watchdog firings.
+	Overruns *metrics.Counter
+}
+
+// SetInstruments wires the stage's observability instruments; the zero
+// Instruments value detaches them.
+func (s *Stage) SetInstruments(ins Instruments) { s.ins = ins }
 
 // New returns an idle stage driven by the given simulator clock.
 func New(sim *des.Simulator, name string) *Stage {
@@ -271,6 +294,11 @@ func (s *Stage) SubmitBudgeted(id task.ID, priority float64, sub task.Subtask, b
 // urgent dispatchable job. It preempts, dispatches, applies PCP blocking,
 // and transitions to idle as needed.
 func (s *Stage) schedule() {
+	s.scheduleLoop()
+	s.ins.QueueDepth.Set(float64(len(s.ready)))
+}
+
+func (s *Stage) scheduleLoop() {
 	if s.paused {
 		return // stalled: nothing dispatches until Resume
 	}
@@ -387,6 +415,7 @@ func (s *Stage) armWatch(j *Job) {
 	j.watch = s.sim.After(slack, func() {
 		j.watch = nil
 		j.overrunFired = true
+		s.ins.Overruns.Inc()
 		consumed := j.consumed + (s.sim.Now() - j.segStart)
 		// j.consumed excludes the in-flight dispatch and j.Remaining()
 		// still counts the whole current segment, so their sum is the
@@ -447,6 +476,8 @@ func (s *Stage) onSegmentDone(j *Job) {
 	}
 
 	s.stats.Completed++
+	s.ins.ServiceTime.Observe(j.consumed)
+	s.ins.Sojourn.Observe(now - j.submitted)
 	s.emit(EventComplete, j.TaskID)
 	if j.onComplete != nil {
 		j.onComplete(now)
@@ -499,6 +530,7 @@ func (s *Stage) Cancel(j *Job) bool {
 		return true
 	case j.heapIdx >= 0:
 		heap.Remove(&s.ready, j.heapIdx)
+		s.ins.QueueDepth.Set(float64(len(s.ready)))
 		if j.heldLock != nil {
 			s.release(j) // preempted inside its critical section
 			s.schedule() // a flushed waiter may now outrank the runner
@@ -588,6 +620,7 @@ func (s *Stage) Pause() {
 	}
 	if s.running != nil {
 		s.preempt()
+		s.ins.QueueDepth.Set(float64(len(s.ready)))
 	}
 	s.paused = true
 }

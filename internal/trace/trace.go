@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"feasregion/internal/task"
 )
@@ -22,8 +23,11 @@ type Record struct {
 }
 
 // Recorder accumulates records. The zero value is unbounded; use New to
-// cap memory with a ring buffer.
+// cap memory with a ring buffer. All methods are safe for concurrent
+// use: the simulator is single-threaded, but the online controller and
+// the httpserver example record from handler goroutines.
 type Recorder struct {
+	mu      sync.Mutex
 	max     int
 	start   int // ring start when wrapped
 	recs    []Record
@@ -36,6 +40,8 @@ func New(max int) *Recorder { return &Recorder{max: max} }
 
 // Add appends one record.
 func (r *Recorder) Add(rec Record) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.max > 0 && len(r.recs) == r.max {
 		r.recs[r.start] = rec
 		r.start = (r.start + 1) % r.max
@@ -46,13 +52,23 @@ func (r *Recorder) Add(rec Record) {
 }
 
 // Len returns the number of retained records.
-func (r *Recorder) Len() int { return len(r.recs) }
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recs)
+}
 
 // Dropped returns how many records the ring buffer evicted.
-func (r *Recorder) Dropped() uint64 { return r.dropped }
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
 
-// Records returns the retained records in chronological order.
+// Records returns a copy of the retained records in chronological order.
 func (r *Recorder) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := make([]Record, 0, len(r.recs))
 	out = append(out, r.recs[r.start:]...)
 	out = append(out, r.recs[:r.start]...)

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -184,5 +185,61 @@ func TestRenderTimelineAutoRange(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "[5, 9]") {
 		t.Fatalf("auto range wrong:\n%s", b.String())
+	}
+}
+
+// TestRecorderConcurrent exercises the recorder from many goroutines at
+// once — writers racing the ring buffer against readers draining
+// snapshots. Run under -race this is the regression test for the
+// Recorder's locking; the invariant checks (bounded length, exact
+// add/drop accounting) catch lost updates even without the detector.
+func TestRecorderConcurrent(t *testing.T) {
+	const (
+		writers = 8
+		perW    = 500
+		cap     = 64
+	)
+	r := New(cap)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				r.Add(Record{Time: float64(i), Source: "s", Task: 1, Kind: "k"})
+			}
+		}(w)
+	}
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if n := r.Len(); n > cap {
+					panic("recorder exceeded its ring capacity")
+				}
+				_ = r.Records()
+				_ = r.Dropped()
+				var sb strings.Builder
+				_ = r.WriteCSV(&sb)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := r.Len(); got != cap {
+		t.Fatalf("len=%d, want full ring %d", got, cap)
+	}
+	if total := uint64(r.Len()) + r.Dropped(); total != writers*perW {
+		t.Fatalf("retained+dropped=%d, want %d adds accounted for", total, writers*perW)
 	}
 }
