@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-race test-short bench bench-json experiments experiments-quick examples fuzz verify clean
+.PHONY: all build vet test race test-race test-short bench bench-json bench-admit experiments experiments-quick examples fuzz verify clean
 
 all: build vet test
 
@@ -30,6 +30,12 @@ bench:
 # as machine-readable go-test JSON for regression tracking.
 bench-json:
 	$(GO) test -run '^$$' -bench 'Metrics(Off|On)' -benchmem -count 3 -json . > BENCH_metrics.json
+
+# Admission hot-path scaling benchmarks (current vs frozen pre-rewrite
+# baseline; uncontended ns/op + allocs/op, 1/4/16-goroutine curves,
+# lock-free reject path) as go-test JSON: the repo's perf trajectory.
+bench-admit:
+	$(GO) test -run '^$$' -bench '^Benchmark(Baseline)?Admit' -benchmem -count 3 -json . > BENCH_admit.json
 
 # Regenerates every table and figure of the paper's evaluation.
 experiments:

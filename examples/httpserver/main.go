@@ -20,7 +20,13 @@
 //   - a stage-health monitor watches each stage's actual service time
 //     against its declared cost and drives the controller's per-stage
 //     demand scale when a stage degrades — admission throttles itself
-//     instead of over-admitting into a slow backend.
+//     instead of over-admitting into a slow backend;
+//   - a background scraper polls /metrics throughout the load, standing
+//     in for Prometheus: scrapes read the controller's seqlock mirror,
+//     so monitoring never contends with admission;
+//   - a webhook-style fan-in admits a whole burst of arrivals with one
+//     TryAdmitAll call — one lock acquisition and one expiry purge
+//     amortized across the batch.
 //
 // The demo fires a few thousand concurrent requests at twice the
 // service's capacity, degrades the db stage 3x for the middle of the
@@ -256,6 +262,34 @@ func main() {
 	)
 	var wg sync.WaitGroup
 	client := srv.Client()
+
+	// Background monitoring during the load: poll /metrics the way a
+	// Prometheus scraper would. Scrapes read the controller's seqlock
+	// mirror, so this loop never contends with the admission hot path.
+	scrapeStop := make(chan struct{})
+	scrapeDone := make(chan struct{})
+	var scrapes, scrapeFailures int
+	go func() {
+		defer close(scrapeDone)
+		ticker := time.NewTicker(10 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-scrapeStop:
+				return
+			case <-ticker.C:
+				resp, err := client.Get(srv.URL + "/metrics")
+				if err != nil {
+					scrapeFailures++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				scrapes++
+			}
+		}
+	}()
+
 	for i := 0; i < total; i++ {
 		switch i {
 		case total / 3:
@@ -289,6 +323,29 @@ func main() {
 		time.Sleep(gap)
 	}
 	wg.Wait()
+	close(scrapeStop)
+	<-scrapeDone
+
+	// Batched admission: a webhook fan-in hands the service a burst of
+	// events in one delivery. TryAdmitAll tests the whole batch under a
+	// single lock acquisition and purge, each event against the state
+	// left by its predecessors, and reports per-event outcomes.
+	const burst = 64
+	batch := make([]feasregion.OnlineRequest, burst)
+	outcomes := make([]bool, burst)
+	for i := range batch {
+		batch[i] = feasregion.OnlineRequest{
+			ID:       nextID.Add(1),
+			Deadline: deadline,
+			Demands:  []time.Duration{appCost, dbCost},
+		}
+	}
+	burstAdmitted := ctrl.TryAdmitAll(batch, outcomes)
+	for i, ok := range outcomes {
+		if ok { // demo only: release instead of processing the event
+			ctrl.Release(batch[i].ID)
+		}
+	}
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) time.Duration {
@@ -310,6 +367,10 @@ func main() {
 	dbHealth := mon.Health(1)
 	fmt.Printf("  health monitor: %d scale changes, max scale %.3g, db stage ratio EWMA %.3g (scale now %.3g)\n",
 		mon.ScaleChanges(), mon.MaxScaleApplied(), dbHealth.Ratio, dbHealth.Scale)
+	fmt.Printf("  background scraper: %d /metrics polls during the load (%d failed) — lock-free reads\n",
+		scrapes, scrapeFailures)
+	fmt.Printf("  webhook burst: TryAdmitAll admitted %d/%d events in one lock acquisition\n",
+		burstAdmitted, burst)
 
 	// Scrape /metrics the way Prometheus would and sanity-check the page.
 	resp, err := client.Get(srv.URL + "/metrics")

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"feasregion/internal/des"
 	"feasregion/internal/metrics"
@@ -49,6 +50,7 @@ type Controller struct {
 	ledgers  []*Ledger
 	estimate Estimator
 	scales   []float64 // per-stage demand multipliers; nil until first SetStageScale
+	scratch  []float64 // reusable deltas buffer; the controller is single-threaded (DES)
 
 	onRelease []func(now des.Time)
 	onChange  func(stage int, now des.Time, u float64)
@@ -240,12 +242,18 @@ func (c *Controller) fireRelease() {
 	}
 }
 
-// deltas computes the tentative per-stage utilization increments of t.
+// deltas computes the tentative per-stage utilization increments of t
+// into the controller's scratch buffer, running the estimator once per
+// stage. The returned slice is valid until the next deltas call; commit
+// copies the values into the ledgers, so the reuse never escapes.
 func (c *Controller) deltas(t *task.Task) []float64 {
-	d := make([]float64, len(c.ledgers))
 	if t.Deadline <= 0 {
 		return nil
 	}
+	if c.scratch == nil {
+		c.scratch = make([]float64, len(c.ledgers))
+	}
+	d := c.scratch
 	for j := range d {
 		d[j] = c.estimate(t, j) / t.Deadline
 	}
@@ -257,13 +265,8 @@ func (c *Controller) deltas(t *task.Task) []float64 {
 	return d
 }
 
-// WouldAdmit evaluates the admission test without committing: it reports
-// whether the post-admission utilization point stays inside the region.
-func (c *Controller) WouldAdmit(t *task.Task) bool {
-	d := c.deltas(t)
-	if d == nil {
-		return false
-	}
+// admissible evaluates the region test for the given increments.
+func (c *Controller) admissible(d []float64) bool {
 	sum := 0.0
 	for j, l := range c.ledgers {
 		sum += StageDelayFactor(l.Utilization() + d[j])
@@ -271,15 +274,25 @@ func (c *Controller) WouldAdmit(t *task.Task) bool {
 	return sum <= c.region.Bound()
 }
 
+// WouldAdmit evaluates the admission test without committing: it reports
+// whether the post-admission utilization point stays inside the region.
+func (c *Controller) WouldAdmit(t *task.Task) bool {
+	d := c.deltas(t)
+	return d != nil && c.admissible(d)
+}
+
 // TryAdmit runs the admission test and, on success, commits the task's
 // contributions and schedules their removal at its absolute deadline.
+// The increments (and the estimator behind them) are computed exactly
+// once and shared between the test and the commit.
 func (c *Controller) TryAdmit(t *task.Task) bool {
-	if !c.WouldAdmit(t) {
+	d := c.deltas(t)
+	if d == nil || !c.admissible(d) {
 		c.stats.Rejected++
 		c.metRejected.Inc()
 		return false
 	}
-	c.commit(t, c.deltas(t))
+	c.commit(t, d)
 	return true
 }
 
@@ -357,8 +370,7 @@ func (c *Controller) Recharge(id task.ID, stage int, contribution float64) bool 
 func (c *Controller) Evict(id task.ID) {
 	removed := false
 	for _, l := range c.ledgers {
-		if _, ok := l.Contribution(id); ok {
-			l.Remove(id)
+		if l.Remove(id) {
 			removed = true
 		}
 	}
@@ -378,28 +390,49 @@ func (c *Controller) PlanShedding(t *task.Task, candidates []task.ID) (shed []ta
 	if d == nil {
 		return nil, false
 	}
+	// Maintain Σ f(U_j) incrementally as contributions are subtracted:
+	// each candidate costs O(stages-it-touches) instead of a full O(N)
+	// re-sum. Infinite terms (U_j ≥ 1, f = +Inf) are tracked by count —
+	// Inf − Inf is NaN, so they must never enter the running sum.
+	bound := c.region.Bound()
 	utils := make([]float64, len(c.ledgers))
+	terms := make([]float64, len(c.ledgers))
+	sum := 0.0
+	infinite := 0
 	for j, l := range c.ledgers {
 		utils[j] = l.Utilization() + d[j]
-	}
-	fits := func() bool {
-		sum := 0.0
-		for _, u := range utils {
-			sum += StageDelayFactor(u)
+		terms[j] = StageDelayFactor(utils[j])
+		if math.IsInf(terms[j], 1) {
+			infinite++
+		} else {
+			sum += terms[j]
 		}
-		return sum <= c.region.Bound()
 	}
-	if fits() {
+	if infinite == 0 && sum <= bound {
 		return nil, true
 	}
 	for _, id := range candidates {
 		for j, l := range c.ledgers {
-			if contrib, present := l.Contribution(id); present {
-				utils[j] -= contrib
+			contrib, present := l.Contribution(id)
+			if !present || contrib == 0 {
+				continue
 			}
+			utils[j] -= contrib
+			term := StageDelayFactor(utils[j])
+			if math.IsInf(terms[j], 1) {
+				infinite--
+			} else {
+				sum -= terms[j]
+			}
+			if math.IsInf(term, 1) {
+				infinite++
+			} else {
+				sum += term
+			}
+			terms[j] = term
 		}
 		shed = append(shed, id)
-		if fits() {
+		if infinite == 0 && sum <= bound {
 			return shed, true
 		}
 	}

@@ -115,9 +115,24 @@ func (c *GraphController) deltas(t *task.Task) []float64 {
 // WouldAdmit evaluates the Theorem 2 test without committing.
 func (c *GraphController) WouldAdmit(t *task.Task) bool {
 	d := c.deltas(t)
-	if d == nil {
+	return d != nil && c.wouldAdmitDeltas(t, d)
+}
+
+// TryAdmit runs the test and, on success, commits the task's
+// contributions and schedules their removal at its absolute deadline.
+// The increments are computed once and shared between test and commit.
+func (c *GraphController) TryAdmit(t *task.Task) bool {
+	d := c.deltas(t)
+	if d == nil || !c.wouldAdmitDeltas(t, d) {
+		c.stats.Rejected++
 		return false
 	}
+	c.commit(t, d)
+	return true
+}
+
+// wouldAdmitDeltas evaluates the Theorem 2 test for precomputed deltas.
+func (c *GraphController) wouldAdmitDeltas(t *task.Task, d []float64) bool {
 	utils := c.Utilizations()
 	for i := range utils {
 		utils[i] += d[i]
@@ -133,20 +148,14 @@ func (c *GraphController) WouldAdmit(t *task.Task) bool {
 	return true
 }
 
-// TryAdmit runs the test and, on success, commits the task's
-// contributions and schedules their removal at its absolute deadline.
-func (c *GraphController) TryAdmit(t *task.Task) bool {
-	if !c.WouldAdmit(t) {
-		c.stats.Rejected++
-		return false
-	}
-	c.commitAdmit(t)
-	return true
-}
-
 // commitAdmit commits a task WouldAdmit accepted (regionAdmitter).
 func (c *GraphController) commitAdmit(t *task.Task) {
-	d := c.deltas(t)
+	if d := c.deltas(t); d != nil {
+		c.commit(t, d)
+	}
+}
+
+func (c *GraphController) commit(t *task.Task, d []float64) {
 	for i, l := range c.ledgers {
 		l.Add(t.ID, d[i])
 	}

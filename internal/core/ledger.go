@@ -137,6 +137,18 @@ func (l *Ledger) TaskIDs() []task.ID {
 	return ids
 }
 
+// RangeTasks calls fn for every currently-contributing task until fn
+// returns false, without allocating. Iteration order is unspecified. fn
+// may Remove the task it was called with (Go map iteration permits
+// deleting the current key) but must not add or remove other entries.
+func (l *Ledger) RangeTasks(fn func(id task.ID, contribution float64) bool) {
+	for id, c := range l.contrib {
+		if !fn(id, c) {
+			return
+		}
+	}
+}
+
 // Contribution returns the task's recorded contribution and whether it
 // is still present.
 func (l *Ledger) Contribution(id task.ID) (float64, bool) {
@@ -144,13 +156,14 @@ func (l *Ledger) Contribution(id task.ID) (float64, bool) {
 	return c, ok
 }
 
-// Remove drops a task's contribution (called at its absolute deadline).
-// Removing an absent task is a no-op: the contribution may already have
-// been cleared by an idle reset.
-func (l *Ledger) Remove(id task.ID) {
+// Remove drops a task's contribution (called at its absolute deadline)
+// and reports whether the task was present. Removing an absent task is
+// a no-op: the contribution may already have been cleared by an idle
+// reset.
+func (l *Ledger) Remove(id task.ID) bool {
 	c, ok := l.contrib[id]
 	if !ok {
-		return
+		return false
 	}
 	delete(l.contrib, id)
 	delete(l.departed, id)
@@ -160,6 +173,7 @@ func (l *Ledger) Remove(id task.ID) {
 		// residual floating error before the next busy period.
 		l.sum, l.comp = 0, 0
 	}
+	return true
 }
 
 // MarkDeparted records that the task has finished its service at this

@@ -190,3 +190,63 @@ func TestLedgerInvalidParameters(t *testing.T) {
 	}()
 	l.Add(1, -0.5)
 }
+
+func TestLedgerRangeTasks(t *testing.T) {
+	l := NewLedger(0)
+	want := map[task.ID]float64{1: 0.1, 2: 0.2, 3: 0.3}
+	for id, c := range want {
+		l.Add(id, c)
+	}
+	seen := map[task.ID]float64{}
+	l.RangeTasks(func(id task.ID, c float64) bool {
+		if _, dup := seen[id]; dup {
+			t.Fatalf("task %d visited twice", id)
+		}
+		seen[id] = c
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("visited %d tasks, want %d", len(seen), len(want))
+	}
+	for id, c := range want {
+		if seen[id] != c {
+			t.Fatalf("task %d contribution %v, want %v", id, seen[id], c)
+		}
+	}
+}
+
+func TestLedgerRangeTasksEarlyStop(t *testing.T) {
+	l := NewLedger(0)
+	for id := task.ID(1); id <= 10; id++ {
+		l.Add(id, 0.01)
+	}
+	visits := 0
+	l.RangeTasks(func(task.ID, float64) bool {
+		visits++
+		return visits < 4
+	})
+	if visits != 4 {
+		t.Fatalf("iteration visited %d tasks after stop at 4", visits)
+	}
+}
+
+func TestLedgerRangeTasksRemoveCurrent(t *testing.T) {
+	// The reconciliation pass removes orphans mid-iteration; the iterator
+	// must tolerate deleting the entry it was called with.
+	l := NewLedger(0)
+	l.Add(1, 0.1)
+	l.Add(2, 0.2)
+	l.Add(3, 0.3)
+	l.RangeTasks(func(id task.ID, _ float64) bool {
+		if id != 2 {
+			l.Remove(id)
+		}
+		return true
+	})
+	if got := l.ActiveTasks(); got != 1 {
+		t.Fatalf("ActiveTasks = %d after removal during iteration, want 1", got)
+	}
+	if got := l.Utilization(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("utilization %v, want 0.2", got)
+	}
+}

@@ -3,18 +3,26 @@
 // (as opposed to the simulation controller in internal/core, which is
 // driven by a discrete-event clock).
 //
-// Contributions are expired lazily: every operation first purges entries
-// whose absolute deadline has passed, using a min-heap keyed by
-// deadline, so no background goroutine or timer is needed. Departure
-// marking and idle resets are driven by the embedding application
-// (e.g. from request-completion handlers and worker-idle callbacks),
-// mirroring the paper's §4 accounting.
+// Contributions are expired lazily: every locked operation first purges
+// entries whose absolute deadline has passed, using a hierarchical
+// timer wheel keyed by deadline, so no background goroutine or timer is
+// needed. Departure marking and idle resets are driven by the embedding
+// application (e.g. from request-completion handlers and worker-idle
+// callbacks), mirroring the paper's §4 accounting.
+//
+// The hot path is built for multi-core throughput: per-stage synthetic
+// utilization is mirrored into atomics behind a seqlock, so TryAdmit
+// can reject — and Utilizations/metrics scrapes can read — without
+// taking the lock; only the commit of a passing admission serializes.
+// The admission test itself allocates nothing. See DESIGN.md §7 for the
+// full concurrency design.
 package online
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"feasregion/internal/core"
@@ -36,20 +44,22 @@ type Request struct {
 	Demands []time.Duration
 }
 
-// expiry is one pending deadline decrement.
-type expiry struct {
-	at time.Time
-	id uint64
-}
+// wheelGranularity is the expiry wheel's level-0 bucket width. A purge
+// may run up to one bucket late, so capacity release lags a deadline by
+// at most ~1ms — conservative (the region test stays sound) and
+// invisible next to typical service deadlines.
+const wheelGranularity = time.Millisecond
 
-// expiryHeap orders expiries by time.
-type expiryHeap []expiry
+// maxStackStages bounds the stage count for which the admit path uses
+// stack buffers; wider pipelines draw scratch from a sync.Pool so the
+// path stays allocation-free either way.
+const maxStackStages = 8
 
-func (h expiryHeap) Len() int           { return len(h) }
-func (h expiryHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
-func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiry)) }
-func (h *expiryHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+// admitBufs is pooled float scratch for pipelines wider than
+// maxStackStages.
+type admitBufs struct{ raw, utils, scales []float64 }
+
+var admitBufPool = sync.Pool{New: func() any { return new(admitBufs) }}
 
 // Stats counts admission outcomes and self-healing activity.
 type Stats struct {
@@ -72,21 +82,62 @@ type Stats struct {
 	ClockRegressions uint64
 }
 
+// counters mirrors Stats as atomics so the lock-free reject path and
+// Stats/metrics scrapes never widen a critical section.
+type counters struct {
+	admitted         atomic.Uint64
+	rejected         atomic.Uint64
+	expired          atomic.Uint64
+	idleResets       atomic.Uint64
+	reconciles       atomic.Uint64
+	orphansReaped    atomic.Uint64
+	clockRegressions atomic.Uint64
+}
+
+// waiter is one blocked AdmitWithin caller. ch is buffered so wakers
+// never block; queued tracks FIFO membership so a timed-out waiter can
+// remove itself and a woken one re-queues cleanly.
+type waiter struct {
+	ch     chan struct{}
+	queued bool
+}
+
 // Controller is a thread-safe wall-clock admission controller enforcing
 // the multi-dimensional feasible region. The zero value is not usable;
 // construct with New.
 type Controller struct {
 	region core.Region
+	bound  float64 // cached region.Bound(); the region is immutable here
+	stages int
 	clock  Clock
 
-	mu       sync.Mutex
-	ledgers  []*core.Ledger
-	expiries expiryHeap
-	pending  map[uint64]time.Time // id → absolute deadline, for orphan detection
-	scales   []float64            // per-stage demand multipliers (degraded stages)
-	maxNow   time.Time            // monotone high-water mark of observed clock
-	waitCh   chan struct{}        // closed and replaced whenever utilization may drop
-	stats    Stats
+	// Seqlock-published mirror of the locked state below: seq is even
+	// when the mirror is consistent; writers (holding mu) make it odd,
+	// store the new per-stage utilization and scale float bits, then
+	// make it even again. Readers retry torn reads, then fall back to
+	// the lock.
+	seq       atomic.Uint64
+	utilBits  []atomic.Uint64
+	scaleBits []atomic.Uint64
+	// nextExpiry is a lower bound (UnixNano) on the earliest pending
+	// expiry, math.MaxInt64 when none — the gate that keeps lock-free
+	// reads honest: once it passes, readers take the locked path so the
+	// purge runs first.
+	nextExpiry atomic.Int64
+	// maxNowNano mirrors maxNow for the lock-free gates, so a wall
+	// clock stepping backwards cannot re-open the lock-free window and
+	// hide a due purge (or the regression itself) from observation.
+	maxNowNano atomic.Int64
+
+	stats counters
+
+	mu      sync.Mutex
+	ledgers []*core.Ledger
+	wheel   *timerWheel
+	scales  []float64 // per-stage demand multipliers (degraded stages)
+	maxNow  time.Time // monotone high-water mark of observed clock
+	waiters []*waiter // FIFO of blocked AdmitWithin callers
+	reapSet map[uint64]struct{} // reusable scratch for Reconcile
 }
 
 // New builds a controller for the given region. reserved, when non-nil,
@@ -109,21 +160,114 @@ func New(region core.Region, reserved []float64, clock Clock) *Controller {
 		ledgers[j] = core.NewLedger(f)
 		scales[j] = 1
 	}
-	return &Controller{
-		region:  region,
-		clock:   clock,
-		ledgers: ledgers,
-		scales:  scales,
-		pending: map[uint64]time.Time{},
-		waitCh:  make(chan struct{}),
+	now := clock()
+	c := &Controller{
+		region:    region,
+		bound:     region.Bound(),
+		stages:    region.Stages,
+		clock:     clock,
+		utilBits:  make([]atomic.Uint64, region.Stages),
+		scaleBits: make([]atomic.Uint64, region.Stages),
+		ledgers:   ledgers,
+		wheel:     newTimerWheel(wheelGranularity, now),
+		scales:    scales,
+		maxNow:    now,
+		reapSet:   map[uint64]struct{}{},
+	}
+	c.nextExpiry.Store(math.MaxInt64)
+	c.maxNowNano.Store(now.UnixNano())
+	c.publishLocked() // publish the reserved floors and nominal scales
+	return c
+}
+
+// publishLocked refreshes the full seqlock mirror from the locked
+// state. Callers must hold mu (construction aside). Readers detect a
+// torn read by requiring two loads of seq to agree on the same even
+// value.
+func (c *Controller) publishLocked() {
+	c.seq.Add(1) // odd: mirror inconsistent
+	for j, l := range c.ledgers {
+		c.utilBits[j].Store(math.Float64bits(l.Utilization()))
+		c.scaleBits[j].Store(math.Float64bits(c.scales[j]))
+	}
+	c.seq.Add(1) // even: consistent again
+}
+
+// publishUtilsLocked refreshes only the utilization half of the mirror —
+// the hot-path variant: scales change only through SetStageScale (which
+// runs the full publish), so admit/release/purge skip those stores.
+func (c *Controller) publishUtilsLocked() {
+	c.seq.Add(1)
+	for j, l := range c.ledgers {
+		c.utilBits[j].Store(math.Float64bits(l.Utilization()))
+	}
+	c.seq.Add(1)
+}
+
+// readSnapshot fills utils (and scales, when non-nil) from the seqlock
+// mirror without locking, returning the epoch the snapshot was taken
+// at. It reports false after a few torn reads — callers then fall back
+// to the locked path. The epoch increments on every publish, so a
+// caller that later holds mu and observes the same epoch knows the
+// snapshot still equals the ledgers exactly.
+func (c *Controller) readSnapshot(utils, scales []float64) (uint64, bool) {
+	for attempt := 0; attempt < 3; attempt++ {
+		s := c.seq.Load()
+		if s&1 != 0 {
+			continue
+		}
+		for j := range utils {
+			utils[j] = math.Float64frombits(c.utilBits[j].Load())
+		}
+		for j := range scales {
+			scales[j] = math.Float64frombits(c.scaleBits[j].Load())
+		}
+		if c.seq.Load() == s {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// wakeLocked hands one wake token to the head waiter. Wake-one (not
+// broadcast) is the thundering-herd fix: each utilization drop wakes a
+// single waiter, which re-tests under the lock; on success it wakes the
+// next in line (capacity may remain), on failure it re-queues and goes
+// back to sleep. Callers must hold mu.
+func (c *Controller) wakeLocked() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters[0] = nil
+	c.waiters = c.waiters[1:]
+	w.queued = false
+	w.ch <- struct{}{} // buffered: a queued waiter's channel is empty
+}
+
+// enqueueLocked appends w to the FIFO unless already queued.
+func (c *Controller) enqueueLocked(w *waiter) {
+	if !w.queued {
+		w.queued = true
+		c.waiters = append(c.waiters, w)
 	}
 }
 
-// bumpLocked wakes AdmitWithin waiters after a utilization decrease.
-// Callers must hold mu.
-func (c *Controller) bumpLocked() {
-	close(c.waitCh)
-	c.waitCh = make(chan struct{})
+// dequeueLocked removes w if still queued; reports whether it was.
+func (c *Controller) dequeueLocked(w *waiter) bool {
+	if !w.queued {
+		return false
+	}
+	for i, q := range c.waiters {
+		if q == w {
+			copy(c.waiters[i:], c.waiters[i+1:])
+			c.waiters[len(c.waiters)-1] = nil
+			c.waiters = c.waiters[:len(c.waiters)-1]
+			break
+		}
+	}
+	w.queued = false
+	return true
 }
 
 // monotoneLocked folds a clock observation into the controller's
@@ -132,84 +276,232 @@ func (c *Controller) bumpLocked() {
 // because of it, so all deadline arithmetic uses the monotone view.
 func (c *Controller) monotoneLocked(now time.Time) time.Time {
 	if now.Before(c.maxNow) {
-		c.stats.ClockRegressions++
+		c.stats.clockRegressions.Add(1)
 		return c.maxNow
 	}
 	c.maxNow = now
+	c.maxNowNano.Store(now.UnixNano())
 	return now
 }
 
-// purgeLocked removes contributions whose deadlines have passed.
-func (c *Controller) purgeLocked(now time.Time) {
+// nowMonotoneNano samples the clock through the monotone high-water
+// mark for the lock-free gates. A regressed sample is counted (so skew
+// remains observable even when no locked path runs) and clamped, so a
+// backwards step can never make a due purge look not-yet-due.
+func (c *Controller) nowMonotoneNano() int64 {
+	n := c.clock().UnixNano()
+	if hw := c.maxNowNano.Load(); n < hw {
+		c.stats.clockRegressions.Add(1)
+		return hw
+	}
+	return n
+}
+
+// purgeLocked removes contributions whose deadlines have passed and
+// returns the monotone view of now. Callers must hold mu.
+func (c *Controller) purgeLocked(now time.Time) time.Time {
 	now = c.monotoneLocked(now)
-	purged := false
-	for len(c.expiries) > 0 && !c.expiries[0].at.After(now) {
-		e := heap.Pop(&c.expiries).(expiry)
-		delete(c.pending, e.id)
+	expired := 0
+	flushed := c.wheel.advanceTo(now.UnixNano(), func(e expiry) {
 		removed := false
 		for _, l := range c.ledgers {
-			if _, ok := l.Contribution(coreID(e.id)); ok {
-				l.Remove(coreID(e.id))
+			if l.Remove(coreID(e.id)) {
 				removed = true
 			}
 		}
 		if removed {
-			c.stats.Expired++
+			expired++
 		}
-		purged = true
+	})
+	// Re-arm the lock-free gate only when the wheel moved or the stored
+	// bound has been reached — earliest() scans buckets, so don't pay
+	// for it on every uncontended admit.
+	if flushed > 0 || c.nextExpiry.Load() <= now.UnixNano() {
+		if at, ok := c.wheel.earliest(); ok {
+			c.nextExpiry.Store(at)
+		} else {
+			c.nextExpiry.Store(math.MaxInt64)
+		}
 	}
-	if purged {
-		c.bumpLocked()
+	if expired > 0 {
+		c.stats.expired.Add(uint64(expired))
+		c.publishUtilsLocked()
+		c.wakeLocked()
 	}
+	return now
 }
 
 // coreID maps the request ID space onto the ledger's task.ID key space.
 func coreID(id uint64) task.ID { return task.ID(id) }
 
 // TryAdmit tests the request against the region and commits it on
-// success. It is safe for concurrent use.
+// success. It is safe for concurrent use, allocation-free, and — when
+// the test fails and no purge is due — lock-free: rejection under
+// overload does not serialize on the controller's mutex.
 func (c *Controller) TryAdmit(r Request) bool {
-	return c.tryAdmit(r, true)
+	return c.admit(r, true, nil)
 }
 
-func (c *Controller) tryAdmit(r Request, countReject bool) bool {
-	if r.Deadline <= 0 || len(r.Demands) != c.region.Stages {
+// admit runs one admission attempt. countReject controls whether a
+// failure increments the rejection counter (AdmitWithin retries must
+// not inflate it). enq, when non-nil, is queued FIFO under the same
+// lock as a failed locked test, so a release between the test and the
+// caller's sleep cannot be missed; passing enq disables the lock-free
+// fast path (enqueueing needs the lock anyway).
+func (c *Controller) admit(r Request, countReject bool, enq *waiter) bool {
+	if r.Deadline <= 0 || len(r.Demands) != c.stages {
 		if countReject {
-			c.mu.Lock()
-			c.stats.Rejected++
-			c.mu.Unlock()
+			c.stats.rejected.Add(1)
 		}
 		return false
 	}
-	d := r.Deadline.Seconds()
+	var stackRaw, stackUtils, stackScales [maxStackStages]float64
+	var raw, utils, scales []float64
+	if c.stages <= maxStackStages {
+		raw, utils, scales = stackRaw[:c.stages], stackUtils[:c.stages], stackScales[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		if cap(bufs.raw) < c.stages {
+			bufs.raw = make([]float64, c.stages)
+			bufs.utils = make([]float64, c.stages)
+			bufs.scales = make([]float64, c.stages)
+		}
+		raw, utils, scales = bufs.raw[:c.stages], bufs.utils[:c.stages], bufs.scales[:c.stages]
+	}
+	invD := 1 / r.Deadline.Seconds()
+	for j, dem := range r.Demands {
+		raw[j] = dem.Seconds() * invD
+	}
+
+	// Optimistic lock-free reject: valid only while no purge is due
+	// (the mirror then reflects every live contribution) and only to
+	// reject — a passing optimistic test still re-runs under the lock,
+	// so a stale mirror can never admit outside the region. The clock
+	// sample is reused by the locked path; the handful of nanoseconds
+	// it lags only anchors the deadline infinitesimally earlier, which
+	// is conservative.
+	var sampled int64
+	var snapSeq uint64
+	tested := false
+	if enq == nil {
+		sampled = c.nowMonotoneNano()
+		if sampled < c.nextExpiry.Load() {
+			if s, ok := c.readSnapshot(utils, scales); ok {
+				sum := 0.0
+				for j := range utils {
+					sum += core.StageDelayFactor(utils[j] + raw[j]*scales[j])
+				}
+				if sum > c.bound {
+					if countReject {
+						c.stats.rejected.Add(1)
+					}
+					return false
+				}
+				snapSeq, tested = s, true
+			}
+		}
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	now := c.monotoneLocked(c.clock())
-	c.purgeLocked(now)
-
-	deltas := make([]float64, len(r.Demands))
-	for j, dem := range r.Demands {
-		deltas[j] = dem.Seconds() * c.scales[j] / d
+	var now time.Time
+	if sampled != 0 {
+		now = time.Unix(0, sampled)
+	} else {
+		now = c.clock()
 	}
-	sum := 0.0
-	for j, l := range c.ledgers {
-		sum += core.StageDelayFactor(l.Utilization() + deltas[j])
-	}
-	if sum > c.region.Bound() {
-		if countReject {
-			c.stats.Rejected++
+	now = c.purgeLocked(now)
+	// The locked re-test is skipped when the optimistic test passed and
+	// the epoch is unchanged: every utilization or scale mutation
+	// publishes (bumping the epoch) before releasing mu, so an equal
+	// epoch proves the snapshot still matches the ledgers exactly.
+	if !tested || c.seq.Load() != snapSeq {
+		sum := 0.0
+		for j, l := range c.ledgers {
+			sum += core.StageDelayFactor(l.Utilization() + raw[j]*c.scales[j])
 		}
-		return false
+		if sum > c.bound {
+			if countReject {
+				c.stats.rejected.Add(1)
+			}
+			if enq != nil {
+				c.enqueueLocked(enq)
+			}
+			return false
+		}
 	}
-	for j, l := range c.ledgers {
-		l.Add(coreID(r.ID), deltas[j])
-	}
-	at := now.Add(r.Deadline)
-	heap.Push(&c.expiries, expiry{at: at, id: r.ID})
-	c.pending[r.ID] = at
-	c.stats.Admitted++
+	c.commitLocked(r, raw, now)
+	c.publishUtilsLocked()
 	return true
+}
+
+// commitLocked adds the request's contributions and schedules their
+// expiry. Callers must hold mu, have verified the region test, and
+// publish afterwards.
+func (c *Controller) commitLocked(r Request, raw []float64, now time.Time) {
+	for j, l := range c.ledgers {
+		l.Add(coreID(r.ID), raw[j]*c.scales[j])
+	}
+	at := now.UnixNano() + int64(r.Deadline)
+	c.wheel.push(at, r.ID)
+	if at < c.nextExpiry.Load() {
+		c.nextExpiry.Store(at) // writers are serialized by mu: plain min
+	}
+	c.stats.admitted.Add(1)
+}
+
+// TryAdmitAll tests and commits a burst of requests under one lock
+// acquisition and one purge, amortizing the admission overhead across a
+// batch of arrivals. Requests are tested in order, each against the
+// state left by its predecessors; out[i], when out is non-nil, reports
+// request i's outcome. It returns the number admitted.
+func (c *Controller) TryAdmitAll(rs []Request, out []bool) int {
+	if out != nil && len(out) < len(rs) {
+		panic(fmt.Sprintf("online: TryAdmitAll result slice len %d for %d requests", len(out), len(rs)))
+	}
+	var stackRaw [maxStackStages]float64
+	var raw []float64
+	if c.stages <= maxStackStages {
+		raw = stackRaw[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		if cap(bufs.raw) < c.stages {
+			bufs.raw = make([]float64, c.stages)
+		}
+		raw = bufs.raw[:c.stages]
+	}
+	admitted := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.purgeLocked(c.clock())
+	for i, r := range rs {
+		ok := false
+		if r.Deadline > 0 && len(r.Demands) == c.stages {
+			invD := 1 / r.Deadline.Seconds()
+			sum := 0.0
+			for j, l := range c.ledgers {
+				raw[j] = r.Demands[j].Seconds() * invD
+				sum += core.StageDelayFactor(l.Utilization() + raw[j]*c.scales[j])
+			}
+			if sum <= c.bound {
+				c.commitLocked(r, raw, now)
+				admitted++
+				ok = true
+			}
+		}
+		if !ok {
+			c.stats.rejected.Add(1)
+		}
+		if out != nil {
+			out[i] = ok
+		}
+	}
+	if admitted > 0 {
+		c.publishUtilsLocked()
+	}
+	return admitted
 }
 
 // AdmitWithin blocks for up to maxWait until the request fits the
@@ -221,51 +513,89 @@ func (c *Controller) tryAdmit(r Request, countReject bool) bool {
 // the simulation wait queue. It reports whether the request was
 // admitted. Timer-based waiting uses real time even with an injected
 // clock.
+//
+// Waiters form a FIFO and are woken one at a time: each utilization
+// drop hands a single wake token to the head waiter, which re-tests; a
+// successful re-test passes the token on, a failed one re-queues the
+// waiter. Nothing herds on a shared broadcast.
 func (c *Controller) AdmitWithin(r Request, maxWait time.Duration) bool {
+	if r.Deadline <= 0 || len(r.Demands) != c.stages {
+		c.stats.rejected.Add(1)
+		return false
+	}
 	start := c.clock()
-	deadline := start.Add(maxWait)
+	waitDeadline := start.Add(maxWait)
+	w := &waiter{ch: make(chan struct{}, 1)}
 	for {
 		now := c.clock()
-		held := now.Sub(start)
 		late := r
-		late.Deadline = r.Deadline - held
+		late.Deadline = r.Deadline - now.Sub(start)
 		if late.Deadline <= 0 {
-			c.mu.Lock()
-			c.stats.Rejected++
-			c.mu.Unlock()
+			c.abandonWait(w)
+			c.stats.rejected.Add(1)
 			return false
 		}
-		if c.tryAdmit(late, false) {
+		timedOut := !now.Before(waitDeadline)
+		enq := w
+		if timedOut {
+			enq = nil // last attempt: do not re-queue
+		}
+		if c.admit(late, false, enq) {
+			// Pass the baton: the drop that woke us may have freed
+			// room for the next waiter too.
+			c.mu.Lock()
+			c.wakeLocked()
+			c.mu.Unlock()
 			return true
 		}
-		if !now.Before(deadline) {
-			c.mu.Lock()
-			c.stats.Rejected++
-			c.mu.Unlock()
+		if timedOut {
+			c.abandonWait(w)
+			c.stats.rejected.Add(1)
 			return false
 		}
-		c.mu.Lock()
-		ch := c.waitCh
-		var nextExpiry time.Duration = -1
-		if len(c.expiries) > 0 {
-			nextExpiry = c.expiries[0].at.Sub(now)
-		}
-		c.mu.Unlock()
-
-		sleep := deadline.Sub(now)
-		if nextExpiry >= 0 && nextExpiry < sleep {
-			sleep = nextExpiry
+		next := c.nextExpiry.Load()
+		sleep := waitDeadline.Sub(now)
+		if next != math.MaxInt64 {
+			if d := time.Unix(0, next).Sub(now); d < sleep {
+				sleep = d
+			}
 		}
 		if sleep < time.Millisecond {
 			sleep = time.Millisecond
 		}
 		timer := time.NewTimer(sleep)
 		select {
-		case <-ch:
+		case <-w.ch:
 			timer.Stop()
 		case <-timer.C:
+			// Timer retry: leave the FIFO before re-testing so a
+			// concurrent wake cannot target an already-awake waiter; a
+			// token that raced in is handed to the next in line.
+			c.mu.Lock()
+			if !c.dequeueLocked(w) {
+				select {
+				case <-w.ch:
+					c.wakeLocked()
+				default:
+				}
+			}
+			c.mu.Unlock()
 		}
 	}
+}
+
+// abandonWait removes w from the FIFO on the way out; a wake token that
+// raced in is handed to the next waiter instead of being dropped.
+func (c *Controller) abandonWait(w *waiter) {
+	c.mu.Lock()
+	if !c.dequeueLocked(w) {
+		select {
+		case <-w.ch:
+			c.wakeLocked()
+		default:
+		}
+	}
+	c.mu.Unlock()
 }
 
 // MarkDeparted records that the request finished its work at the stage,
@@ -283,8 +613,9 @@ func (c *Controller) StageIdle(stage int) {
 	defer c.mu.Unlock()
 	c.purgeLocked(c.clock())
 	if c.ledgers[stage].ResetIdle() > 0 {
-		c.stats.IdleResets++
-		c.bumpLocked()
+		c.stats.idleResets.Add(1)
+		c.publishUtilsLocked()
+		c.wakeLocked()
 	}
 }
 
@@ -302,16 +633,38 @@ func (c *Controller) SetStageScale(stage int, scale float64) {
 	defer c.mu.Unlock()
 	old := c.scales[stage]
 	c.scales[stage] = scale
+	c.publishLocked()
 	if scale < old {
-		c.bumpLocked() // relaxed scaling may let waiters in
+		c.wakeLocked() // relaxed scaling may let a waiter in
 	}
 }
 
 // StageScales returns the current per-stage demand multipliers.
 func (c *Controller) StageScales() []float64 {
+	out := make([]float64, c.stages)
+	for j := range out {
+		out[j] = c.StageScale(j)
+	}
+	return out
+}
+
+// StageScale returns stage j's demand multiplier without locking.
+func (c *Controller) StageScale(j int) float64 {
+	return math.Float64frombits(c.scaleBits[j].Load())
+}
+
+// StageUtilization returns stage j's current synthetic utilization. The
+// read is lock-free unless an expiry is due, in which case it takes the
+// lock to purge first — so scrapes stay fresh without ever contending
+// with admits on a healthy path.
+func (c *Controller) StageUtilization(j int) float64 {
+	if c.nowMonotoneNano() < c.nextExpiry.Load() {
+		return math.Float64frombits(c.utilBits[j].Load())
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]float64(nil), c.scales...)
+	c.purgeLocked(c.clock())
+	return c.ledgers[j].Utilization()
 }
 
 // ReconcileResult reports what one reconciliation pass found.
@@ -336,21 +689,25 @@ type ReconcileResult struct {
 func (c *Controller) Reconcile() ReconcileResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	before := c.stats.Expired
+	before := c.stats.expired.Load()
 	c.purgeLocked(c.clock())
-	res := ReconcileResult{Expired: int(c.stats.Expired - before)}
+	res := ReconcileResult{Expired: int(c.stats.expired.Load() - before)}
+	clear(c.reapSet)
+	c.wheel.forEach(func(e expiry) { c.reapSet[e.id] = struct{}{} })
 	for _, l := range c.ledgers {
-		for _, id := range l.TaskIDs() {
-			if _, ok := c.pending[uint64(id)]; !ok {
+		l.RangeTasks(func(id task.ID, _ float64) bool {
+			if _, ok := c.reapSet[uint64(id)]; !ok {
 				l.Remove(id)
 				res.Orphans++
 			}
-		}
+			return true
+		})
 	}
-	c.stats.Reconciles++
+	c.stats.reconciles.Add(1)
 	if res.Orphans > 0 {
-		c.stats.OrphansReaped += uint64(res.Orphans)
-		c.bumpLocked()
+		c.stats.orphansReaped.Add(uint64(res.Orphans))
+		c.publishUtilsLocked()
+		c.wakeLocked()
 	}
 	return res
 }
@@ -387,22 +744,36 @@ func (c *Controller) StartWatchdog(interval time.Duration) (stop func()) {
 // Release drops the request's contribution on all stages immediately —
 // call it when a request is cancelled or finishes well before its
 // deadline and the caller prefers eager accounting over the idle reset.
+// Waiters are woken only when a contribution was actually removed; an
+// already-expired or unknown ID is a silent no-op.
 func (c *Controller) Release(id uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	removed := false
 	for _, l := range c.ledgers {
-		l.Remove(coreID(id))
+		if l.Remove(coreID(id)) {
+			removed = true
+		}
 	}
-	c.bumpLocked()
+	if removed {
+		c.publishUtilsLocked()
+		c.wakeLocked()
+	}
 }
 
-// Utilizations returns the current per-stage synthetic utilization
-// (after purging expired contributions).
+// Utilizations returns the current per-stage synthetic utilization. The
+// read is lock-free (seqlock snapshot) unless an expiry is due, in
+// which case the locked path purges first.
 func (c *Controller) Utilizations() []float64 {
+	us := make([]float64, c.stages)
+	if c.nowMonotoneNano() < c.nextExpiry.Load() {
+		if _, ok := c.readSnapshot(us, nil); ok {
+			return us
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.purgeLocked(c.clock())
-	us := make([]float64, len(c.ledgers))
 	for j, l := range c.ledgers {
 		us[j] = l.Utilization()
 	}
@@ -415,9 +786,15 @@ func (c *Controller) Headroom(stage int) float64 {
 	return c.region.Headroom(c.Utilizations(), stage)
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters without taking the lock.
 func (c *Controller) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return Stats{
+		Admitted:         c.stats.admitted.Load(),
+		Rejected:         c.stats.rejected.Load(),
+		Expired:          c.stats.expired.Load(),
+		IdleResets:       c.stats.idleResets.Load(),
+		Reconciles:       c.stats.reconciles.Load(),
+		OrphansReaped:    c.stats.orphansReaped.Load(),
+		ClockRegressions: c.stats.clockRegressions.Load(),
+	}
 }

@@ -7,10 +7,11 @@ import (
 
 // RegisterMetrics describes the controller's state to the registry as
 // read-on-scrape series, so the admission hot path is untouched: counter
-// funcs mirror the Stats fields and gauge funcs read the per-stage
-// synthetic utilization, demand scales, and region value/headroom under
-// the controller's lock at snapshot time. A nil registry is a no-op.
-// Call it once, at wiring time.
+// funcs mirror the atomic Stats counters and gauge funcs read the
+// per-stage synthetic utilization, demand scales, and region
+// value/headroom through the seqlock mirror — a scrape contends with
+// admits only when an expiry purge happens to be due. A nil registry is
+// a no-op. Call it once, at wiring time.
 func (c *Controller) RegisterMetrics(r *metrics.Registry) {
 	if r == nil {
 		return
@@ -36,9 +37,9 @@ func (c *Controller) RegisterMetrics(r *metrics.Registry) {
 	for j := 0; j < c.region.Stages; j++ {
 		j := j
 		r.GaugeFunc("feasregion_online_stage_synthetic_utilization", "per-stage synthetic utilization U_j(t)",
-			func() float64 { return c.Utilizations()[j] }, metrics.Stage(j))
+			func() float64 { return c.StageUtilization(j) }, metrics.Stage(j))
 		r.GaugeFunc("feasregion_online_stage_scale", "per-stage admission demand multiplier (1 = nominal)",
-			func() float64 { return c.StageScales()[j] }, metrics.Stage(j))
+			func() float64 { return c.StageScale(j) }, metrics.Stage(j))
 	}
 	value := func() float64 {
 		sum := 0.0

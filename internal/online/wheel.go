@@ -1,0 +1,255 @@
+package online
+
+import (
+	"math"
+	"time"
+)
+
+// expiry is one pending deadline decrement: the admitted request's
+// contribution becomes removable from every ledger at (or shortly
+// after) at, a UnixNano timestamp. The struct is deliberately
+// pointer-free (unlike time.Time, which drags a *Location): buckets
+// hold thousands of these under churn, and pointer-free elements copy
+// without write barriers and are invisible to the garbage collector.
+type expiry struct {
+	at int64 // UnixNano
+	id uint64
+}
+
+// The expiry wheel is a hierarchical timer wheel replacing the old
+// binary heap + pending map: push is one slice append (O(1), no
+// interface boxing, no heap sift), and a purge flushes whole buckets in
+// O(1) amortized per expiry instead of O(log n) heap pops. The trade:
+// an expiry may purge up to one level-0 bucket width late (never
+// early), which only delays capacity release — the admission test stays
+// sound, just momentarily conservative.
+//
+// Level l has wheelSize buckets of wheelSize^l ticks each; an item
+// lands in the innermost level that can still distinguish its tick from
+// the cursor. As the cursor crosses a level boundary the matching
+// higher-level bucket spills down (cascades) one level. Items beyond
+// every level's horizon wait in overflow and are re-filed when the
+// cursor approaches.
+const (
+	wheelBits   = 6
+	wheelSize   = 1 << wheelBits // 64 buckets per level
+	wheelMask   = wheelSize - 1
+	wheelLevels = 3
+	// wheelSpan is the tick horizon covered by all levels together.
+	wheelSpan = 1 << (wheelBits * wheelLevels)
+)
+
+type timerWheel struct {
+	granularity int64 // bucket width in nanoseconds
+	base        int64 // UnixNano origin of tick 0
+	cur         uint64 // cursor tick; level-0 buckets for ticks < cur are flushed
+	count       int    // total pending expiries (levels + ripe + overflow)
+	inLevels    int    // pending expiries stored in the level buckets
+	levels      [wheelLevels][wheelSize][]expiry
+	ripe        []expiry // already due when pushed or cascaded; drained next advance
+	overflow    []expiry // further than wheelSpan ticks ahead
+	overflowMin int64    // math.MaxInt64 when overflow is empty
+}
+
+func newTimerWheel(granularity time.Duration, base time.Time) *timerWheel {
+	if granularity <= 0 {
+		panic("online: wheel granularity must be positive")
+	}
+	return &timerWheel{
+		granularity: int64(granularity),
+		base:        base.UnixNano(),
+		overflowMin: math.MaxInt64,
+	}
+}
+
+func (w *timerWheel) tickOf(at int64) uint64 {
+	d := at - w.base
+	if d <= 0 {
+		return 0
+	}
+	return uint64(d / w.granularity)
+}
+
+// timeOf is the start of a tick — a lower bound on every expiry filed
+// under it.
+func (w *timerWheel) timeOf(tick uint64) int64 {
+	return w.base + int64(tick)*w.granularity
+}
+
+// push schedules the id's expiry: one append, O(1).
+func (w *timerWheel) push(at int64, id uint64) {
+	w.count++
+	tick := w.tickOf(at)
+	if tick < w.cur {
+		// Already due (its bucket was flushed before it arrived);
+		// drained by the next advance.
+		w.ripe = append(w.ripe, expiry{at: at, id: id})
+		return
+	}
+	w.place(expiry{at: at, id: id}, tick)
+}
+
+// place files an item under its tick at the innermost level whose
+// bucket width can still separate it from the cursor, or in overflow.
+func (w *timerWheel) place(e expiry, tick uint64) {
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		shift := uint(lvl * wheelBits)
+		if (tick>>shift)-(w.cur>>shift) < wheelSize {
+			idx := (tick >> shift) & wheelMask
+			w.levels[lvl][idx] = append(w.levels[lvl][idx], e)
+			w.inLevels++
+			return
+		}
+	}
+	if e.at < w.overflowMin {
+		w.overflowMin = e.at
+	}
+	w.overflow = append(w.overflow, e)
+}
+
+// advanceTo moves the cursor to now, invoking expire for every item
+// whose bucket has fully elapsed (so always at or after its deadline,
+// at most one granularity late plus the gap between advance calls). It
+// returns the number of items expired. The expire callback must not
+// push.
+func (w *timerWheel) advanceTo(now int64, expire func(e expiry)) int {
+	flushed := 0
+	target := w.tickOf(now)
+	for w.cur < target {
+		if w.inLevels == 0 {
+			// Levels empty: jump the cursor and pull overflow back
+			// within the horizon if it is now close enough.
+			w.cur = target
+			w.maybeRefileOverflow()
+			break
+		}
+		idx := w.cur & wheelMask
+		if b := w.levels[0][idx]; len(b) > 0 {
+			w.levels[0][idx] = b[:0] // keep capacity: level 0 is hot
+			w.inLevels -= len(b)
+			w.count -= len(b)
+			flushed += len(b)
+			for _, e := range b {
+				expire(e)
+			}
+		}
+		w.cur++
+		if w.cur&wheelMask == 0 {
+			w.cascade()
+		}
+	}
+	if len(w.ripe) > 0 {
+		// Everything in ripe was due when filed there.
+		flushed += len(w.ripe)
+		w.count -= len(w.ripe)
+		for _, e := range w.ripe {
+			expire(e)
+		}
+		w.ripe = w.ripe[:0]
+	}
+	return flushed
+}
+
+// cascade spills the next higher-level bucket down after a lower level
+// wraps. Called with the cursor at a multiple of wheelSize.
+func (w *timerWheel) cascade() {
+	i1 := (w.cur >> wheelBits) & wheelMask
+	w.spill(&w.levels[1][i1])
+	if i1 != 0 {
+		return
+	}
+	i2 := (w.cur >> (2 * wheelBits)) & wheelMask
+	w.spill(&w.levels[2][i2])
+	if i2 == 0 {
+		w.maybeRefileOverflow()
+	}
+}
+
+// spill detaches a bucket and re-files its items relative to the
+// current cursor (one level down, or ripe when already due).
+func (w *timerWheel) spill(bucket *[]expiry) {
+	b := *bucket
+	if len(b) == 0 {
+		return
+	}
+	*bucket = nil // detach: place may append to the same slot
+	w.inLevels -= len(b)
+	for _, e := range b {
+		if tick := w.tickOf(e.at); tick < w.cur {
+			w.ripe = append(w.ripe, e)
+		} else {
+			w.place(e, tick)
+		}
+	}
+}
+
+// maybeRefileOverflow re-files overflow items once the cursor is within
+// one horizon of the earliest; items still too far re-enter overflow.
+func (w *timerWheel) maybeRefileOverflow() {
+	if len(w.overflow) == 0 || w.tickOf(w.overflowMin) >= w.cur+wheelSpan {
+		return
+	}
+	of := w.overflow
+	w.overflow = nil
+	w.overflowMin = math.MaxInt64
+	for _, e := range of {
+		if tick := w.tickOf(e.at); tick < w.cur {
+			w.ripe = append(w.ripe, e)
+		} else {
+			w.place(e, tick)
+		}
+	}
+}
+
+// earliest returns a lower bound (UnixNano) on the next pending expiry
+// (the start of the earliest non-empty bucket), and false when the
+// wheel is empty.
+func (w *timerWheel) earliest() (int64, bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	best := int64(math.MaxInt64)
+	for _, e := range w.ripe {
+		if e.at < best {
+			best = e.at
+		}
+	}
+	if w.inLevels > 0 {
+		for lvl := 0; lvl < wheelLevels; lvl++ {
+			shift := uint(lvl * wheelBits)
+			baseTick := w.cur >> shift
+			for d := uint64(0); d < wheelSize; d++ {
+				tick := baseTick + d
+				if len(w.levels[lvl][tick&wheelMask]) > 0 {
+					if t := w.timeOf(tick << shift); t < best {
+						best = t
+					}
+					break // earliest bucket at this level
+				}
+			}
+		}
+	}
+	if w.overflowMin < best {
+		best = w.overflowMin
+	}
+	return best, true
+}
+
+// forEach visits every pending expiry in no particular order — the
+// reconciliation pass uses it as the membership scan that replaced the
+// old pending map.
+func (w *timerWheel) forEach(fn func(e expiry)) {
+	for _, e := range w.ripe {
+		fn(e)
+	}
+	for lvl := range w.levels {
+		for idx := range w.levels[lvl] {
+			for _, e := range w.levels[lvl][idx] {
+				fn(e)
+			}
+		}
+	}
+	for _, e := range w.overflow {
+		fn(e)
+	}
+}

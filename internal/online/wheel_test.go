@@ -1,0 +1,138 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestWheelNeverEarly pins the boundary case: an expiry filed in the
+// cursor's own bucket (deadline within the current granule) must not
+// flush until the cursor moves past that bucket — draining it on the
+// same tick would purge before the deadline.
+func TestWheelNeverEarly(t *testing.T) {
+	base := time.Unix(1_000_000, 0)
+	w := newTimerWheel(time.Millisecond, base)
+	w.push(base.UnixNano(), 1) // tick == cur: due within the current granule
+	fired := 0
+	w.advanceTo(base.UnixNano(), func(expiry) { fired++ })
+	if fired != 0 {
+		t.Fatal("expiry flushed before its granule elapsed")
+	}
+	w.advanceTo(base.Add(time.Millisecond).UnixNano(), func(expiry) { fired++ })
+	if fired != 1 {
+		t.Fatalf("expiry not flushed after its granule elapsed (fired %d)", fired)
+	}
+}
+
+// TestWheelPropertyVsReference drives the wheel with randomized pushes
+// (already-due, level-0-near, mid-level, and beyond-horizon overflow
+// deadlines) and advances, cross-checking against a reference pending
+// set — the moral equivalent of the old binary heap + pending map. The
+// properties: every expiry fires at or after its deadline and at most
+// one granularity late (relative to the purge time), none is lost or
+// duplicated, earliest() is a valid lower bound on the true minimum
+// pending deadline, and forEach visits exactly the pending set.
+func TestWheelPropertyVsReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := time.Unix(1_000_000, 0)
+	g := time.Millisecond
+	w := newTimerWheel(g, base)
+	pending := map[uint64]int64{} // the reference "heap" (UnixNano deadlines)
+	now := base.UnixNano()
+	var nextID uint64
+
+	expire := func(e expiry) {
+		at, ok := pending[e.id]
+		if !ok {
+			t.Fatalf("expiry %d fired but is not pending (lost/duplicated)", e.id)
+		}
+		if at != e.at {
+			t.Fatalf("expiry %d fired with deadline %v, pushed %v", e.id, e.at, at)
+		}
+		if e.at > now {
+			t.Fatalf("expiry %d fired early: deadline %v, purge time %v", e.id, e.at, now)
+		}
+		delete(pending, e.id)
+	}
+	checkInvariants := func() {
+		t.Helper()
+		// Completeness: anything a full granule past due must have fired.
+		min := int64(math.MaxInt64)
+		for id, at := range pending {
+			if at+int64(g) <= now {
+				t.Fatalf("expiry %d (deadline %v) still pending at %v, > one granule late", id, at, now)
+			}
+			if at < min {
+				min = at
+			}
+		}
+		if at, ok := w.earliest(); ok {
+			if len(pending) == 0 {
+				t.Fatal("earliest() reported a bound on an empty reference set")
+			}
+			if at > min {
+				t.Fatalf("earliest() = %v is not a lower bound on true min %v", at, min)
+			}
+		} else if len(pending) != 0 {
+			t.Fatalf("earliest() empty with %d pending", len(pending))
+		}
+		if w.count != len(pending) {
+			t.Fatalf("wheel count %d, reference %d", w.count, len(pending))
+		}
+	}
+
+	for step := 0; step < 4000; step++ {
+		switch rng.Intn(3) {
+		case 0, 1: // push a small burst
+			for i := rng.Intn(4) + 1; i > 0; i-- {
+				nextID++
+				var off time.Duration
+				switch rng.Intn(4) {
+				case 0: // already due (its bucket may be behind the cursor)
+					off = -time.Duration(rng.Intn(5000)) * time.Millisecond
+				case 1: // level 0
+					off = time.Duration(rng.Intn(64)) * time.Millisecond
+				case 2: // levels 1–2
+					off = time.Duration(rng.Intn(wheelSpan)) * time.Millisecond
+				default: // beyond the horizon: overflow
+					off = time.Duration(wheelSpan+rng.Intn(2*wheelSpan)) * time.Millisecond
+				}
+				at := now + int64(off)
+				pending[nextID] = at
+				w.push(at, nextID)
+			}
+		default: // advance (possibly by zero: ripe still drains)
+			now += int64(time.Duration(rng.Intn(20_000)) * time.Millisecond)
+			w.advanceTo(now, expire)
+			checkInvariants()
+		}
+		if step%400 == 0 { // forEach visits exactly the pending set
+			seen := map[uint64]bool{}
+			w.forEach(func(e expiry) {
+				if seen[e.id] {
+					t.Fatalf("forEach visited %d twice", e.id)
+				}
+				seen[e.id] = true
+				if at, ok := pending[e.id]; !ok || at != e.at {
+					t.Fatalf("forEach visited %d (%v), pending says %v (present %v)", e.id, e.at, at, ok)
+				}
+			})
+			if len(seen) != len(pending) {
+				t.Fatalf("forEach visited %d entries, %d pending", len(seen), len(pending))
+			}
+		}
+	}
+
+	// Drain far past every pushed deadline: nothing may be lost.
+	now += int64(time.Duration(4*wheelSpan) * time.Millisecond)
+	w.advanceTo(now, expire)
+	if len(pending) != 0 {
+		t.Fatalf("%d expiries lost after full drain", len(pending))
+	}
+	if w.count != 0 || w.inLevels != 0 || len(w.overflow) != 0 || len(w.ripe) != 0 {
+		t.Fatalf("wheel not empty after drain: count=%d inLevels=%d overflow=%d ripe=%d",
+			w.count, w.inLevels, len(w.overflow), len(w.ripe))
+	}
+}
