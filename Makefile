@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-race test-short bench bench-json bench-admit experiments experiments-quick examples fuzz verify clean
+.PHONY: all build vet test race test-race test-short bench bench-json bench-admit docs-check experiments experiments-quick examples fuzz verify clean
 
 all: build vet test
 
@@ -36,6 +36,13 @@ bench-json:
 # lock-free reject path) as go-test JSON: the repo's perf trajectory.
 bench-admit:
 	$(GO) test -run '^$$' -bench '^Benchmark(Baseline)?Admit' -benchmem -count 3 -json . > BENCH_admit.json
+
+# Documentation invariants: every package documented, every exported
+# identifier of the public API documented, every relative markdown link
+# resolving — plus go vet's doc-adjacent analyzers.
+docs-check:
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck
 
 # Regenerates every table and figure of the paper's evaluation.
 experiments:

@@ -1,0 +1,187 @@
+// Docscheck enforces the repository's documentation invariants:
+//
+//  1. every Go package carries package-level documentation;
+//  2. every exported identifier of the public API (the root feasregion
+//     package) has a doc comment;
+//  3. every relative link in the markdown files resolves to a file or
+//     directory that exists.
+//
+// It prints one line per violation and exits non-zero if any were
+// found. Run via `make docs-check`; CI runs it on every push.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// mdLink matches inline markdown links/images: [text](target). Angle
+// brackets around the target and trailing titles are handled below.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	problems = append(problems, checkMarkdownLinks(root)...)
+	problems = append(problems, checkGoDocs(root)...)
+	for _, p := range problems {
+		fmt.Println(p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// skipDir reports directories that hold no checked content.
+func skipDir(name string) bool {
+	switch name {
+	case ".git", "testdata", "results", "node_modules":
+		return true
+	}
+	return strings.HasPrefix(name, ".") && name != "."
+}
+
+// checkMarkdownLinks resolves every relative link target in every
+// tracked markdown file against the filesystem.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+			return nil
+		}
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := strings.Trim(m[1], "<>")
+				if bad := badRelativeLink(filepath.Dir(path), target); bad != "" {
+					problems = append(problems,
+						fmt.Sprintf("%s:%d: broken link %q (%s)", path, lineNo+1, target, bad))
+				}
+			}
+		}
+		return nil
+	})
+	return problems
+}
+
+// badRelativeLink returns a non-empty reason when target is a relative
+// link that does not resolve from dir. External schemes, pure
+// fragments, and absolute URLs are out of scope.
+func badRelativeLink(dir, target string) string {
+	if target == "" || strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+		return ""
+	}
+	target, _, _ = strings.Cut(target, "#") // fragment resolution is out of scope
+	if target == "" {
+		return ""
+	}
+	if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+		return "no such file"
+	}
+	return ""
+}
+
+// checkGoDocs parses every package under root and enforces the two Go
+// documentation invariants: package docs everywhere, exported-identifier
+// docs in the public (root) package.
+func checkGoDocs(root string) []string {
+	var problems []string
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: %v", path, err))
+			return nil
+		}
+		for name, pkg := range pkgs {
+			if name == "main" && path != root {
+				// Commands document themselves through the main package
+				// comment; still require that comment below.
+			}
+			dp := doc.New(pkg, path, 0)
+			if strings.TrimSpace(dp.Doc) == "" {
+				problems = append(problems, fmt.Sprintf("%s: package %s has no package documentation", path, name))
+			}
+			// Exported-identifier docs are enforced for the public API
+			// surface only: the root package is what users import.
+			if path == root && name != "main" {
+				problems = append(problems, undocumentedExported(dp, path)...)
+			}
+		}
+		return nil
+	})
+	return problems
+}
+
+// undocumentedExported lists exported identifiers of a parsed package
+// that carry no doc comment.
+func undocumentedExported(dp *doc.Package, path string) []string {
+	var problems []string
+	flag := func(kind, name, docText string) {
+		if strings.TrimSpace(docText) == "" {
+			problems = append(problems, fmt.Sprintf("%s: exported %s %s is undocumented", path, kind, name))
+		}
+	}
+	for _, f := range dp.Funcs {
+		flag("func", f.Name, f.Doc)
+	}
+	for _, t := range dp.Types {
+		if ast.IsExported(t.Name) {
+			flag("type", t.Name, t.Doc)
+		}
+		for _, f := range t.Funcs {
+			flag("func", f.Name, f.Doc)
+		}
+		for _, m := range t.Methods {
+			flag("method", t.Name+"."+m.Name, m.Doc)
+		}
+	}
+	for _, grp := range [][]*doc.Value{dp.Consts, dp.Vars} {
+		for _, v := range grp {
+			if strings.TrimSpace(v.Doc) != "" {
+				continue
+			}
+			for _, n := range v.Names {
+				if ast.IsExported(n) {
+					problems = append(problems, fmt.Sprintf("%s: exported value %s is undocumented", path, n))
+				}
+			}
+		}
+	}
+	return problems
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos|health] [-quick] [-csv dir]
+//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos|health|adapt] [-quick] [-csv dir]
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health")
+	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health, adapt")
 	quick := flag.Bool("quick", false, "reduced scale (shorter horizons, one replication)")
 	plot := flag.Bool("plot", false, "render Figures 4-7 as ASCII charts in addition to tables")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
@@ -171,6 +171,20 @@ func main() {
 			hc.SlowStart, hc.SlowLen = 120, 250
 		}
 		tables = append(tables, experiments.Health(hc).Table())
+	}
+
+	if want("adapt") {
+		ac := experiments.DefaultAdapt()
+		if *quick {
+			ac.Seeds, ac.Horizon, ac.Warmup = 2, 600, 60
+			ac.SlowStart, ac.SlowLen = 150, 150
+			// The β/α estimators read cumulative histogram tails, which a
+			// short horizon cannot dilute after the fault window; quick
+			// mode demonstrates the demand estimator alone.
+			ac.Adapt.Beta.Enabled = false
+			ac.Adapt.Alpha.Enabled = false
+		}
+		tables = append(tables, experiments.Adapt(ac).Table())
 	}
 
 	if want("soundness") {

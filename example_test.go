@@ -139,3 +139,98 @@ func ExampleOnlineController() {
 	// r3: false
 	// r4: true
 }
+
+// Batch admission commits a whole burst under one decision: requests
+// are tested in order against the shared budget, and batch release
+// returns their capacity in a single pass.
+func ExampleOnlineController_TryAdmitAll() {
+	clock := func() time.Time { return time.Unix(0, 0) }
+	ctrl := feasregion.NewOnlineController(feasregion.NewRegion(2), nil, clock)
+
+	reqs := make([]feasregion.OnlineRequest, 3)
+	for i := range reqs {
+		reqs[i] = feasregion.OnlineRequest{
+			ID:       uint64(i + 1),
+			Deadline: 100 * time.Millisecond,
+			Demands:  []time.Duration{10 * time.Millisecond, 20 * time.Millisecond},
+		}
+	}
+	out := make([]bool, len(reqs))
+	fmt.Println("admitted:", ctrl.TryAdmitAll(reqs, out), out)
+
+	// The burst finished early: release both admitted requests at once.
+	fmt.Println("released:", ctrl.ReleaseAll([]uint64{1, 2}))
+	fmt.Println("retry:   ", ctrl.TryAdmit(reqs[2]))
+	// Output:
+	// admitted: 2 [true true false]
+	// released: 2
+	// retry:    true
+}
+
+// The adaptive loop turns live telemetry into region inputs: when the
+// observed sojourn tail shows blocking the analysis did not account
+// for, the β estimator tightens the admission bound α(1−Σβ) — and
+// never relaxes it past the configured base region.
+func ExampleAdaptiveLoop() {
+	clock := func() time.Time { return time.Unix(0, 0) }
+	ctrl := feasregion.NewOnlineController(feasregion.NewRegion(1), nil, clock)
+
+	samples := uint64(0)
+	tail := 0.0 // observed p99 sojourn time, seconds
+	loop := feasregion.NewAdaptiveLoop(
+		feasregion.AdaptiveConfig{
+			DeadlineRef: 1, // 1-second reference deadline
+			Beta:        feasregion.AdaptiveBetaConfig{Enabled: true, MinSamples: 1, TightenWeight: 1},
+		},
+		feasregion.NewRegion(1),
+		ctrl, // both controllers implement RegionSink
+		feasregion.AdaptiveSources{
+			SojournQuantile: func(stage int, q float64) float64 { return tail },
+			SojournCount:    func(stage int) uint64 { return samples },
+		},
+	)
+
+	fmt.Printf("bound: %.2f\n", ctrl.Bound())
+	samples, tail = 100, 0.5 // half the deadline spent blocked
+	loop.Tick()
+	fmt.Printf("bound: %.2f\n", ctrl.Bound()) // β capped at 0.25: α(1−β) = 0.75
+	// Output:
+	// bound: 1.00
+	// bound: 0.75
+}
+
+// The demand estimator watches per-class overrun detections and
+// inflates the class's admission-time demand estimates
+// (multiplicative-increase, additive-decrease around the tolerated
+// rate), replacing a hand-tuned static tolerance.
+func ExampleAdaptiveLoop_demandInflation() {
+	clock := func() time.Time { return time.Unix(0, 0) }
+	ctrl := feasregion.NewOnlineController(feasregion.NewRegion(1), nil, clock)
+
+	overruns := map[string]uint64{}
+	admitted := map[string]uint64{}
+	loop := feasregion.NewAdaptiveLoop(
+		feasregion.AdaptiveConfig{
+			Demand: feasregion.AdaptiveDemandConfig{Enabled: true, MinSamples: 10},
+		},
+		feasregion.NewRegion(1), ctrl,
+		feasregion.AdaptiveSources{
+			OverrunsByClass: func() map[string]uint64 { return overruns },
+			AdmittedByClass: func() map[string]uint64 { return admitted },
+		},
+	)
+
+	// A window where 30% of the "batch" class overran its estimates:
+	admitted["batch"] += 20
+	overruns["batch"] += 6
+	loop.Tick()
+	fmt.Printf("after overruns: %.3f\n", loop.ClassInflation("batch"))
+
+	// A quiet window decays the inflation additively:
+	admitted["batch"] += 20
+	loop.Tick()
+	fmt.Printf("after quiet:    %.3f\n", loop.ClassInflation("batch"))
+	// Output:
+	// after overruns: 1.500
+	// after quiet:    1.375
+}

@@ -21,6 +21,11 @@
 //     against its declared cost and drives the controller's per-stage
 //     demand scale when a stage degrades — admission throttles itself
 //     instead of over-admitting into a slow backend;
+//   - a closed-loop adaptive estimator reads the per-stage sojourn and
+//     service histograms and folds any delay Theorem 1 did not predict
+//     into the region's β_j terms (THEORY.md §7) — the region itself
+//     tightens when the service misbehaves, and only ever tightens, so
+//     the admitted-task guarantee survives;
 //   - a background scraper polls /metrics throughout the load, standing
 //     in for Prometheus: scrapes read the controller's seqlock mirror,
 //     so monitoring never contends with admission;
@@ -195,11 +200,50 @@ func main() {
 		MaxScale:         8,
 	}, ctrl)
 	mon.SetMetrics(reg)
+
+	// Closed-loop region adaptation: per-stage sojourn (submit → done)
+	// and pure-service histograms feed the β estimator, which normalizes
+	// any tail delay Theorem 1's f(U_j)·Dref does not explain into the
+	// region's blocking terms. The health monitor rescales *demands*;
+	// the adaptive loop tightens the *region* — they compose.
+	sojournBuckets := feasregion.ExponentialBuckets(0.0005, 2, 12)
+	var sojournHist, serviceHist [2]interface {
+		Observe(float64)
+		Quantile(float64) float64
+		Count() uint64
+	}
+	for j := 0; j < 2; j++ {
+		lbl := feasregion.MetricLabel{Name: "stage", Value: strconv.Itoa(j)}
+		sojournHist[j] = reg.Histogram("httpserver_stage_sojourn_seconds",
+			"stage submit-to-completion time", sojournBuckets, lbl)
+		serviceHist[j] = reg.Histogram("httpserver_stage_service_seconds",
+			"stage pure service time", sojournBuckets, lbl)
+	}
+	adaptLoop := feasregion.NewAdaptiveLoop(
+		feasregion.AdaptiveConfig{
+			DeadlineRef: deadline.Seconds(),
+			Beta:        feasregion.AdaptiveBetaConfig{Enabled: true, MinSamples: 25},
+		},
+		feasregion.NewRegion(2), ctrl,
+		feasregion.AdaptiveSources{
+			SojournQuantile: func(j int, q float64) float64 { return sojournHist[j].Quantile(q) },
+			SojournCount:    func(j int) uint64 { return sojournHist[j].Count() },
+			ServiceQuantile: func(j int, q float64) float64 { return serviceHist[j].Quantile(q) },
+			StageUtilization: func(j int) float64 {
+				return ctrl.Utilizations()[j]
+			},
+		})
+	adaptLoop.SetMetrics(reg)
+	stopAdapt := adaptLoop.Start(20 * time.Millisecond)
+	defer stopAdapt()
+
 	app.observe = func(declared, actual time.Duration) {
 		mon.Observe(0, declared.Seconds(), actual.Seconds())
+		serviceHist[0].Observe(actual.Seconds())
 	}
 	db.observe = func(declared, actual time.Duration) {
 		mon.Observe(1, declared.Seconds(), actual.Seconds())
+		serviceHist[1].Observe(actual.Seconds())
 	}
 
 	// Self-healing: reconcile the ledgers periodically so a leaked
@@ -226,17 +270,21 @@ func main() {
 		}
 		// On any backend failure the admission charge is released so the
 		// region does not bleed capacity.
+		appStart := time.Now()
 		if err := app.run(appCost); err != nil {
 			ctrl.Release(id)
 			http.Error(w, "app stage unavailable", http.StatusServiceUnavailable)
 			return
 		}
+		sojournHist[0].Observe(time.Since(appStart).Seconds())
 		ctrl.MarkDeparted(0, id)
+		dbStart := time.Now()
 		if err := db.run(dbCost); err != nil {
 			ctrl.Release(id)
 			http.Error(w, "db stage unavailable", http.StatusServiceUnavailable)
 			return
 		}
+		sojournHist[1].Observe(time.Since(dbStart).Seconds())
 		ctrl.MarkDeparted(1, id)
 		reqOK.Inc()
 		latency.Observe(time.Since(start).Seconds())
@@ -367,6 +415,9 @@ func main() {
 	dbHealth := mon.Health(1)
 	fmt.Printf("  health monitor: %d scale changes, max scale %.3g, db stage ratio EWMA %.3g (scale now %.3g)\n",
 		mon.ScaleChanges(), mon.MaxScaleApplied(), dbHealth.Ratio, dbHealth.Scale)
+	as := adaptLoop.Snapshot()
+	fmt.Printf("  adaptive loop: %d ticks, %d region updates, applied α %.3g, β %.3v (region bound now %.3g)\n",
+		as.Ticks, as.RegionUpdates, as.Alpha, as.Betas, ctrl.Region().Bound())
 	fmt.Printf("  background scraper: %d /metrics polls during the load (%d failed) — lock-free reads\n",
 		scrapes, scrapeFailures)
 	fmt.Printf("  webhook burst: TryAdmitAll admitted %d/%d events in one lock acquisition\n",
@@ -409,8 +460,9 @@ func main() {
 		fmt.Println("  " + line)
 	}
 
-	fmt.Println("\nThe admission controller bounded each stage's synthetic utilization,")
-	fmt.Println("and when the db backend degraded the health monitor raised that")
-	fmt.Println("stage's demand scale, so admission throttled itself instead of")
-	fmt.Println("accepting requests into a backlog they could never clear in time.")
+	fmt.Println("\nThe admission controller bounded each stage's synthetic utilization;")
+	fmt.Println("when the db backend degraded, the health monitor raised that stage's")
+	fmt.Println("demand scale and the adaptive loop folded the unexplained sojourn")
+	fmt.Println("tail into the region's β terms — admission throttled itself instead")
+	fmt.Println("of accepting requests into a backlog they could never clear in time.")
 }

@@ -1,6 +1,7 @@
 package feasregion
 
 import (
+	"feasregion/internal/adapt"
 	"feasregion/internal/core"
 	"feasregion/internal/curve"
 	"feasregion/internal/des"
@@ -249,6 +250,49 @@ type StageScaler = obs.Scaler
 // nil and wired later with SetScaler).
 func NewStageHealthMonitor(cfg StageHealthConfig, scaler StageScaler) *StageHealthMonitor {
 	return obs.NewMonitor(cfg, scaler)
+}
+
+// ---- Closed-loop adaptation (adaptive α, β, demand) ----
+
+// AdaptiveLoop periodically re-estimates the region inputs from live
+// telemetry: per-stage β_j from sojourn-time tails, the effective
+// urgency-inversion α from observed-vs-predicted stage delays, and
+// per-class demand inflation from overrun-guard detections. Updates
+// flow into a RegionSink (Controller or OnlineController) and only ever
+// shrink the configured base region, so Theorem 1's guarantee is
+// preserved. See DESIGN.md §8 and THEORY.md §7.
+type AdaptiveLoop = adapt.Loop
+
+// AdaptiveConfig configures an AdaptiveLoop; its Beta, Alpha, and Demand
+// sections enable the three estimators independently.
+type AdaptiveConfig = adapt.Config
+
+// AdaptiveBetaConfig tunes the blocking-share (β) estimator.
+type AdaptiveBetaConfig = adapt.BetaConfig
+
+// AdaptiveAlphaConfig tunes the urgency-inversion (α) estimator.
+type AdaptiveAlphaConfig = adapt.AlphaConfig
+
+// AdaptiveDemandConfig tunes the per-class demand inflation estimator.
+type AdaptiveDemandConfig = adapt.DemandConfig
+
+// AdaptiveSources are the telemetry callbacks an AdaptiveLoop reads;
+// PipelineOptions.Adapt wires them from the pipeline's own metrics
+// automatically.
+type AdaptiveSources = adapt.Sources
+
+// RegionSink receives region-input updates from an AdaptiveLoop; both
+// Controller and OnlineController implement it.
+type RegionSink = adapt.RegionSink
+
+// AdaptiveLoopStats is a snapshot of an AdaptiveLoop's state.
+type AdaptiveLoopStats = adapt.LoopStats
+
+// NewAdaptiveLoop builds an estimation loop over the base region,
+// pushing updates into sink and reading telemetry from src. Drive it
+// with Tick (manual), ScheduleSim (simulation), or Start (wall clock).
+func NewAdaptiveLoop(cfg AdaptiveConfig, base Region, sink RegionSink, src AdaptiveSources) *AdaptiveLoop {
+	return adapt.NewLoop(cfg, base, sink, src)
 }
 
 // ---- Synthetic-utilization curves (Figure 1) ----

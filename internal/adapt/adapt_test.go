@@ -1,0 +1,362 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"feasregion/internal/core"
+	"feasregion/internal/task"
+)
+
+// fakeSink records every region push.
+type fakeSink struct {
+	alphas []float64
+	betas  [][]float64
+}
+
+func (s *fakeSink) SetRegionInputs(alpha float64, betas []float64) {
+	s.alphas = append(s.alphas, alpha)
+	s.betas = append(s.betas, betas)
+}
+
+// fakeTelemetry is a hand-driven Sources backend.
+type fakeTelemetry struct {
+	sojourn []float64 // per-stage tail sojourn
+	service []float64 // per-stage tail service
+	count   []uint64
+	util    []float64
+	ov      map[string]uint64
+	ad      map[string]uint64
+}
+
+func (f *fakeTelemetry) sources() Sources {
+	return Sources{
+		SojournQuantile:  func(j int, _ float64) float64 { return f.sojourn[j] },
+		ServiceQuantile:  func(j int, _ float64) float64 { return f.service[j] },
+		SojournCount:     func(j int) uint64 { return f.count[j] },
+		StageUtilization: func(j int) float64 { return f.util[j] },
+		OverrunsByClass:  func() map[string]uint64 { return f.ov },
+		AdmittedByClass:  func() map[string]uint64 { return f.ad },
+	}
+}
+
+func newFakeTelemetry(stages int) *fakeTelemetry {
+	return &fakeTelemetry{
+		sojourn: make([]float64, stages),
+		service: make([]float64, stages),
+		count:   make([]uint64, stages),
+		util:    make([]float64, stages),
+		ov:      map[string]uint64{},
+		ad:      map[string]uint64{},
+	}
+}
+
+// TestBetaTightensFastRelaxesSlow checks the blocking estimator's
+// asymmetric hysteresis: a blocking excess pulls β up at TightenWeight,
+// and its disappearance releases it at the (smaller) RelaxWeight.
+func TestBetaTightensFastRelaxesSlow(t *testing.T) {
+	tel := newFakeTelemetry(1)
+	sink := &fakeSink{}
+	l := NewLoop(Config{
+		DeadlineRef: 10,
+		Beta:        BetaConfig{Enabled: true, MinSamples: 1, TightenWeight: 0.5, RelaxWeight: 0.1, Cap: 0.5},
+	}, core.NewRegion(1), sink, tel.sources())
+
+	// 2s of unexplained delay against a 10s deadline: target β = 0.2.
+	tel.count[0] = 100
+	tel.sojourn[0] = 2.5
+	tel.service[0] = 0.5
+	l.Tick()
+	b1 := l.Betas()[0]
+	if math.Abs(b1-0.1) > 1e-12 { // 0 + 0.5·(0.2−0)
+		t.Fatalf("β after one tighten tick = %v, want 0.1", b1)
+	}
+	if len(sink.alphas) != 1 {
+		t.Fatalf("sink pushes = %d, want 1", len(sink.alphas))
+	}
+
+	// Blocking vanishes: relax runs at one fifth the tighten rate.
+	tel.count[0] = 200
+	tel.sojourn[0] = 0.5
+	l.Tick()
+	b2 := l.Betas()[0]
+	if math.Abs(b2-0.09) > 1e-12 { // 0.1 + 0.1·(0−0.1)
+		t.Fatalf("β after one relax tick = %v, want 0.09", b2)
+	}
+	drop := b1 - b2
+	rise := b1 - 0
+	if drop >= rise {
+		t.Fatalf("relax step %v not slower than tighten step %v", drop, rise)
+	}
+}
+
+// TestBetaRespectsBaseAndCap checks β never drops below the configured
+// blocking terms and never exceeds the cap.
+func TestBetaRespectsBaseAndCap(t *testing.T) {
+	tel := newFakeTelemetry(1)
+	sink := &fakeSink{}
+	base := core.NewRegion(1).WithBetas([]float64{0.1})
+	l := NewLoop(Config{
+		DeadlineRef: 10,
+		Beta:        BetaConfig{Enabled: true, MinSamples: 1, TightenWeight: 1, RelaxWeight: 1, Cap: 0.3},
+	}, base, sink, tel.sources())
+
+	// Huge excess: β pins at the cap, not at excess/Dref.
+	tel.count[0] = 10
+	tel.sojourn[0] = 50
+	l.Tick()
+	if got := l.Betas()[0]; got != 0.3 {
+		t.Fatalf("β = %v, want cap 0.3", got)
+	}
+	// No delay at all: β floors at the configured base, not zero.
+	tel.count[0] = 20
+	tel.sojourn[0] = 0
+	l.Tick()
+	if got := l.Betas()[0]; got != 0.1 {
+		t.Fatalf("β = %v, want base 0.1", got)
+	}
+}
+
+// TestBetaIgnoresPredictedQueueing checks delay that Theorem 1 already
+// accounts for (f(U_j)·Dref) is not misread as blocking.
+func TestBetaIgnoresPredictedQueueing(t *testing.T) {
+	tel := newFakeTelemetry(1)
+	l := NewLoop(Config{
+		DeadlineRef: 10,
+		Beta:        BetaConfig{Enabled: true, MinSamples: 1, TightenWeight: 1, RelaxWeight: 1},
+	}, core.NewRegion(1), &fakeSink{}, tel.sources())
+	tel.count[0] = 10
+	tel.util[0] = 0.5                                    // f(0.5) = 0.75 → predicted delay 7.5s
+	tel.sojourn[0] = core.StageDelayFactor(0.5)*10 - 0.5 // within prediction
+	l.Tick()
+	if got := l.Betas()[0]; got != 0 {
+		t.Fatalf("β = %v for fully-predicted queueing, want 0", got)
+	}
+}
+
+// TestBetaWarmupAndStaleness checks MinSamples gating and that a stage
+// with no fresh samples holds its estimate.
+func TestBetaWarmupAndStaleness(t *testing.T) {
+	tel := newFakeTelemetry(1)
+	l := NewLoop(Config{
+		DeadlineRef: 10,
+		Beta:        BetaConfig{Enabled: true, MinSamples: 50, TightenWeight: 1, RelaxWeight: 1, Cap: 0.5},
+	}, core.NewRegion(1), &fakeSink{}, tel.sources())
+	tel.sojourn[0] = 5
+	tel.count[0] = 49
+	l.Tick()
+	if got := l.Betas()[0]; got != 0 {
+		t.Fatalf("β moved during warmup: %v", got)
+	}
+	tel.count[0] = 50
+	l.Tick()
+	moved := l.Betas()[0]
+	if moved == 0 {
+		t.Fatal("β did not move once MinSamples was reached")
+	}
+	// Same count again (no new completions): the estimate holds even
+	// though the instantaneous signal changed.
+	tel.sojourn[0] = 0
+	l.Tick()
+	if got := l.Betas()[0]; got != moved {
+		t.Fatalf("β = %v moved without fresh samples, want %v", got, moved)
+	}
+}
+
+// TestAlphaShrinksAndFloors checks the α estimator shrinks when
+// observed delays exceed the Theorem 1 prediction and respects the
+// floor.
+func TestAlphaShrinksAndFloors(t *testing.T) {
+	tel := newFakeTelemetry(2)
+	sink := &fakeSink{}
+	l := NewLoop(Config{
+		DeadlineRef: 10,
+		Alpha:       AlphaConfig{Enabled: true, MinSamples: 1, TightenWeight: 1, RelaxWeight: 1, Floor: 0.3, Margin: 1},
+	}, core.NewRegion(2), sink, tel.sources())
+
+	// Stage 0 delayed 4× past prediction (U = 0.5 → f = 0.75 → 7.5s
+	// predicted; 30s observed): implied α = 0.25, below the 0.3 floor.
+	tel.count = []uint64{10, 10}
+	tel.util = []float64{0.5, 0.5}
+	tel.sojourn = []float64{30, 1}
+	l.Tick()
+	if got := l.Alpha(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("α = %v, want floor 0.3", got)
+	}
+	// Delay recedes: with full weights α recovers to the base in one
+	// tick but never above it.
+	tel.count = []uint64{20, 20}
+	tel.sojourn = []float64{1, 1}
+	l.Tick()
+	if got := l.Alpha(); got != 1 {
+		t.Fatalf("α = %v after recovery, want base 1", got)
+	}
+}
+
+// TestAlphaShrinkFastRecoverSlow checks the estimator's asymmetry on α.
+func TestAlphaShrinkFastRecoverSlow(t *testing.T) {
+	tel := newFakeTelemetry(1)
+	l := NewLoop(Config{
+		DeadlineRef: 10,
+		Alpha:       AlphaConfig{Enabled: true, MinSamples: 1, TightenWeight: 0.5, RelaxWeight: 0.1, Floor: 0.1, Margin: 1},
+	}, core.NewRegion(1), &fakeSink{}, tel.sources())
+	tel.count[0] = 10
+	tel.util[0] = 0.5
+	tel.sojourn[0] = 15 // implied = 7.5/15 = 0.5
+	l.Tick()
+	a1 := l.Alpha()
+	if math.Abs(a1-0.75) > 1e-12 { // 1 + 0.5·(0.5−1)
+		t.Fatalf("α after one shrink tick = %v, want 0.75", a1)
+	}
+	tel.count[0] = 20
+	tel.sojourn[0] = 1 // back to nominal
+	l.Tick()
+	a2 := l.Alpha()
+	if math.Abs(a2-0.775) > 1e-12 { // 0.75 + 0.1·(1−0.75)
+		t.Fatalf("α after one recover tick = %v, want 0.775", a2)
+	}
+	if (a2 - a1) >= (1 - a1) {
+		t.Fatal("recovery not slower than shrink")
+	}
+}
+
+// TestDemandMIAD checks the per-class estimator: multiplicative
+// increase past the target rate, additive decrease on quiet windows,
+// capped, and applied through WrapEstimator.
+func TestDemandMIAD(t *testing.T) {
+	tel := newFakeTelemetry(1)
+	l := NewLoop(Config{
+		Demand: DemandConfig{Enabled: true, TargetRate: 0.1, Increase: 2, Decrease: 0.5, Max: 4, MinSamples: 10},
+	}, core.NewRegion(1), &fakeSink{}, tel.sources())
+
+	est := l.WrapEstimator(core.ActualDemand)
+	liar := task.Chain(1, 0, 10, 1)
+	liar.Class = "batch"
+	honest := task.Chain(2, 0, 10, 1)
+	honest.Class = "interactive"
+
+	// Window 1: batch overruns 50% of admissions, interactive never.
+	tel.ad = map[string]uint64{"batch": 20, "interactive": 20}
+	tel.ov = map[string]uint64{"batch": 10}
+	l.Tick()
+	if got := l.ClassInflation("batch"); got != 2 {
+		t.Fatalf("batch inflation = %v, want 2", got)
+	}
+	if got := l.ClassInflation("interactive"); got != 1 {
+		t.Fatalf("interactive inflation = %v, want 1", got)
+	}
+	if got := est(liar, 0); got != 2 {
+		t.Fatalf("wrapped estimate = %v, want 2 (declared 1 × inflation 2)", got)
+	}
+	if got := est(honest, 0); got != 1 {
+		t.Fatalf("honest estimate = %v, want declared 1", got)
+	}
+
+	// Windows 2–3: batch keeps overrunning → ×2 each, capped at 4.
+	tel.ad["batch"] = 40
+	tel.ov["batch"] = 25
+	l.Tick()
+	tel.ad["batch"] = 60
+	tel.ov["batch"] = 40
+	l.Tick()
+	if got := l.ClassInflation("batch"); got != 4 {
+		t.Fatalf("batch inflation = %v, want cap 4", got)
+	}
+
+	// Quiet window: additive decrease.
+	tel.ad["batch"] = 80
+	l.Tick()
+	if got := l.ClassInflation("batch"); got != 3.5 {
+		t.Fatalf("batch inflation = %v after quiet window, want 3.5", got)
+	}
+
+	// A window smaller than MinSamples accumulates instead of judging.
+	tel.ad["batch"] = 85
+	tel.ov["batch"] = 45
+	l.Tick()
+	if got := l.ClassInflation("batch"); got != 3.5 {
+		t.Fatalf("batch inflation = %v after tiny window, want unchanged 3.5", got)
+	}
+	st := l.Snapshot()
+	if st.Ticks != 5 || st.InflationByClass["batch"] != 3.5 {
+		t.Fatalf("snapshot = %+v, want 5 ticks, batch 3.5", st)
+	}
+}
+
+// TestConfigValidation checks the hysteresis invariant (tighten ≥
+// relax) and source requirements are enforced at construction.
+func TestConfigValidation(t *testing.T) {
+	tel := newFakeTelemetry(1)
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("beta relax > tighten", func() {
+		NewLoop(Config{DeadlineRef: 1, Beta: BetaConfig{Enabled: true, TightenWeight: 0.1, RelaxWeight: 0.5}},
+			core.NewRegion(1), &fakeSink{}, tel.sources())
+	})
+	expectPanic("alpha relax > tighten", func() {
+		NewLoop(Config{DeadlineRef: 1, Alpha: AlphaConfig{Enabled: true, TightenWeight: 0.1, RelaxWeight: 0.5}},
+			core.NewRegion(1), &fakeSink{}, tel.sources())
+	})
+	expectPanic("missing deadline ref", func() {
+		NewLoop(Config{Beta: BetaConfig{Enabled: true}}, core.NewRegion(1), &fakeSink{}, tel.sources())
+	})
+	expectPanic("nil sink", func() {
+		NewLoop(Config{}, core.NewRegion(1), nil, tel.sources())
+	})
+	expectPanic("missing sojourn sources", func() {
+		NewLoop(Config{DeadlineRef: 1, Beta: BetaConfig{Enabled: true}}, core.NewRegion(1), &fakeSink{}, Sources{})
+	})
+	expectPanic("missing class sources", func() {
+		NewLoop(Config{Demand: DemandConfig{Enabled: true}}, core.NewRegion(1), &fakeSink{}, Sources{})
+	})
+	expectPanic("demand additive increase", func() {
+		NewLoop(Config{Demand: DemandConfig{Enabled: true, Increase: 0.5}},
+			core.NewRegion(1), &fakeSink{}, tel.sources())
+	})
+	expectPanic("base beta above cap", func() {
+		NewLoop(Config{DeadlineRef: 1, Beta: BetaConfig{Enabled: true, Cap: 0.1}},
+			core.NewRegion(1).WithBetas([]float64{0.2}), &fakeSink{}, tel.sources())
+	})
+}
+
+// TestLoopDrivesController checks the loop end-to-end against a real
+// simulation controller: a tightened region rejects a task the base
+// region would admit, and the applied region is always a subset of the
+// base region.
+func TestLoopDrivesController(t *testing.T) {
+	tel := newFakeTelemetry(1)
+	simCtrl := newSimController(t)
+	l := NewLoop(Config{
+		DeadlineRef: 10,
+		Beta:        BetaConfig{Enabled: true, MinSamples: 1, TightenWeight: 1, RelaxWeight: 1, Cap: 0.6},
+		Alpha:       AlphaConfig{Enabled: true, MinSamples: 1, TightenWeight: 1, RelaxWeight: 1, Floor: 0.5, Margin: 1},
+	}, simCtrl.Region(), simCtrl, tel.sources())
+
+	// Healthy telemetry: nothing changes, the base region admits.
+	tel.count[0] = 10
+	tel.sojourn[0] = 0.1
+	l.Tick()
+	if !simCtrl.WouldAdmit(task.Chain(1, 0, 4, 1)) {
+		t.Fatal("healthy loop rejected a baseline-admissible task")
+	}
+	// Pathological telemetry: β → 0.6 and α → 0.5 give bound 0.2.
+	tel.count[0] = 20
+	tel.sojourn[0] = 100
+	l.Tick()
+	if got, want := simCtrl.Region().Bound(), 0.5*(1-0.6); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("controller bound = %v, want %v", got, want)
+	}
+	if simCtrl.WouldAdmit(task.Chain(2, 0, 4, 1)) {
+		t.Fatal("tightened region admitted f(0.25) ≈ 0.29 > 0.2")
+	}
+	if b := simCtrl.Region().Bound(); b > 1 {
+		t.Fatalf("applied bound %v exceeds the base bound", b)
+	}
+}

@@ -1,0 +1,53 @@
+// Package adapt closes the loop between observed telemetry and the
+// admission-control inputs of the feasible region (paper Eqs. 12/13/15):
+//
+//	Σ_j f(U_j) ≤ α · (1 − Σ_j β_j)
+//
+// The region test is only as sound as the constants fed into it — the
+// per-stage demand estimates C_ij behind U_j(t) = Σ C_ij/D_i, the
+// normalized blocking terms β_j (Eq. 15), and the urgency-inversion
+// parameter α (Eq. 12: D_least/D_most for non-deadline-monotonic
+// policies, 1 for DM per Eq. 13). All three are usually static
+// configuration; this package estimates them online from the
+// observability instruments (internal/metrics histograms, core.Guard
+// overrun counters) and feeds them back through a RegionSink
+// (core.Controller.SetRegionInputs or online.Controller.SetRegionInputs)
+// and a wrapped core.Estimator.
+//
+// Three estimators run behind one Loop, each a tick-driven feedback
+// controller with asymmetric hysteresis (tighten fast, relax slow) so
+// the admission bound reacts promptly to trouble and recovers
+// cautiously:
+//
+//   - The β estimator reads the tail quantile (default p99) of each
+//     stage's sojourn-time histogram, subtracts the service-time tail
+//     and the queueing delay Theorem 1 already accounts for
+//     (f(U_j)·Dref), and attributes the unexplained excess to blocking:
+//     β_j rises toward excess/Dref (capped), shrinking the bound
+//     α·(1−Σβ_j) exactly as a measured B_ij/D_i would in Eq. 15.
+//
+//   - The demand estimator watches per-class overrun detections from
+//     core.Guard against per-class admission counts and applies
+//     multiplicative-increase/additive-decrease: a class whose overrun
+//     rate exceeds the target gets its declared C_ij inflated (via
+//     WrapEstimator) so the synthetic utilization it books reflects
+//     what it actually consumes — replacing the static guard
+//     OverrunTolerance knob with a measured, per-class correction.
+//
+//   - The α estimator compares each stage's observed tail delay with
+//     Theorem 1's prediction f(U_j)·Dref. A platform running outside
+//     its model (fault or slowdown window) shows delays inflated by
+//     ρ_j = observed/predicted; keeping Σ ρ_j·f(U_j) ≤ α requires
+//     shrinking the applied parameter to α·min_j(predicted/observed),
+//     clamped to a floor (see THEORY.md for the derivation from
+//     Eq. 12).
+//
+// Soundness: relative to the configured base region, adaptive β_j only
+// grows (never below the configured blocking terms) and adaptive α only
+// shrinks, so the applied region is always a subset of the base region
+// — every point the adaptive test admits, the static test would have
+// admitted too, and Theorem 1's guarantee carries over with the
+// tightened constants. Hysteresis bounds oscillation: the tighten
+// weight must be at least the relax weight, so the bound can only
+// tighten faster than it relaxes.
+package adapt

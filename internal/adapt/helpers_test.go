@@ -1,0 +1,15 @@
+package adapt
+
+import (
+	"testing"
+
+	"feasregion/internal/core"
+	"feasregion/internal/des"
+)
+
+// newSimController builds a one-stage simulation controller on a fresh
+// simulator for loop-integration tests.
+func newSimController(t *testing.T) *core.Controller {
+	t.Helper()
+	return core.NewController(des.New(), core.NewRegion(1), nil)
+}

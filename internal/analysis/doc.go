@@ -1,0 +1,12 @@
+// Package analysis implements the classical offline schedulability
+// analyses the paper positions itself against (§1): holistic
+// response-time analysis for sporadic task sets on fixed-priority
+// pipelines ("offline response-time analysis that takes into account
+// periods and jitter", Tindell & Clark style), plus the periodic-side
+// view of the aperiodic feasible region.
+//
+// These serve as comparators: holistic RTA is tighter for strictly
+// periodic/sporadic sets but needs periods and a full offline pass over
+// the task set; the feasible region (Eq. 15) is arrival-pattern
+// independent and admits in O(stages) online.
+package analysis

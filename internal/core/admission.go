@@ -137,6 +137,29 @@ func (c *Controller) updateRegionGauges() {
 // Region returns the controller's feasible region.
 func (c *Controller) Region() Region { return c.region }
 
+// SetRegionInputs replaces the region's urgency-inversion parameter α
+// and per-stage blocking terms β_j at runtime — the actuator of the
+// adaptive estimation loop (internal/adapt): estimators that observe
+// blocking tails or urgency inversion feed tightened (or recovered)
+// inputs back into the admission bound α·(1 − Σβ_j) without touching
+// admitted contributions. A nil betas keeps the current blocking terms;
+// otherwise betas must have one non-negative entry per stage. alpha must
+// be in (0, 1]. When the bound relaxes, waiters are retried (a larger
+// bound may admit queued tasks); when it tightens, future admissions
+// simply face the smaller bound.
+func (c *Controller) SetRegionInputs(alpha float64, betas []float64) {
+	r := c.region.WithAlpha(alpha)
+	if betas != nil {
+		r = r.WithBetas(betas)
+	}
+	oldBound := c.region.Bound()
+	c.region = r
+	c.updateRegionGauges()
+	if r.Bound() > oldBound {
+		c.fireRelease()
+	}
+}
+
 // SetStageScale sets a demand multiplier for future admissions at the
 // stage — the simulation-side analogue of online.Controller.SetStageScale
 // and the actuator of the stage-health feedback loop: when a stage is

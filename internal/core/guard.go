@@ -77,6 +77,7 @@ type Guard struct {
 	policy    OverrunPolicy
 	tolerance float64
 	stats     GuardStats
+	byClass   map[string]uint64 // overrun detections per task class; nil until first detection
 }
 
 // NewGuard builds a guard over the controller. tolerance is the
@@ -100,6 +101,18 @@ func (g *Guard) Policy() OverrunPolicy { return g.policy }
 // Stats returns a snapshot of the guard's counters.
 func (g *Guard) Stats() GuardStats { return g.stats }
 
+// DetectedByClass returns cumulative overrun detections keyed by task
+// class (Task.Class; tasks without a class count under ""). The adapt
+// demand estimator differences successive snapshots to compute each
+// class's overrun rate. The returned map is a copy.
+func (g *Guard) DetectedByClass() map[string]uint64 {
+	out := make(map[string]uint64, len(g.byClass))
+	for k, v := range g.byClass {
+		out[k] = v
+	}
+	return out
+}
+
 // Budget returns the execution-time budget for the task at the stage:
 // the admitted estimate times (1 + tolerance), or +Inf when the guard is
 // configured to ignore overruns.
@@ -118,6 +131,10 @@ func (g *Guard) Budget(t *task.Task, stage int) float64 {
 // the caller clears with Controller.Evict).
 func (g *Guard) HandleOverrun(t *task.Task, stage int, consumed, observed float64) (evict bool) {
 	g.stats.Detected++
+	if g.byClass == nil {
+		g.byClass = make(map[string]uint64)
+	}
+	g.byClass[t.Class]++
 	if excess := observed - g.ctrl.EstimateFor(t, stage); excess > 0 {
 		g.stats.ExcessObserved += excess
 	}

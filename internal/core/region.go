@@ -1,8 +1,3 @@
-// Package core implements the paper's contribution: the multi-dimensional
-// feasible region for aperiodic end-to-end deadlines in resource pipelines
-// (and arbitrary DAG task graphs), the synthetic-utilization ledger that
-// tracks the system's position in utilization space online, and the O(N)
-// admission controllers built on top.
 package core
 
 import (

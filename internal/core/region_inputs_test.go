@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+)
+
+// TestControllerSetRegionInputs checks the simulation controller's
+// region setter: tightening rejects, restoring re-admits, and a
+// relaxation fires the release hook (waiters retry).
+func TestControllerSetRegionInputs(t *testing.T) {
+	sim := des.New()
+	c := NewController(sim, NewRegion(1), nil)
+	c.SetRegionInputs(0.25, nil)
+	if got := c.Region().Bound(); got != 0.25 {
+		t.Fatalf("Bound = %v, want 0.25", got)
+	}
+	// Contribution 0.25 → f(0.25) ≈ 0.29 > 0.25.
+	if c.TryAdmit(task.Chain(1, 0, 4, 1)) {
+		t.Fatal("admitted outside the tightened region")
+	}
+	released := 0
+	c.OnRelease(func(des.Time) { released++ })
+	c.SetRegionInputs(1, nil)
+	if released != 1 {
+		t.Fatalf("relaxation fired %d release hooks, want 1", released)
+	}
+	if !c.TryAdmit(task.Chain(2, 0, 4, 1)) {
+		t.Fatal("rejected after the bound was restored")
+	}
+	// Tightening again must not fire the hook.
+	c.SetRegionInputs(1, []float64{0.5})
+	if released != 1 {
+		t.Fatalf("tightening fired a release hook (%d total)", released)
+	}
+}
+
+// TestControllerSetRegionInputsValidates checks the setter rejects the
+// same inputs the Region constructors do.
+func TestControllerSetRegionInputsValidates(t *testing.T) {
+	sim := des.New()
+	c := NewController(sim, NewRegion(2), nil)
+	for _, tc := range []struct {
+		name  string
+		alpha float64
+		betas []float64
+	}{
+		{"alpha zero", 0, nil},
+		{"alpha above one", 2, nil},
+		{"beta arity", 1, []float64{0.1}},
+		{"beta negative", 1, []float64{-0.1, 0}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			c.SetRegionInputs(tc.alpha, tc.betas)
+		}()
+	}
+}
+
+// TestGuardDetectedByClass checks overrun detections are attributed to
+// the overrunning task's class.
+func TestGuardDetectedByClass(t *testing.T) {
+	sim := des.New()
+	c := NewController(sim, NewRegion(1), nil)
+	g := NewGuard(c, OverrunLog, 0)
+
+	batch := task.Chain(1, 0, 10, 1)
+	batch.Class = "batch"
+	rt := task.Chain(2, 0, 10, 1)
+	rt.Class = "interactive"
+	g.HandleOverrun(batch, 0, 1.5, 2)
+	g.HandleOverrun(batch, 0, 1.5, 2)
+	g.HandleOverrun(rt, 0, 1.2, 1.2)
+
+	by := g.DetectedByClass()
+	if by["batch"] != 2 || by["interactive"] != 1 {
+		t.Fatalf("DetectedByClass = %v, want batch:2 interactive:1", by)
+	}
+	if got := g.Stats().Detected; got != 3 {
+		t.Fatalf("Detected = %d, want 3", got)
+	}
+	// The snapshot is a copy: mutating it must not touch the guard.
+	by["batch"] = 99
+	if g.DetectedByClass()["batch"] != 2 {
+		t.Fatal("DetectedByClass returned a live reference")
+	}
+}

@@ -1,0 +1,6 @@
+// Package curve records synthetic-utilization step curves — the U_j(t)
+// functions of the paper's Figure 1 — from a running admission
+// controller, computes the area beneath them (the quantity at the heart
+// of the stage delay theorem's "area property", Theorem 1), and renders
+// them as CSV or ASCII plots.
+package curve

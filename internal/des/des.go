@@ -1,10 +1,3 @@
-// Package des implements a deterministic discrete-event simulation engine.
-//
-// The engine is a binary-heap event calendar with a monotone sequence
-// counter: two events scheduled for the same instant fire in the order they
-// were scheduled, which makes simulations reproducible bit-for-bit. Events
-// are cancellable, which the preemptive schedulers rely on to withdraw a
-// subtask's completion event when a higher-priority subtask arrives.
 package des
 
 import (

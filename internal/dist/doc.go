@@ -1,0 +1,5 @@
+// Package dist provides seeded pseudo-random streams and the probability
+// distributions used by the workload generators. All randomness in the
+// repository flows through this package so that every simulation is
+// reproducible bit-for-bit from its seed.
+package dist

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// quickAdapt is a reduced-scale config for CI, mirroring the -quick
+// overrides in cmd/experiments: the demand estimator alone, since the
+// cumulative histogram tails feeding β/α cannot be diluted within a
+// short horizon.
+func quickAdapt() AdaptConfig {
+	cfg := DefaultAdapt()
+	cfg.Seeds = 2
+	cfg.Horizon = 600
+	cfg.Warmup = 60
+	cfg.SlowStart = 150
+	cfg.SlowLen = 150
+	cfg.Adapt.Beta.Enabled = false
+	cfg.Adapt.Alpha.Enabled = false
+	return cfg
+}
+
+// TestAdaptReducesMisses is the PR's acceptance property: against the
+// identical seeded fault schedule (a lying workload class plus a stage
+// slowdown), the closed-loop variant must miss strictly fewer deadlines
+// than the statically tuned baseline while still admitting at least 90%
+// as many tasks.
+func TestAdaptReducesMisses(t *testing.T) {
+	res := Adapt(quickAdapt())
+	static, adaptive := res.Variants[0], res.Variants[1]
+
+	if static.Missed == 0 {
+		t.Fatalf("static run missed no deadlines; the fault schedule is too gentle to demonstrate anything: %+v", static)
+	}
+	if adaptive.Missed >= static.Missed {
+		t.Fatalf("adaptive run must miss strictly fewer deadlines: adaptive %d vs static %d", adaptive.Missed, static.Missed)
+	}
+	if 10*adaptive.Entered < 9*static.Entered {
+		t.Fatalf("adaptive run admitted %d tasks, below 90%% of the static run's %d", adaptive.Entered, static.Entered)
+	}
+	if adaptive.LiarInflation <= 1 {
+		t.Fatalf("demand estimator never inflated the lying class: %+v", adaptive)
+	}
+	if static.LiarInflation != 0 || static.RegionUpdates != 0 {
+		t.Fatalf("static variant reported adaptation activity: %+v", static)
+	}
+}
+
+// TestAdaptDeterministic re-runs the experiment under the same seed and
+// requires bit-identical results — the property that makes the
+// comparison above a meaningful controlled experiment.
+func TestAdaptDeterministic(t *testing.T) {
+	cfg := quickAdapt()
+	cfg.Seeds = 1
+	a, b := Adapt(cfg), Adapt(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestAdaptFullEstimators exercises the β/α estimators too (a longer
+// horizon, one seed): the adaptive variant must still strictly reduce
+// misses, and the final region must have shrunk from the base — α at or
+// below 1 with a strictly positive bound.
+func TestAdaptFullEstimators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-horizon run")
+	}
+	cfg := DefaultAdapt()
+	cfg.Seeds = 1
+	res := Adapt(cfg)
+	static, adaptive := res.Variants[0], res.Variants[1]
+	if static.Missed == 0 {
+		t.Fatalf("static run missed no deadlines: %+v", static)
+	}
+	if adaptive.Missed >= static.Missed {
+		t.Fatalf("adaptive %d misses vs static %d", adaptive.Missed, static.Missed)
+	}
+	if 10*adaptive.Entered < 9*static.Entered {
+		t.Fatalf("adaptive admitted %d, below 90%% of static's %d", adaptive.Entered, static.Entered)
+	}
+	if adaptive.RegionUpdates == 0 {
+		t.Fatalf("β/α enabled but no region updates were pushed: %+v", adaptive)
+	}
+	if adaptive.Bound <= 0 || adaptive.Bound > 1 {
+		t.Fatalf("final region bound %v outside (0, 1]", adaptive.Bound)
+	}
+}

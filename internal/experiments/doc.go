@@ -1,0 +1,8 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 Figs. 4-7, §5 Table 1) plus the ablations DESIGN.md
+// calls out and the extension studies (overrun guard, chaos soak,
+// stage-health feedback, closed-loop adaptation). Each experiment
+// returns both structured series and a rendered stats.Table with the
+// same rows the paper reports; cmd/experiments is the command-line
+// front end.
+package experiments

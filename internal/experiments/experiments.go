@@ -1,7 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§4 Figs. 4-7, §5 Table 1) plus the ablations DESIGN.md
-// calls out. Each experiment returns both structured series and a
-// rendered stats.Table with the same rows the paper reports.
 package experiments
 
 import (

@@ -1,0 +1,27 @@
+// Package faults is a deterministic, seedable fault-injection layer for
+// the pipeline simulation. The feasible-region guarantee rests on two
+// platform assumptions the clean-room simulation never violates: that
+// admitted tasks consume no more than their declared per-stage demands
+// (the C_ij of Eq. 13/15), and that every stage keeps executing. This
+// package breaks both, on a reproducible schedule, so the overrun guard
+// and the self-healing machinery can be exercised and their absence
+// demonstrated:
+//
+//   - demand overruns: a deterministic subset of tasks ("liars") executes
+//     a configurable factor longer than declared at every stage,
+//     optionally restricted to a caller-defined ID subset (LiarFilter)
+//     so lying can be correlated with a workload class;
+//   - stage slowdowns: windows during which a stage executes all work a
+//     factor slower (a degraded replica, a noisy neighbor);
+//   - stage stalls and crash-and-restart: windows during which a stage
+//     dispatches nothing, optionally losing in-progress segment work on
+//     restart;
+//   - lost idle callbacks: stage-idle notifications that never reach the
+//     admission controller (a dropped message), starving the idle reset;
+//   - clock skew: a drifting wall clock for the online controller.
+//
+// Faults enter through injection points (sched.Stage.SetExecModel,
+// Pause/Resume, and the pipeline's idle hook) rather than forks of the
+// hot path; with no injector attached the system runs the untouched
+// code.
+package faults

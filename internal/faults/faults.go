@@ -1,26 +1,3 @@
-// Package faults is a deterministic, seedable fault-injection layer for
-// the pipeline simulation. The feasible-region guarantee rests on two
-// platform assumptions the clean-room simulation never violates: that
-// admitted tasks consume no more than their declared per-stage demands,
-// and that every stage keeps executing. This package breaks both, on a
-// reproducible schedule, so the overrun guard and the self-healing
-// machinery can be exercised and their absence demonstrated:
-//
-//   - demand overruns: a deterministic subset of tasks ("liars") executes
-//     a configurable factor longer than declared at every stage;
-//   - stage slowdowns: windows during which a stage executes all work a
-//     factor slower (a degraded replica, a noisy neighbor);
-//   - stage stalls and crash-and-restart: windows during which a stage
-//     dispatches nothing, optionally losing in-progress segment work on
-//     restart;
-//   - lost idle callbacks: stage-idle notifications that never reach the
-//     admission controller (a dropped message), starving the idle reset;
-//   - clock skew: a drifting wall clock for the online controller.
-//
-// Faults enter through injection points (sched.Stage.SetExecModel,
-// Pause/Resume, and the pipeline's idle hook) rather than forks of the
-// hot path; with no injector attached the system runs the untouched
-// code.
 package faults
 
 import (
@@ -68,6 +45,12 @@ type Config struct {
 	// LiarFactor is the execution inflation for liars (must be ≥ 1 when
 	// LiarFraction > 0).
 	LiarFactor float64
+	// LiarFilter, when non-nil, restricts lying to tasks for which it
+	// returns true (LiarFraction then applies within that subset). Use
+	// it to correlate underdeclared demand with a property the caller
+	// controls — e.g. a partition of the task-ID space carrying one
+	// workload class, so per-class estimators have something to find.
+	LiarFilter func(id task.ID) bool
 
 	// Stalls places this many stall windows of StallLen each, uniformly
 	// over stages and time. CrashRestart makes each restart drop
@@ -195,6 +178,9 @@ func (in *Injector) Stats() Stats { return in.stats }
 // truthful and lying after the fact.
 func (in *Injector) Liar(id task.ID) bool {
 	if in.cfg.LiarFraction <= 0 {
+		return false
+	}
+	if in.cfg.LiarFilter != nil && !in.cfg.LiarFilter(id) {
 		return false
 	}
 	return uniformHash(uint64(in.seed), uint64(id)) < in.cfg.LiarFraction

@@ -1,24 +1,3 @@
-// Package metrics is a dependency-free instrument registry for the
-// feasregion runtime: atomic counters, gauges, fixed-log-bucket
-// histograms, and exponentially-weighted moving averages, with snapshot
-// export in Prometheus text format and via expvar.
-//
-// Two properties shape the design:
-//
-//   - Zero-allocation hot path. Instruments are pre-registered once and
-//     updated with single atomic operations; Observe/Inc/Set never
-//     allocate, so they are safe inside the admission test and the
-//     per-dispatch scheduler path.
-//   - Free when disabled. A nil *Registry hands out nil instruments, and
-//     every instrument method is nil-receiver-safe, so instrumented code
-//     needs no conditionals and pays one predictable nil check when
-//     metrics are off. The disabled-overhead budget is enforced by
-//     BenchmarkCoreAdmitMetrics{Off,On}.
-//
-// Series are identified by a family name plus optional labels; repeated
-// registration of the same (name, labels) returns the existing
-// instrument, so independent components may idempotently describe the
-// same series.
 package metrics
 
 import (

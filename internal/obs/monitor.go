@@ -1,25 +1,3 @@
-// Package obs closes the feedback loop from observed stage behavior
-// back into admission control: a Monitor ingests per-job (declared,
-// actual) service-time pairs per stage, tracks the inflation ratio
-// actual/declared as an EWMA, and drives a Scaler's per-stage demand
-// multiplier when a stage degrades — the "wire SetStageScale to a real
-// health signal" item of the roadmap, and the adaptive end-to-end
-// feedback studied in arXiv:1306.0448.
-//
-// The loop is deliberately conservative:
-//
-//   - it acts only after MinSamples observations at a stage, so a single
-//     outlier cannot trigger a scale change;
-//   - scaling up requires the EWMA ratio to cross DegradeThreshold and
-//     scaling back to 1 requires it to fall below RecoverThreshold, a
-//     hysteresis band that prevents flapping at the boundary;
-//   - successive re-scales are suppressed unless the target differs from
-//     the current scale by more than Deadband (relative), so a slowly
-//     drifting ratio does not thrash the admission test.
-//
-// Monitor is safe for concurrent use (wall-clock pipelines observe from
-// many goroutines); in the deterministic simulation it is driven from
-// the single event loop.
 package obs
 
 import (

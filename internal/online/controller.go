@@ -1,21 +1,3 @@
-// Package online provides a wall-clock, thread-safe variant of the
-// feasible-region admission controller for use inside real services
-// (as opposed to the simulation controller in internal/core, which is
-// driven by a discrete-event clock).
-//
-// Contributions are expired lazily: every locked operation first purges
-// entries whose absolute deadline has passed, using a hierarchical
-// timer wheel keyed by deadline, so no background goroutine or timer is
-// needed. Departure marking and idle resets are driven by the embedding
-// application (e.g. from request-completion handlers and worker-idle
-// callbacks), mirroring the paper's §4 accounting.
-//
-// The hot path is built for multi-core throughput: per-stage synthetic
-// utilization is mirrored into atomics behind a seqlock, so TryAdmit
-// can reject — and Utilizations/metrics scrapes can read — without
-// taking the lock; only the commit of a passing admission serializes.
-// The admission test itself allocates nothing. See DESIGN.md §7 for the
-// full concurrency design.
 package online
 
 import (
@@ -106,19 +88,20 @@ type waiter struct {
 // the multi-dimensional feasible region. The zero value is not usable;
 // construct with New.
 type Controller struct {
-	region core.Region
-	bound  float64 // cached region.Bound(); the region is immutable here
+	region core.Region // guarded by mu; mutable via SetRegionInputs
+	bound  float64     // cached region.Bound(); guarded by mu, mirrored in boundBits
 	stages int
 	clock  Clock
 
 	// Seqlock-published mirror of the locked state below: seq is even
 	// when the mirror is consistent; writers (holding mu) make it odd,
-	// store the new per-stage utilization and scale float bits, then
-	// make it even again. Readers retry torn reads, then fall back to
-	// the lock.
+	// store the new per-stage utilization, scale, and bound float bits,
+	// then make it even again. Readers retry torn reads, then fall back
+	// to the lock.
 	seq       atomic.Uint64
 	utilBits  []atomic.Uint64
 	scaleBits []atomic.Uint64
+	boundBits atomic.Uint64 // region bound α·(1−Σβ) for the lock-free reject test
 	// nextExpiry is a lower bound (UnixNano) on the earliest pending
 	// expiry, math.MaxInt64 when none — the gate that keeps lock-free
 	// reads honest: once it passes, readers take the locked path so the
@@ -190,6 +173,7 @@ func (c *Controller) publishLocked() {
 		c.utilBits[j].Store(math.Float64bits(l.Utilization()))
 		c.scaleBits[j].Store(math.Float64bits(c.scales[j]))
 	}
+	c.boundBits.Store(math.Float64bits(c.bound))
 	c.seq.Add(1) // even: consistent again
 }
 
@@ -205,12 +189,13 @@ func (c *Controller) publishUtilsLocked() {
 }
 
 // readSnapshot fills utils (and scales, when non-nil) from the seqlock
-// mirror without locking, returning the epoch the snapshot was taken
-// at. It reports false after a few torn reads — callers then fall back
-// to the locked path. The epoch increments on every publish, so a
-// caller that later holds mu and observes the same epoch knows the
-// snapshot still equals the ledgers exactly.
-func (c *Controller) readSnapshot(utils, scales []float64) (uint64, bool) {
+// mirror without locking and returns the region bound consistent with
+// that snapshot plus the epoch it was taken at. It reports false after
+// a few torn reads — callers then fall back to the locked path. The
+// epoch increments on every publish, so a caller that later holds mu
+// and observes the same epoch knows the snapshot (utilizations, scales,
+// and bound alike) still equals the locked state exactly.
+func (c *Controller) readSnapshot(utils, scales []float64) (bound float64, seq uint64, ok bool) {
 	for attempt := 0; attempt < 3; attempt++ {
 		s := c.seq.Load()
 		if s&1 != 0 {
@@ -222,11 +207,12 @@ func (c *Controller) readSnapshot(utils, scales []float64) (uint64, bool) {
 		for j := range scales {
 			scales[j] = math.Float64frombits(c.scaleBits[j].Load())
 		}
+		b := math.Float64frombits(c.boundBits.Load())
 		if c.seq.Load() == s {
-			return s, true
+			return b, s, true
 		}
 	}
-	return 0, false
+	return 0, 0, false
 }
 
 // wakeLocked hands one wake token to the head waiter. Wake-one (not
@@ -387,12 +373,12 @@ func (c *Controller) admit(r Request, countReject bool, enq *waiter) bool {
 	if enq == nil {
 		sampled = c.nowMonotoneNano()
 		if sampled < c.nextExpiry.Load() {
-			if s, ok := c.readSnapshot(utils, scales); ok {
+			if b, s, ok := c.readSnapshot(utils, scales); ok {
 				sum := 0.0
 				for j := range utils {
 					sum += core.StageDelayFactor(utils[j] + raw[j]*scales[j])
 				}
-				if sum > c.bound {
+				if sum > b {
 					if countReject {
 						c.stats.rejected.Add(1)
 					}
@@ -761,13 +747,61 @@ func (c *Controller) Release(id uint64) {
 	}
 }
 
+// ReleaseAll drops the contributions of a burst of requests under one
+// lock acquisition and one purge — the batch mirror of Release, for
+// services that complete requests in bursts (e.g. a pipeline stage
+// finishing a batch). It returns how many of the IDs still had a live
+// contribution; already-expired or unknown IDs are silent no-ops. The
+// mirror is republished and waiters woken once for the whole batch.
+func (c *Controller) ReleaseAll(ids []uint64) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.purgeLocked(c.clock())
+	released := 0
+	for _, id := range ids {
+		removed := false
+		for _, l := range c.ledgers {
+			if l.Remove(coreID(id)) {
+				removed = true
+			}
+		}
+		if removed {
+			released++
+		}
+	}
+	if released > 0 {
+		c.publishUtilsLocked()
+		c.wakeLocked()
+	}
+	return released
+}
+
+// MarkDepartedAll records that a burst of requests finished their work
+// at the stage under one lock acquisition and one purge — the batch
+// mirror of MarkDeparted. Contributions whose deadlines already passed
+// are purged rather than marked.
+func (c *Controller) MarkDepartedAll(stage int, ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.purgeLocked(c.clock())
+	for _, id := range ids {
+		c.ledgers[stage].MarkDeparted(coreID(id))
+	}
+}
+
 // Utilizations returns the current per-stage synthetic utilization. The
 // read is lock-free (seqlock snapshot) unless an expiry is due, in
 // which case the locked path purges first.
 func (c *Controller) Utilizations() []float64 {
 	us := make([]float64, c.stages)
 	if c.nowMonotoneNano() < c.nextExpiry.Load() {
-		if _, ok := c.readSnapshot(us, nil); ok {
+		if _, _, ok := c.readSnapshot(us, nil); ok {
 			return us
 		}
 	}
@@ -783,7 +817,53 @@ func (c *Controller) Utilizations() []float64 {
 // Headroom returns how much additional synthetic utilization the stage
 // can absorb right now.
 func (c *Controller) Headroom(stage int) float64 {
-	return c.region.Headroom(c.Utilizations(), stage)
+	us := c.Utilizations()
+	return c.Region().Headroom(us, stage)
+}
+
+// Bound returns the current admission bound α·(1 − Σβ_j) without
+// locking (seqlock mirror read).
+func (c *Controller) Bound() float64 {
+	return math.Float64frombits(c.boundBits.Load())
+}
+
+// Region returns a copy of the controller's current feasible region
+// (the base configuration, or the latest SetRegionInputs update).
+func (c *Controller) Region() core.Region {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.region
+	if r.Betas != nil {
+		r.Betas = append([]float64(nil), r.Betas...)
+	}
+	return r
+}
+
+// SetRegionInputs replaces the region's urgency-inversion parameter α
+// and per-stage blocking terms β_j at runtime — the actuator of the
+// adaptive estimation loop (internal/adapt). alpha must be in (0, 1];
+// betas, when non-nil, must have one non-negative entry per stage (nil
+// keeps the current blocking terms). The new bound α·(1 − Σβ_j) is
+// published through the seqlock together with the utilization mirror,
+// so lock-free reject paths always test against a bound consistent with
+// the snapshot they read; in-flight optimistic passes are invalidated
+// by the epoch bump and re-tested under the lock. Already-admitted
+// contributions are unchanged. When the bound relaxes, one waiter is
+// woken to retry.
+func (c *Controller) SetRegionInputs(alpha float64, betas []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.region.WithAlpha(alpha)
+	if betas != nil {
+		r = r.WithBetas(betas)
+	}
+	old := c.bound
+	c.region = r
+	c.bound = r.Bound()
+	c.publishLocked()
+	if c.bound > old {
+		c.wakeLocked()
+	}
 }
 
 // Stats returns a snapshot of the counters without taking the lock.

@@ -1,0 +1,23 @@
+// Package online provides a wall-clock, thread-safe variant of the
+// feasible-region admission controller for use inside real services
+// (as opposed to the simulation controller in internal/core, which is
+// driven by a discrete-event clock). The admission test is the same
+// point-in-region check Σ_j f(U_j) ≤ α(1 − Σ_j β_j) (Eq. 15).
+//
+// Contributions are expired lazily: every locked operation first purges
+// entries whose absolute deadline has passed, using a hierarchical
+// timer wheel keyed by deadline, so no background goroutine or timer is
+// needed. Departure marking and idle resets are driven by the embedding
+// application (e.g. from request-completion handlers and worker-idle
+// callbacks), mirroring the paper's §4 accounting.
+//
+// The hot path is built for multi-core throughput: per-stage synthetic
+// utilization and the region bound are mirrored into atomics behind a
+// seqlock, so TryAdmit can reject — and Utilizations/metrics scrapes
+// can read — without taking the lock; only the commit of a passing
+// admission serializes. The admission test itself allocates nothing.
+// SetRegionInputs swaps the α/β inputs at runtime (the adaptive loop's
+// entry point); ReleaseAll and MarkDepartedAll batch-apply departures
+// under one lock acquisition. See DESIGN.md §7 for the full concurrency
+// design.
+package online

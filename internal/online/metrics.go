@@ -34,7 +34,7 @@ func (c *Controller) RegisterMetrics(r *metrics.Registry) {
 	r.CounterFunc("feasregion_online_clock_regressions_total", "observations of the wall clock stepping backwards",
 		stat(func(s Stats) uint64 { return s.ClockRegressions }))
 
-	for j := 0; j < c.region.Stages; j++ {
+	for j := 0; j < c.stages; j++ {
 		j := j
 		r.GaugeFunc("feasregion_online_stage_synthetic_utilization", "per-stage synthetic utilization U_j(t)",
 			func() float64 { return c.StageUtilization(j) }, metrics.Stage(j))
@@ -49,6 +49,8 @@ func (c *Controller) RegisterMetrics(r *metrics.Registry) {
 		return sum
 	}
 	r.GaugeFunc("feasregion_online_region_value", "current region value sum f(U_j)", value)
+	r.GaugeFunc("feasregion_online_region_bound", "current admission bound α·(1−Σβ_j); moves under adaptive estimation",
+		c.Bound)
 	r.GaugeFunc("feasregion_online_region_headroom", "region bound minus current value; admission stops at 0",
-		func() float64 { return c.region.Bound() - value() })
+		func() float64 { return c.Bound() - value() })
 }

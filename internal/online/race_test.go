@@ -120,7 +120,7 @@ func TestOnlineConcurrentSoundness(t *testing.T) {
 	// Writers quiesced: the seqlock snapshot must match the locked
 	// ledgers bit-for-bit (every mutation republished the mirror).
 	snap := make([]float64, region.Stages)
-	if _, ok := c.readSnapshot(snap, nil); !ok {
+	if _, _, ok := c.readSnapshot(snap, nil); !ok {
 		t.Fatal("seqlock snapshot failed with no concurrent writers")
 	}
 	c.mu.Lock()

@@ -1,0 +1,195 @@
+package online
+
+import (
+	"testing"
+	"time"
+
+	"feasregion/internal/core"
+)
+
+// TestSetRegionInputsTightens checks a shrunken α rejects a request the
+// base region would admit, on both the locked and the lock-free paths.
+func TestSetRegionInputsTightens(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	// Contribution 0.25 → f(0.25) ≈ 0.29: inside the α=1 bound but
+	// outside α=0.25.
+	c.SetRegionInputs(0.25, nil)
+	if c.Bound() != 0.25 {
+		t.Fatalf("Bound = %v, want 0.25", c.Bound())
+	}
+	if c.TryAdmit(req(1, 4*time.Second, time.Second)) {
+		t.Fatal("admitted outside the tightened region")
+	}
+	// The lock-free reject path must see the tightened bound too: with
+	// nothing admitted and no expiry pending the second attempt runs
+	// optimistically.
+	if c.TryAdmit(req(2, 4*time.Second, time.Second)) {
+		t.Fatal("lock-free path admitted outside the tightened region")
+	}
+	if got := c.Stats().Rejected; got != 2 {
+		t.Fatalf("Rejected = %d, want 2", got)
+	}
+}
+
+// TestSetRegionInputsBetas checks blocking terms shrink the bound by
+// α·Σβ and that restoring them re-admits.
+func TestSetRegionInputsBetas(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(2), nil, clk.Now)
+	c.SetRegionInputs(1, []float64{0.3, 0.2})
+	if got, want := c.Bound(), 0.5; got != want {
+		t.Fatalf("Bound = %v, want %v", got, want)
+	}
+	r := c.Region()
+	if r.Alpha != 1 || len(r.Betas) != 2 || r.Betas[0] != 0.3 {
+		t.Fatalf("Region = %+v, want alpha 1, betas [0.3 0.2]", r)
+	}
+	// f(0.25)·2 ≈ 0.58 > 0.5: rejected under blocking, admitted without.
+	if c.TryAdmit(req(1, 4*time.Second, time.Second, time.Second)) {
+		t.Fatal("admitted despite blocking terms")
+	}
+	c.SetRegionInputs(1, []float64{0, 0})
+	if !c.TryAdmit(req(2, 4*time.Second, time.Second, time.Second)) {
+		t.Fatal("rejected after blocking terms cleared")
+	}
+}
+
+// TestSetRegionInputsWakesWaiter checks a relaxing update retries a
+// blocked AdmitWithin caller.
+func TestSetRegionInputsWakesWaiter(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	c.SetRegionInputs(0.25, nil)
+	done := make(chan bool, 1)
+	go func() { done <- c.AdmitWithin(req(1, 4*time.Second, time.Second), 5*time.Second) }()
+	// Wait until the request is parked, then relax the bound.
+	for i := 0; ; i++ {
+		c.mu.Lock()
+		parked := len(c.waiters) == 1
+		c.mu.Unlock()
+		if parked {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.SetRegionInputs(1, nil)
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("waiter rejected after the bound relaxed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken by SetRegionInputs")
+	}
+}
+
+// TestSetRegionInputsValidates checks the setter shares the Region
+// constructors' validation.
+func TestSetRegionInputsValidates(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	for _, tc := range []struct {
+		name  string
+		alpha float64
+		betas []float64
+	}{
+		{"alpha zero", 0, nil},
+		{"alpha above one", 1.5, nil},
+		{"beta arity", 1, []float64{0.1, 0.1}},
+		{"beta negative", 1, []float64{-0.1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			c.SetRegionInputs(tc.alpha, tc.betas)
+		}()
+	}
+}
+
+// TestReleaseAllBatch checks the batch release frees capacity in one
+// shot and reports how many IDs were live.
+func TestReleaseAllBatch(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	if c.TryAdmitAll([]Request{
+		req(1, 4*time.Second, time.Second),
+		req(2, 4*time.Second, time.Second),
+	}, nil) != 2 {
+		t.Fatal("setup batch rejected")
+	}
+	// Region is full: a third request does not fit.
+	if c.TryAdmit(req(3, 4*time.Second, time.Second)) {
+		t.Fatal("admitted into a full region")
+	}
+	if n := c.ReleaseAll([]uint64{1, 2, 99}); n != 2 {
+		t.Fatalf("ReleaseAll = %d, want 2 (id 99 unknown)", n)
+	}
+	if !c.TryAdmit(req(4, 4*time.Second, time.Second)) {
+		t.Fatal("rejected after batch release")
+	}
+	if c.ReleaseAll(nil) != 0 {
+		t.Fatal("empty batch released something")
+	}
+}
+
+// TestReleaseAllWakesWaiter checks a batch release retries a blocked
+// AdmitWithin caller.
+func TestReleaseAllWakesWaiter(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	if !c.TryAdmit(req(1, time.Minute, 20*time.Second)) {
+		t.Fatal("setup admit rejected")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- c.AdmitWithin(req(2, time.Minute, 20*time.Second), 5*time.Second) }()
+	for i := 0; ; i++ {
+		c.mu.Lock()
+		parked := len(c.waiters) == 1
+		c.mu.Unlock()
+		if parked {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.ReleaseAll([]uint64{1})
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("waiter rejected after batch release")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken by ReleaseAll")
+	}
+}
+
+// TestMarkDepartedAllIdleReset checks batch departure marking feeds the
+// stage idle reset exactly like the per-request path.
+func TestMarkDepartedAllIdleReset(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	if c.TryAdmitAll([]Request{
+		req(1, 4*time.Second, time.Second),
+		req(2, 4*time.Second, time.Second),
+	}, nil) != 2 {
+		t.Fatal("setup batch rejected")
+	}
+	c.MarkDepartedAll(0, []uint64{1, 2})
+	c.StageIdle(0)
+	if got := c.Stats().IdleResets; got != 1 {
+		t.Fatalf("IdleResets = %d, want 1", got)
+	}
+	if us := c.Utilizations(); us[0] != 0 {
+		t.Fatalf("utilization %v after idle reset, want 0", us[0])
+	}
+	c.MarkDepartedAll(0, nil) // no-op
+}

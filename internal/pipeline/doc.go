@@ -1,0 +1,16 @@
+// Package pipeline wires the substrates into the paper's system: an
+// N-stage resource pipeline with per-stage preemptive fixed-priority
+// schedulers, a synthetic-utilization admission controller at the entry,
+// deadline-decrement and idle-reset accounting, optional wait-queue
+// admission, and the measurement plumbing the experiments need. It also
+// executes DAG-structured tasks over a set of resources (paper §3.3,
+// Theorem 2).
+//
+// Optional subsystems attach through Options: the overrun guard
+// (OverrunPolicy), fault injection (Faults), semantic load shedding
+// (EnableShedding), runtime metrics (Metrics) — including per-stage
+// deadline-miss attribution, feasregion_pipeline_misses{stage=...},
+// charged to the stage whose tenure the deadline expired in — the
+// stage-health feedback monitor (Health), and the closed-loop α/β/demand
+// estimation loop (Adapt).
+package pipeline

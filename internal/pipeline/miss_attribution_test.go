@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/faults"
+	"feasregion/internal/metrics"
+	"feasregion/internal/task"
+	"feasregion/internal/workload"
+)
+
+// missCounts reads the per-stage feasregion_pipeline_misses counters
+// back out of the registry (registration is idempotent by name+labels,
+// so this returns the pipeline's own instruments).
+func missCounts(reg *metrics.Registry, stages int) []uint64 {
+	out := make([]uint64, stages)
+	for j := range out {
+		out[j] = reg.Counter("feasregion_pipeline_misses", "", metrics.Stage(j)).Value()
+	}
+	return out
+}
+
+// A seeded stall on one interior stage must show up in the attribution:
+// the stalled stage's tenure is where queued tasks' deadlines expire, so
+// feasregion_pipeline_misses{stage=1} should hold the bulk of the misses
+// and the per-stage counters must decompose the total exactly.
+func TestMissAttributionSingleStageStall(t *testing.T) {
+	const (
+		horizon = 300.0
+		stalled = 1
+	)
+	sim := des.New()
+	reg := metrics.NewRegistry()
+	inj := faults.New(faults.Config{
+		Stages:       3,
+		Horizon:      horizon,
+		StallWindows: []faults.StallWindow{{Stage: stalled, Start: 50, Duration: 80}},
+	}, 11)
+	p := New(sim, Options{Stages: 3, Metrics: reg, Faults: inj})
+	spec := workload.PipelineSpec{Stages: 3, Load: 0.9, MeanDemand: 1, Resolution: 20}
+	src := workload.NewSource(sim, spec, 42, horizon, func(tk *task.Task) { p.Offer(tk) })
+	sim.At(0, func() { p.BeginMeasurement() })
+	var m Metrics
+	sim.At(horizon, func() { m = p.Snapshot() })
+	src.Start()
+	sim.Run()
+
+	byStage := missCounts(reg, p.Stages())
+	var total uint64
+	for _, n := range byStage {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("stall produced no attributed misses (window metrics: %+v)", m)
+	}
+	if missed := reg.Counter("feasregion_deadline_miss_total", "").Value(); total != missed {
+		t.Errorf("per-stage misses %v sum to %d, want the miss total %d", byStage, total, missed)
+	}
+	for j, n := range byStage {
+		if j != stalled && n > byStage[stalled] {
+			t.Errorf("stage %d got %d misses, more than the stalled stage's %d (all: %v)",
+				j, n, byStage[stalled], byStage)
+		}
+	}
+	if 2*byStage[stalled] < total {
+		t.Errorf("stalled stage holds %d of %d misses, want a majority (all: %v)",
+			byStage[stalled], total, byStage)
+	}
+}
+
+// Without faults and with admission control on, the same workload should
+// produce (at most a handful of) misses — the attribution counters must
+// agree with the miss total in the healthy case too, including zero.
+func TestMissAttributionHealthyBaseline(t *testing.T) {
+	const horizon = 300.0
+	sim := des.New()
+	reg := metrics.NewRegistry()
+	p := New(sim, Options{Stages: 3, Metrics: reg})
+	spec := workload.PipelineSpec{Stages: 3, Load: 0.9, MeanDemand: 1, Resolution: 20}
+	src := workload.NewSource(sim, spec, 42, horizon, func(tk *task.Task) { p.Offer(tk) })
+	src.Start()
+	sim.Run()
+
+	byStage := missCounts(reg, p.Stages())
+	var total uint64
+	for _, n := range byStage {
+		total += n
+	}
+	if missed := reg.Counter("feasregion_deadline_miss_total", "").Value(); total != missed {
+		t.Errorf("per-stage misses %v sum to %d, want the miss total %d", byStage, total, missed)
+	}
+}

@@ -1,9 +1,3 @@
-// Package pipeline wires the substrates into the paper's system: an
-// N-stage resource pipeline with per-stage preemptive fixed-priority
-// schedulers, a synthetic-utilization admission controller at the entry,
-// deadline-decrement and idle-reset accounting, optional wait-queue
-// admission, and the measurement plumbing the experiments need. It also
-// executes DAG-structured tasks over a set of resources (paper §3.3).
 package pipeline
 
 import (
@@ -13,6 +7,7 @@ import (
 
 	"feasregion/internal/trace"
 
+	"feasregion/internal/adapt"
 	"feasregion/internal/core"
 	"feasregion/internal/des"
 	"feasregion/internal/dist"
@@ -100,6 +95,10 @@ type Options struct {
 	// estimate before the guard trips (see core.NewGuard). Use a
 	// generous value with approximate estimators such as MeanDemand,
 	// where truthful tasks routinely exceed their per-task estimate.
+	// The adaptive demand estimator (Adapt with Demand.Enabled) is the
+	// measured replacement for this static knob: leave the tolerance at
+	// 0 and let the per-class inflation supply exactly the slack each
+	// class has earned.
 	OverrunTolerance float64
 
 	// Faults, when non-nil, attaches the fault-injection schedule to the
@@ -128,6 +127,16 @@ type Options struct {
 	// stage-health feedback loop. Wire its scaler to the pipeline's
 	// controller (obs.Monitor.SetScaler) to close the loop.
 	Health *obs.Monitor
+
+	// Adapt, when non-nil, builds an adaptive estimation loop over the
+	// pipeline's telemetry: the β/α estimators read the per-stage
+	// sojourn/service histograms (Metrics is therefore required), the
+	// demand estimator reads the overrun guard's per-class detections
+	// (OverrunPolicy must then not be OverrunIgnore), and region
+	// updates flow back into the default controller. The caller drives
+	// the loop — typically AdaptLoop().ScheduleSim(sim, interval,
+	// horizon), since only the caller knows the run's horizon.
+	Adapt *adapt.Config
 }
 
 // Pipeline is the simulated system under test.
@@ -146,11 +155,24 @@ type Pipeline struct {
 	inflight map[task.ID]*inflight
 	tracer   *trace.Recorder
 	health   *obs.Monitor
+	loop     *adapt.Loop
+
+	// classEntered counts started tasks per class over the pipeline's
+	// whole lifetime (unlike the measurement-window ClassMetrics) — the
+	// denominator of the adapt demand estimator's per-class overrun
+	// rate.
+	classEntered map[string]uint64
 
 	// Lifetime instruments; nil (free no-ops) without Options.Metrics.
-	metDeparted *metrics.Counter
-	metMissed   *metrics.Counter
-	metShed     *metrics.Counter
+	metDeparted  *metrics.Counter
+	metMissed    *metrics.Counter
+	metShed      *metrics.Counter
+	metMissStage []*metrics.Counter // deadline misses attributed to the stage the task died in
+
+	// sojournHist/serviceHist retain the per-stage histograms for the
+	// adapt loop's telemetry sources; nil without Options.Metrics.
+	sojournHist []*metrics.Histogram
+	serviceHist []*metrics.Histogram
 
 	measuring      bool
 	measureStart   des.Time
@@ -185,6 +207,10 @@ type inflight struct {
 	stage    int
 	job      *sched.Job // current stage's job, for shedding cancellation
 	injected bool       // bypassed admission (certified critical): never guarded
+	// missStage is the stage whose tenure the task's absolute deadline
+	// expired in (−1 while the deadline has not passed) — the miss
+	// attribution behind feasregion_pipeline_misses{stage=...}.
+	missStage int
 }
 
 // New builds a pipeline on the simulator.
@@ -235,11 +261,17 @@ func New(sim *des.Simulator, opts Options) *Pipeline {
 			p.ctrl.SetMetrics(opts.Metrics)
 		}
 		buckets := metrics.ExponentialBuckets(1e-3, 4, 12)
+		p.sojournHist = make([]*metrics.Histogram, len(p.stages))
+		p.serviceHist = make([]*metrics.Histogram, len(p.stages))
+		p.metMissStage = make([]*metrics.Counter, len(p.stages))
 		for j, st := range p.stages {
+			p.serviceHist[j] = opts.Metrics.Histogram("feasregion_stage_service_time", "executed computation time per completed job (simulated seconds)", buckets, metrics.Stage(j))
+			p.sojournHist[j] = opts.Metrics.Histogram("feasregion_stage_sojourn_time", "submission-to-completion time per job at the stage (simulated seconds)", buckets, metrics.Stage(j))
+			p.metMissStage[j] = opts.Metrics.Counter("feasregion_pipeline_misses", "deadline misses attributed to the stage whose tenure the deadline expired in", metrics.Stage(j))
 			st.SetInstruments(sched.Instruments{
 				QueueDepth:  opts.Metrics.Gauge("feasregion_stage_queue_depth", "ready jobs queued at the stage", metrics.Stage(j)),
-				ServiceTime: opts.Metrics.Histogram("feasregion_stage_service_time", "executed computation time per completed job (simulated seconds)", buckets, metrics.Stage(j)),
-				Sojourn:     opts.Metrics.Histogram("feasregion_stage_sojourn_time", "submission-to-completion time per job at the stage (simulated seconds)", buckets, metrics.Stage(j)),
+				ServiceTime: p.serviceHist[j],
+				Sojourn:     p.sojournHist[j],
 				Overruns:    opts.Metrics.Counter("feasregion_stage_overruns_total", "budget-watchdog firings at the stage", metrics.Stage(j)),
 			})
 		}
@@ -291,7 +323,65 @@ func New(sim *des.Simulator, opts Options) *Pipeline {
 			})
 		}
 	}
+	if opts.Adapt != nil {
+		p.wireAdapt(*opts.Adapt, opts)
+	}
 	return p
+}
+
+// wireAdapt builds the adaptive estimation loop over the pipeline's own
+// telemetry: sojourn/service histogram tails and ledger utilizations
+// feed the β/α estimators, guard per-class detections against lifetime
+// per-class admissions feed the demand estimator, and region updates
+// flow back into the controller. The demand estimator's inflation is
+// installed by wrapping the controller's estimator, so the guard's
+// budgets (EstimateFor) follow the inflated estimates automatically.
+func (p *Pipeline) wireAdapt(cfg adapt.Config, opts Options) {
+	if p.ctrl == nil {
+		panic("pipeline: the adapt loop requires the default feasible-region controller")
+	}
+	if p.sojournHist == nil && (cfg.Beta.Enabled || cfg.Alpha.Enabled) {
+		panic("pipeline: the adapt β/α estimators require Options.Metrics (sojourn histograms)")
+	}
+	if cfg.Demand.Enabled && p.guard == nil {
+		panic("pipeline: the adapt demand estimator requires an overrun policy (its detection source)")
+	}
+	src := adapt.Sources{
+		StageUtilization: func(j int) float64 { return p.ctrl.Ledger(j).Utilization() },
+	}
+	if p.sojournHist != nil {
+		src.SojournQuantile = func(j int, q float64) float64 { return p.sojournHist[j].Quantile(q) }
+		src.SojournCount = func(j int) uint64 { return p.sojournHist[j].Count() }
+		src.ServiceQuantile = func(j int, q float64) float64 { return p.serviceHist[j].Quantile(q) }
+	}
+	if cfg.Demand.Enabled {
+		src.OverrunsByClass = p.guard.DetectedByClass
+		src.AdmittedByClass = p.EnteredByClass
+	}
+	p.loop = adapt.NewLoop(cfg, p.ctrl.Region(), p.ctrl, src)
+	p.loop.SetMetrics(opts.Metrics)
+	if cfg.Demand.Enabled {
+		base := opts.Estimator
+		if base == nil {
+			base = core.ActualDemand
+		}
+		p.ctrl.SetEstimator(p.loop.WrapEstimator(base))
+	}
+}
+
+// AdaptLoop returns the adaptive estimation loop, or nil when not
+// configured. Drive it with ScheduleSim over the run's horizon.
+func (p *Pipeline) AdaptLoop() *adapt.Loop { return p.loop }
+
+// EnteredByClass returns lifetime started-task counts keyed by class —
+// the admission denominator of the adapt demand estimator. The returned
+// map is a copy.
+func (p *Pipeline) EnteredByClass() map[string]uint64 {
+	out := make(map[string]uint64, len(p.classEntered))
+	for k, v := range p.classEntered {
+		out[k] = v
+	}
+	return out
 }
 
 // Guard returns the overrun guard, or nil when no policy is armed.
@@ -458,7 +548,11 @@ func (p *Pipeline) startAs(t *task.Task, injected bool) {
 		p.enteredService++
 		p.class(t).Entered++
 	}
-	f := &inflight{t: t, stage: 0, injected: injected}
+	if p.classEntered == nil {
+		p.classEntered = map[string]uint64{}
+	}
+	p.classEntered[t.Class]++
+	f := &inflight{t: t, stage: 0, injected: injected, missStage: -1}
 	if p.inflight != nil {
 		p.inflight[t.ID] = f
 	}
@@ -486,6 +580,13 @@ func (p *Pipeline) advance(f *inflight, now des.Time) {
 		}
 		enq := p.sim.Now()
 		f.job = p.stages[j].SubmitBudgeted(t.ID, t.Priority, sub, budget, func(done des.Time) {
+			if f.missStage < 0 {
+				// The deadline fell inside this stage's tenure: the task
+				// died here, whatever stages remain.
+				if dl := t.AbsoluteDeadline(); dl >= enq && dl < done {
+					f.missStage = j
+				}
+			}
 			if p.measuring {
 				p.stageDelays[j].Add(done - enq)
 			}
@@ -502,10 +603,11 @@ func (p *Pipeline) advance(f *inflight, now des.Time) {
 		})
 		return
 	}
-	p.finish(t, now)
+	p.finish(f, now)
 }
 
-func (p *Pipeline) finish(t *task.Task, now des.Time) {
+func (p *Pipeline) finish(f *inflight, now des.Time) {
+	t := f.t
 	if p.inflight != nil {
 		delete(p.inflight, t.ID)
 	}
@@ -514,6 +616,15 @@ func (p *Pipeline) finish(t *task.Task, now des.Time) {
 	p.trace(t.ID, "pipeline", "depart")
 	if miss {
 		p.metMissed.Inc()
+		if p.metMissStage != nil {
+			// A deadline that expired before the first stage's tenure
+			// (e.g. while held in the wait queue) charges the entry stage.
+			j := f.missStage
+			if j < 0 {
+				j = 0
+			}
+			p.metMissStage[j].Inc()
+		}
 		p.trace(t.ID, "pipeline", "miss")
 	}
 	if !p.measuring {

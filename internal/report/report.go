@@ -1,6 +1,3 @@
-// Package report renders experiment results as a self-contained HTML
-// document with inline SVG charts — the shareable artifact of a
-// cmd/experiments run (no JavaScript, no external assets).
 package report
 
 import (

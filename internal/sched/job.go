@@ -1,8 +1,3 @@
-// Package sched models a single preemptive fixed-priority resource (one
-// pipeline stage): a ready queue ordered by priority, preemption of the
-// running subtask by more urgent arrivals, idle notification (which the
-// admission controller's synthetic-utilization reset hooks into), and the
-// priority ceiling protocol for stage-local critical sections.
 package sched
 
 import (

@@ -1,0 +1,5 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: streaming moments (Welford), streaming quantiles (P²),
+// min/max tallies, replication summaries with confidence intervals, and
+// plain-text / CSV / markdown table rendering for the paper's figures.
+package stats

@@ -1,7 +1,3 @@
-// Package stats provides the small statistical toolkit the experiment
-// harness needs: streaming moments (Welford), min/max tallies,
-// replication summaries with confidence intervals, and plain-text /
-// CSV table rendering for the paper's figures.
 package stats
 
 import (

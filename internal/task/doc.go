@@ -1,0 +1,8 @@
+// Package task defines the workload model of the paper: aperiodically
+// arriving tasks with per-stage computation demands C_ij, end-to-end
+// relative deadlines D_i, optional critical sections, and optional
+// DAG-structured subtask graphs (§3.3). It also defines the
+// fixed-priority assignment policies whose urgency-inversion parameter α
+// the analysis depends on: α = 1 for deadline-monotonic (Eq. 13) and
+// α = Dleast/Dmost for deadline-independent policies (Eq. 12).
+package task

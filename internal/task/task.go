@@ -1,8 +1,3 @@
-// Package task defines the workload model of the paper: aperiodically
-// arriving tasks with per-stage computation demands, end-to-end relative
-// deadlines, optional critical sections, and optional DAG-structured
-// subtask graphs. It also defines the fixed-priority assignment policies
-// whose urgency-inversion parameter α the analysis depends on.
 package task
 
 import (

@@ -1,7 +1,3 @@
-// Package trace records simulation events — admission decisions, stage
-// scheduling (dispatch/preempt/block/complete), departures, and deadline
-// misses — and renders them as CSV or as a per-stage ASCII timeline.
-// Tracing is opt-in and adds no cost when not wired.
 package trace
 
 import (

@@ -1,0 +1,7 @@
+// Package workload generates the paper's evaluation workloads: Poisson
+// streams of aperiodic pipeline tasks with exponential per-stage demands
+// and uniform end-to-end deadlines (§4), periodic streams with jitter,
+// and the TSCE Table 1 mission scenario (§5). The "task resolution"
+// knob is the §4 ratio of mean deadline to mean total computation that
+// Figs. 5 and 7 sweep.
+package workload

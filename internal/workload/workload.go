@@ -1,7 +1,3 @@
-// Package workload generates the paper's evaluation workloads: Poisson
-// streams of aperiodic pipeline tasks with exponential per-stage demands
-// and uniform end-to-end deadlines (§4), periodic streams with jitter,
-// and the TSCE Table 1 mission scenario (§5).
 package workload
 
 import (
