@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-race test-short bench bench-json bench-admit docs-check experiments experiments-quick examples fuzz verify clean
+.PHONY: all build vet test race test-race test-short bench bench-json bench-admit bench-degrade docs-check experiments experiments-quick examples fuzz verify clean
 
 all: build vet test
 
@@ -37,6 +37,12 @@ bench-json:
 bench-admit:
 	$(GO) test -run '^$$' -bench '^Benchmark(Baseline)?Admit' -benchmem -count 3 -json . > BENCH_admit.json
 
+# Quality-cascade benchmarks (full-quality admit vs degraded fallback
+# vs mandatory-only lock-free reject, plus the SetQuality actuator) as
+# go-test JSON; the degraded path must stay at 0 allocs/op.
+bench-degrade:
+	$(GO) test -run '^$$' -bench '^BenchmarkDegrade' -benchmem -count 3 -json . > BENCH_degrade.json
+
 # Documentation invariants: every package documented, every exported
 # identifier of the public API documented, every relative markdown link
 # resolving — plus go vet's doc-adjacent analyzers.
@@ -64,6 +70,7 @@ fuzz:
 	$(GO) test -fuzz FuzzParseReplay -fuzztime 30s ./internal/workload/
 	$(GO) test -fuzz FuzzStageDelayFactor -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzAlphaBounds -fuzztime 30s ./internal/core/
+	$(GO) test -fuzz FuzzQualitySearch -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzQuantile -fuzztime 30s ./internal/stats/
 
 clean:

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos|health|adapt] [-quick] [-csv dir]
+//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos|health|adapt|degrade] [-quick] [-csv dir]
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health, adapt")
+	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health, adapt, degrade")
 	quick := flag.Bool("quick", false, "reduced scale (shorter horizons, one replication)")
 	plot := flag.Bool("plot", false, "render Figures 4-7 as ASCII charts in addition to tables")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
@@ -185,6 +185,15 @@ func main() {
 			ac.Adapt.Alpha.Enabled = false
 		}
 		tables = append(tables, experiments.Adapt(ac).Table())
+	}
+
+	if want("degrade") {
+		dc := experiments.DefaultDegrade()
+		if *quick {
+			dc.Seeds, dc.Horizon, dc.Warmup = 1, 300, 30
+			dc.Loads = []float64{0.75, 1.0, 1.5, 2.0}
+		}
+		tables = append(tables, experiments.Degrade(dc).Table())
 	}
 
 	if want("soundness") {

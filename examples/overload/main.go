@@ -1,22 +1,24 @@
-// Overload: semantic-importance load shedding (paper §5).
+// Overload: degrade before you reject (imprecise computation + the
+// overload governor).
 //
-// The paper's TSCE architecture decouples the *scheduling* priority
-// inside the system (deadline-monotonic, optimal for meeting deadlines)
-// from the *semantic* priority of tasks (which work matters most to the
-// mission). When an important arrival would push the system outside the
-// feasible region, the admission controller sheds less important current
-// work — least important first — until the arrival fits:
+// The paper's admission test is all-or-nothing: an arrival whose full
+// demand vector falls outside the feasible region is rejected, or
+// already-admitted work is evicted whole. The imprecise-computation
+// extension splits every stage demand into a mandatory and an optional
+// part (C = M + O) and lets *quality* absorb the surge instead: under
+// pressure the overload governor walks a quality cap down a discrete
+// ladder, new arrivals are admitted degraded, in-flight tasks are
+// trimmed toward mandatory-only, and whole-task eviction is reserved
+// for the Shedding state when everyone is already at the floor.
 //
-//	"Less important load in the system can be immediately shed in
-//	 reverse order of semantic importance until the system returns into
-//	 the feasible region and admits the new arrival."
-//
-// This example runs a saturated single-stage system carrying routine
-// telemetry (importance 1) and navigation updates (importance 5), then
-// injects a burst of critical threat-response tasks (importance 10). It
-// shows that (a) critical tasks were admitted through the saturation,
-// (b) telemetry was sacrificed before navigation, and (c) admitted tasks
-// still met their deadlines.
+// This example runs a single-stage service carrying a steady imprecise
+// workload, then hits it with a 10-second flash crowd at ~5x the
+// feasible load. Watch the governor's ladder transitions: Normal →
+// Degraded as headroom evaporates, quality stepping down, then the
+// monotone one-step-per-tick restore after the crowd passes. The
+// punchline is the last table: nearly every flash-crowd request is
+// served (at reduced quality) with almost no evictions and zero
+// deadline misses.
 //
 // Run with: go run ./examples/overload
 package main
@@ -29,17 +31,26 @@ import (
 
 func main() {
 	sim := feasregion.NewSimulator()
-	rec := feasregion.NewTraceRecorder(0)
 	p := feasregion.NewPipeline(sim, feasregion.PipelineOptions{
 		Stages:         1,
 		EnableShedding: true,
-		Trace:          rec,
+		Governor:       &feasregion.GovernorConfig{},
 	})
 	sim.At(0, func() { p.BeginMeasurement() })
+
+	g := p.Governor()
+	g.OnTransition(func(from, to feasregion.GovernorState) {
+		fmt.Printf("t=%5.1fs  governor %s -> %s (quality cap %d/%d)\n",
+			sim.Now(), from, to, g.QualityCap(), feasregion.QualityLevels)
+	})
+	g.ScheduleSim(sim, 1, 60)
 
 	rng := feasregion.NewRNG(21)
 	var id feasregion.TaskID
 
+	// Every request marks 80% of its demand optional: mandatory-only
+	// execution delivers MandatoryUtility (half) of its value at a fifth
+	// of its cost.
 	offerStream := func(name string, importance, rate, demand, deadline, from, to float64) {
 		stream := rng.Split()
 		at := from
@@ -53,6 +64,7 @@ func main() {
 				t := feasregion.Chain(id, at, deadline, demand*(0.5+stream.Float64()))
 				t.Class = name
 				t.Importance = importance
+				t.SetOptionalFraction(0.8)
 				id++
 				p.Offer(t)
 				next()
@@ -61,31 +73,43 @@ func main() {
 		next()
 	}
 
-	// Background load that roughly fills the region.
-	offerStream("telemetry", 1, 30, 0.010, 0.3, 0, 60)
-	offerStream("navigation", 5, 10, 0.020, 0.5, 0, 60)
-	// A threat-response burst between t=20 and t=25: 40 critical tasks
-	// per second, each needing 8 ms within a 100 ms deadline.
-	offerStream("threat-response", 10, 40, 0.008, 0.1, 20, 25)
+	// Steady load holding roughly half the region.
+	offerStream("steady", 5, 30, 0.010, 0.5, 0, 60)
+	// The flash crowd: t=20..30 at ~5x the steady rate.
+	offerStream("flash-crowd", 1, 150, 0.010, 0.5, 20, 30)
+
+	// Sample the quality cap for a timeline of the ladder.
+	caps := map[float64]int{}
+	for _, at := range []float64{5, 15, 22, 25, 28, 32, 36, 40, 50} {
+		sampleAt := at
+		sim.At(sampleAt, func() { caps[sampleAt] = g.QualityCap() })
+	}
 
 	var m feasregion.PipelineMetrics
 	sim.At(60, func() { m = p.Snapshot() })
 	sim.Run()
 
-	fmt.Println("60 s of saturated operation with a 5 s critical burst (t=20..25):")
-	fmt.Printf("%-16s %8s %9s %6s %7s\n", "class", "offered", "entered", "shed", "missed")
-	for _, name := range []string{"telemetry", "navigation", "threat-response"} {
-		cm := m.ByClass[name]
-		fmt.Printf("%-16s %8d %9d %6d %7d\n", name, cm.Offered, cm.Entered, cm.Shed, cm.Missed)
+	fmt.Println("\nquality cap over time:")
+	for _, at := range []float64{5, 15, 22, 25, 28, 32, 36, 40, 50} {
+		fmt.Printf("  t=%4.0fs cap %d\n", at, caps[at])
 	}
-	fmt.Printf("\nstage utilization %.3f; completed %d; deadline misses %d; shed mid-flight %d\n",
-		m.MeanUtilization, m.Completed, m.Missed, m.Shed)
-	fmt.Printf("trace recorded %d events\n", rec.Len())
 
-	if m.ByClass["telemetry"].Shed < m.ByClass["navigation"].Shed {
-		fmt.Println("WARNING: shedding order violated (telemetry should go first)")
+	fmt.Println("\n60 s with a 10 s flash crowd at ~5x feasible load (t=20..30):")
+	fmt.Printf("%-12s %8s %9s %6s %7s\n", "class", "offered", "entered", "shed", "missed")
+	for _, name := range []string{"steady", "flash-crowd"} {
+		cm := m.ByClass[name]
+		fmt.Printf("%-12s %8d %9d %6d %7d\n", name, cm.Offered, cm.Entered, cm.Shed, cm.Missed)
 	}
-	fmt.Println("\nDuring the burst the controller evicted routine telemetry to keep")
-	fmt.Println("the system inside the feasible region, so critical work was")
-	fmt.Println("admitted without pre-reserving capacity for it.")
+	fmt.Printf("\nadmitted degraded %d; in-flight trims %d; evictions %d\n",
+		m.Degraded, m.TrimmedTasks, m.Shed)
+	fmt.Printf("completed %d; deadline misses %d; utility delivered %.1f (of %d admitted)\n",
+		m.Completed, m.Missed, m.UtilityDelivered, m.EnteredService)
+	st := g.Stats()
+	fmt.Printf("governor: %d ticks, %d degrade steps, %d restore steps, %d transitions\n",
+		st.Ticks, st.DegradeSteps, st.RestoreSteps, st.Transitions)
+
+	fmt.Println("\nThe governor traded quality for admission: the flash crowd was")
+	fmt.Println("served at reduced quality instead of being rejected or evicting")
+	fmt.Println("the steady workload, and quality climbed back one step per quiet")
+	fmt.Println("tick once the crowd passed.")
 }

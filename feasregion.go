@@ -3,6 +3,7 @@ package feasregion
 import (
 	"feasregion/internal/adapt"
 	"feasregion/internal/core"
+	"feasregion/internal/degrade"
 	"feasregion/internal/curve"
 	"feasregion/internal/des"
 	"feasregion/internal/dist"
@@ -294,6 +295,61 @@ type AdaptiveLoopStats = adapt.LoopStats
 func NewAdaptiveLoop(cfg AdaptiveConfig, base Region, sink RegionSink, src AdaptiveSources) *AdaptiveLoop {
 	return adapt.NewLoop(cfg, base, sink, src)
 }
+
+// ---- Graceful degradation (imprecise computation + overload governor) ----
+
+// QualityLevels is the height of the discrete quality ladder: level 0
+// executes mandatory demand only, level QualityLevels the full demand.
+const QualityLevels = task.QualityLevels
+
+// MandatoryUtility is the utility fraction a task delivers when it
+// completes at mandatory-only quality; the optional part delivers the
+// rest linearly across the ladder.
+const MandatoryUtility = task.MandatoryUtility
+
+// OverloadGovernor is the hysteresis state machine (Normal → Degraded →
+// Shedding) that converts region headroom and overrun feedback into a
+// quality cap for admissions and in-flight trims. Attach one to a
+// Pipeline via PipelineOptions.Governor, or build one directly with
+// NewOverloadGovernor for an OnlineController. See DESIGN.md §9.
+type OverloadGovernor = degrade.Governor
+
+// GovernorConfig tunes the governor's hysteresis thresholds; the zero
+// value selects the defaults.
+type GovernorConfig = degrade.Config
+
+// GovernorInputs are the governor's sensor closures (region headroom,
+// optional overrun counter).
+type GovernorInputs = degrade.Inputs
+
+// GovernorState is the governor's operating mode.
+type GovernorState = degrade.State
+
+// Governor operating modes, in order of increasing distress.
+const (
+	// GovernorNormal: admissions run at full quality.
+	GovernorNormal = degrade.Normal
+	// GovernorDegraded: the quality cap is below full; no evictions.
+	GovernorDegraded = degrade.Degraded
+	// GovernorShedding: the cap is mandatory-only and eviction is
+	// permitted.
+	GovernorShedding = degrade.Shedding
+)
+
+// GovernorStats is a snapshot of the governor's counters.
+type GovernorStats = degrade.Stats
+
+// NewOverloadGovernor builds a governor over the given sensors. Drive
+// it with Tick (manual), ScheduleSim (simulation), or Start (wall
+// clock).
+func NewOverloadGovernor(cfg GovernorConfig, in GovernorInputs) *OverloadGovernor {
+	return degrade.New(cfg, in)
+}
+
+// OrderVictims sorts tasks in place into the canonical victim order
+// shared by eviction and degradation: least important first, then
+// largest region contribution, then highest ID.
+func OrderVictims(victims []*Task) { task.OrderVictims(victims) }
 
 // ---- Synthetic-utilization curves (Figure 1) ----
 

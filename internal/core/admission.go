@@ -34,6 +34,12 @@ func MeanDemand(means []float64) Estimator {
 type Stats struct {
 	Admitted uint64
 	Rejected uint64
+	// Degraded counts admissions that entered below full quality (a
+	// subset of Admitted).
+	Degraded uint64
+	// Trims counts in-place quality reductions of already-admitted tasks
+	// (Degrade calls that changed a ledger).
+	Trims uint64
 }
 
 // Controller is the paper's utilization-based admission controller for an
@@ -49,8 +55,9 @@ type Controller struct {
 	region   Region
 	ledgers  []*Ledger
 	estimate Estimator
-	scales   []float64 // per-stage demand multipliers; nil until first SetStageScale
-	scratch  []float64 // reusable deltas buffer; the controller is single-threaded (DES)
+	scales   []float64       // per-stage demand multipliers; nil until first SetStageScale
+	scratch  []float64       // reusable deltas buffer; the controller is single-threaded (DES)
+	levels   map[task.ID]int // quality level of admitted tasks below full quality
 
 	onRelease []func(now des.Time)
 	onChange  func(stage int, now des.Time, u float64)
@@ -64,6 +71,8 @@ type Controller struct {
 	metScale    []*metrics.Gauge
 	metValue    *metrics.Gauge
 	metHeadroom *metrics.Gauge
+	metDegraded *metrics.Counter
+	metTrimmed  *metrics.Gauge
 }
 
 // NewController returns a controller for the given region. reserved, when
@@ -82,7 +91,13 @@ func NewController(sim *des.Simulator, region Region, reserved []float64) *Contr
 		}
 		ledgers[j] = NewLedger(f)
 	}
-	return &Controller{sim: sim, region: region, ledgers: ledgers, estimate: ActualDemand}
+	return &Controller{
+		sim:      sim,
+		region:   region,
+		ledgers:  ledgers,
+		estimate: ActualDemand,
+		levels:   make(map[task.ID]int),
+	}
 }
 
 // SetEstimator switches the demand estimator (e.g. to MeanDemand for
@@ -108,6 +123,8 @@ func (c *Controller) SetMetrics(r *metrics.Registry) {
 	c.metEvicted = r.Counter("feasregion_evicted_total", "in-flight tasks evicted (shedding or overrun)")
 	c.metValue = r.Gauge("feasregion_region_value", "current region value sum f(U_j)")
 	c.metHeadroom = r.Gauge("feasregion_region_headroom", "region bound minus current value; admission stops at 0")
+	c.metDegraded = r.Counter("feasregion_degraded_admits_total", "tasks admitted below full quality")
+	c.metTrimmed = r.Gauge("feasregion_optional_trimmed_total", "cumulative synthetic utilization trimmed from admitted tasks by quality degradation")
 	c.metUtil = make([]*metrics.Gauge, len(c.ledgers))
 	c.metScale = make([]*metrics.Gauge, len(c.ledgers))
 	for j := range c.ledgers {
@@ -270,6 +287,16 @@ func (c *Controller) fireRelease() {
 // stage. The returned slice is valid until the next deltas call; commit
 // copies the values into the ledgers, so the reuse never escapes.
 func (c *Controller) deltas(t *task.Task) []float64 {
+	return c.deltasAt(t, task.QualityLevels)
+}
+
+// deltasAt computes the tentative per-stage utilization increments of t
+// executed at the given quality level, reusing the same scratch buffer as
+// deltas (the degraded admission path stays allocation-free). Each
+// stage's estimate is scaled by the ratio of degraded to full demand, so
+// the quality ladder composes with approximate (mean-demand) estimators
+// and stage scales alike.
+func (c *Controller) deltasAt(t *task.Task, level int) []float64 {
 	if t.Deadline <= 0 {
 		return nil
 	}
@@ -278,7 +305,13 @@ func (c *Controller) deltas(t *task.Task) []float64 {
 	}
 	d := c.scratch
 	for j := range d {
-		d[j] = c.estimate(t, j) / t.Deadline
+		est := c.estimate(t, j)
+		if level < task.QualityLevels {
+			if full := t.StageDemand(j); full > 0 {
+				est *= t.StageDemandAt(j, level) / full
+			}
+		}
+		d[j] = est / t.Deadline
 	}
 	if c.scales != nil {
 		for j := range d {
@@ -352,6 +385,7 @@ func (c *Controller) commit(t *task.Task, d []float64) {
 		for _, l := range c.ledgers {
 			l.Remove(id)
 		}
+		delete(c.levels, id)
 		c.notifyChange()
 		c.fireRelease()
 	})
@@ -397,6 +431,7 @@ func (c *Controller) Evict(id task.ID) {
 			removed = true
 		}
 	}
+	delete(c.levels, id)
 	if removed {
 		c.metEvicted.Inc()
 		c.notifyChange()

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math"
+
+	"feasregion/internal/task"
+)
+
+// This file implements quality-aware (imprecise-computation) admission:
+// the three-step cascade of the "degrade before you reject" design. An
+// arrival is first tested at full demand; on rejection the controller
+// binary-searches the highest quality level whose degraded demand vector
+// still fits the region; and before evicting anyone, PlanDegradation
+// trims optional demand across already-admitted tasks in victim order,
+// evicting only tasks that are already at mandatory-only. All region
+// tests reuse the controller's scratch deltas buffer, so the degraded
+// path allocates exactly as much as the full-demand path: nothing.
+
+// MaxQuality returns the top of the quality ladder (full demand). It
+// mirrors task.QualityLevels so callers of the admission cascade need not
+// import the task package for the constant.
+func MaxQuality() int { return task.QualityLevels }
+
+// QualityOf returns the quality level the task was admitted (or since
+// degraded) at, and whether the task currently contributes to any stage
+// ledger. Tasks admitted by the plain TryAdmit path report full quality.
+func (c *Controller) QualityOf(id task.ID) (level int, present bool) {
+	for _, l := range c.ledgers {
+		if _, ok := l.Contribution(id); ok {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return 0, false
+	}
+	if lv, ok := c.levels[id]; ok {
+		return lv, true
+	}
+	return task.QualityLevels, true
+}
+
+// TryAdmitQuality runs the quality-aware admission cascade: test the task
+// at maxLevel (callers pass the governor's quality cap, or MaxQuality()
+// when ungoverned); if that fails and the task carries optional demand,
+// binary-search the highest level in [0, maxLevel) whose degraded demand
+// vector fits the region, and commit there. The region test is monotone
+// in the level (demand only grows with quality), so the search needs
+// O(log QualityLevels) region evaluations, each O(stages). On success it
+// returns the admitted level; contributions are committed at that level's
+// demand so the scheduled deadline decrement automatically credits the
+// degraded (not the full) demand back.
+func (c *Controller) TryAdmitQuality(t *task.Task, maxLevel int) (level int, ok bool) {
+	if maxLevel > task.QualityLevels {
+		maxLevel = task.QualityLevels
+	}
+	if maxLevel < 0 {
+		maxLevel = 0
+	}
+	d := c.deltasAt(t, maxLevel)
+	if d == nil {
+		c.reject()
+		return 0, false
+	}
+	if c.admissible(d) {
+		c.commitAt(t, d, maxLevel)
+		return maxLevel, true
+	}
+	if maxLevel == 0 || !t.HasOptional() {
+		c.reject()
+		return 0, false
+	}
+	// Even the mandatory-only vector must fit before searching.
+	if !c.admissible(c.deltasAt(t, 0)) {
+		c.reject()
+		return 0, false
+	}
+	lo, hi := 0, maxLevel-1
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if c.admissible(c.deltasAt(t, mid)) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	c.commitAt(t, c.deltasAt(t, lo), lo)
+	return lo, true
+}
+
+// reject records a rejected admission.
+func (c *Controller) reject() {
+	c.stats.Rejected++
+	c.metRejected.Inc()
+}
+
+// commitAt commits the (possibly degraded) deltas and records the task's
+// quality level when it entered below full quality.
+func (c *Controller) commitAt(t *task.Task, d []float64, level int) {
+	if level < task.QualityLevels && t.HasOptional() {
+		c.levels[t.ID] = level
+		c.stats.Degraded++
+		c.metDegraded.Inc()
+	}
+	c.commit(t, d)
+}
+
+// Degrade lowers an admitted task's quality level in place, scaling its
+// ledger contribution at every stage by the ratio of new to current
+// degraded demand — the actuator PlanDegradation's trim list is applied
+// with. It returns the total synthetic utilization freed and reports
+// whether anything changed; raising quality or degrading an unknown,
+// expired, or fully-mandatory task is a no-op. Freed utilization retries
+// admission waiters, exactly like a deadline decrement.
+func (c *Controller) Degrade(t *task.Task, newLevel int) (trimmed float64, ok bool) {
+	if newLevel < 0 {
+		newLevel = 0
+	}
+	cur, present := c.QualityOf(t.ID)
+	if !present || newLevel >= cur || !t.HasOptional() {
+		return 0, false
+	}
+	for j, l := range c.ledgers {
+		contrib, here := l.Contribution(t.ID)
+		if !here || contrib == 0 {
+			continue
+		}
+		curDemand := t.StageDemandAt(j, cur)
+		if curDemand <= 0 {
+			continue
+		}
+		next := contrib * t.StageDemandAt(j, newLevel) / curDemand
+		l.Update(t.ID, next)
+		trimmed += contrib - next
+	}
+	c.levels[t.ID] = newLevel
+	c.stats.Trims++
+	c.metTrimmed.Add(trimmed)
+	c.notifyChange()
+	if trimmed > 0 {
+		c.fireRelease()
+	}
+	return trimmed, true
+}
+
+// DegradePlan is PlanDegradation's answer: the tasks to trim to
+// mandatory-only and, only if trimming alone is not enough, the tasks to
+// evict outright. The two lists are disjoint; evicted tasks are removed
+// from the trim list since eviction subsumes trimming.
+type DegradePlan struct {
+	Trim  []task.ID
+	Evict []task.ID
+}
+
+// Empty reports whether the plan requires no action (the task already
+// fits at mandatory-only demand).
+func (p DegradePlan) Empty() bool { return len(p.Trim) == 0 && len(p.Evict) == 0 }
+
+// PlanDegradation is the graceful successor of PlanShedding: it finds the
+// shortest prefix of candidates (in the given order — callers pass the
+// canonical victim order, least important first) whose degradation to
+// mandatory-only demand would let t pass the admission test at its own
+// mandatory-only level. Only when every candidate is already trimmed and
+// t still does not fit does the plan escalate to evicting candidates
+// whole, in the same order. It reports ok=false when even evicting every
+// candidate does not make room; nothing is modified either way — apply
+// the plan with Degrade and Evict, then re-run TryAdmitQuality (which may
+// now find room above mandatory-only).
+func (c *Controller) PlanDegradation(t *task.Task, candidates []*task.Task) (plan DegradePlan, ok bool) {
+	d := c.deltasAt(t, 0)
+	if d == nil {
+		return DegradePlan{}, false
+	}
+	// Incremental Σ f(U_j) maintenance, as in PlanShedding: each trim or
+	// eviction costs O(stages-it-touches). Infinite terms (U_j ≥ 1) are
+	// counted, never summed — Inf − Inf is NaN.
+	bound := c.region.Bound()
+	utils := make([]float64, len(c.ledgers))
+	terms := make([]float64, len(c.ledgers))
+	sum := 0.0
+	infinite := 0
+	for j, l := range c.ledgers {
+		utils[j] = l.Utilization() + d[j]
+		terms[j] = StageDelayFactor(utils[j])
+		if math.IsInf(terms[j], 1) {
+			infinite++
+		} else {
+			sum += terms[j]
+		}
+	}
+	update := func(j int, delta float64) {
+		utils[j] -= delta
+		term := StageDelayFactor(utils[j])
+		if math.IsInf(terms[j], 1) {
+			infinite--
+		} else {
+			sum -= terms[j]
+		}
+		if math.IsInf(term, 1) {
+			infinite++
+		} else {
+			sum += term
+		}
+		terms[j] = term
+	}
+	fits := func() bool { return infinite == 0 && sum <= bound }
+	if fits() {
+		return DegradePlan{}, true
+	}
+	// Remaining per-candidate contribution after the trim phase, so the
+	// eviction phase subtracts exactly what is left.
+	remaining := make(map[task.ID][]float64, len(candidates))
+	for _, v := range candidates {
+		cur, present := c.QualityOf(v.ID)
+		if !present {
+			continue
+		}
+		rem := make([]float64, len(c.ledgers))
+		for j, l := range c.ledgers {
+			rem[j], _ = l.Contribution(v.ID)
+		}
+		remaining[v.ID] = rem
+		if cur == 0 || !v.HasOptional() {
+			continue
+		}
+		for j := range c.ledgers {
+			contrib := rem[j]
+			if contrib == 0 {
+				continue
+			}
+			curDemand := v.StageDemandAt(j, cur)
+			if curDemand <= 0 {
+				continue
+			}
+			next := contrib * v.StageDemandAt(j, 0) / curDemand
+			update(j, contrib-next)
+			rem[j] = next
+		}
+		plan.Trim = append(plan.Trim, v.ID)
+		if fits() {
+			return plan, true
+		}
+	}
+	// Everyone is at mandatory-only and t still does not fit: escalate to
+	// eviction in the same order.
+	evicted := make(map[task.ID]bool, len(candidates))
+	for _, v := range candidates {
+		rem, present := remaining[v.ID]
+		if !present {
+			continue
+		}
+		touched := false
+		for j, contrib := range rem {
+			if contrib == 0 {
+				continue
+			}
+			update(j, contrib)
+			touched = true
+		}
+		if !touched {
+			continue
+		}
+		plan.Evict = append(plan.Evict, v.ID)
+		evicted[v.ID] = true
+		if fits() {
+			// Eviction subsumes trimming: drop evicted tasks from Trim.
+			kept := plan.Trim[:0]
+			for _, id := range plan.Trim {
+				if !evicted[id] {
+					kept = append(kept, id)
+				}
+			}
+			plan.Trim = kept
+			return plan, true
+		}
+	}
+	return DegradePlan{}, false
+}

@@ -1,0 +1,26 @@
+// Package degrade implements the overload governor for quality-aware
+// (imprecise-computation) admission: a hysteresis state machine — Normal
+// → Degraded → Shedding — driven by feasible-region headroom and overrun
+// feedback, whose output is a cap on the quality level new admissions may
+// enter at and a permission bit for evicting admitted work.
+//
+// Under the paper's all-or-nothing admission test, utility falls off a
+// cliff exactly where a production system most needs to survive: at
+// loads beyond the feasible region, every marginal arrival is rejected
+// (or admitted tasks are evicted whole). The governor turns that cliff
+// into a slope. As headroom shrinks it lowers the quality cap one ladder
+// step per tick, so arrivals are admitted at reduced optional demand and
+// in-flight tasks are trimmed toward mandatory-only; only when headroom
+// is exhausted with everyone at mandatory-only does it enter Shedding
+// and permit evictions. As load recedes it restores quality
+// monotonically, one step per tick, with a separate (higher) headroom
+// threshold so the system does not oscillate at the boundary.
+//
+// The governor is deliberately mechanism-free: it reads closures
+// (region value/bound, cumulative overrun detections), moves an atomic
+// quality cap, and invokes an optional trimmer callback. The pipeline
+// owns the actual actuation — capped admission via the core cascade's
+// TryAdmitQuality, in-flight trimming via core.Degrade and sched.TrimTo.
+// Drive it from simulated time with ScheduleSim or wall-clock time with
+// Start, mirroring internal/adapt's loop drivers.
+package degrade

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// quickDegrade shrinks the sweep to one seed and the loads that matter
+// for the claims, keeping the test fast while staying deterministic.
+func quickDegrade() DegradeConfig {
+	cfg := DefaultDegrade()
+	cfg.Seeds = 1
+	cfg.Loads = []float64{1.0, 1.5, 2.0}
+	return cfg
+}
+
+// TestDegradeBeatsRejectionUnderOverload pins the experiment's headline
+// claim under the fixed seed: at and above 1.5x the feasible load the
+// governor delivers strictly higher total utility and strictly fewer
+// whole-task evictions than hard rejection, with zero deadline misses
+// in either variant (admission stays sound, mandatory parts always
+// complete on time).
+func TestDegradeBeatsRejectionUnderOverload(t *testing.T) {
+	res := Degrade(quickDegrade())
+	for _, row := range res.Rows {
+		if row.Reject.Missed != 0 || row.Governor.Missed != 0 {
+			t.Errorf("load %.2f: misses reject=%d governor=%d, want 0/0",
+				row.Load, row.Reject.Missed, row.Governor.Missed)
+		}
+		if row.Load < 1.5 {
+			continue
+		}
+		if row.Governor.Utility <= row.Reject.Utility {
+			t.Errorf("load %.2f: governor utility %.1f not strictly above rejection's %.1f",
+				row.Load, row.Governor.Utility, row.Reject.Utility)
+		}
+		if row.Governor.Shed >= row.Reject.Shed {
+			t.Errorf("load %.2f: governor evicted %d, rejection %d — want strictly fewer",
+				row.Load, row.Governor.Shed, row.Reject.Shed)
+		}
+		if row.Governor.Degraded == 0 || row.Governor.Trimmed == 0 {
+			t.Errorf("load %.2f: governor degraded %d / trimmed %d, want both > 0",
+				row.Load, row.Governor.Degraded, row.Governor.Trimmed)
+		}
+	}
+}
+
+// TestDegradeUtilityMonotoneWhereRejectionCliffs asserts the curve
+// shape the experiment exists to show: across the overload half of the
+// sweep the governor's delivered utility keeps rising with load, while
+// hard rejection's is flat-to-falling (the cliff).
+func TestDegradeUtilityMonotoneWhereRejectionCliffs(t *testing.T) {
+	res := Degrade(quickDegrade())
+	for i := 1; i < len(res.Rows); i++ {
+		prev, cur := res.Rows[i-1], res.Rows[i]
+		if cur.Governor.Utility <= prev.Governor.Utility {
+			t.Errorf("governor utility fell from %.1f (load %.2f) to %.1f (load %.2f)",
+				prev.Governor.Utility, prev.Load, cur.Governor.Utility, cur.Load)
+		}
+	}
+	// Rejection's utility gain from 1.5x to 2x load is marginal at best
+	// — the accepted set is capacity-bound, not load-bound.
+	first, last := res.Rows[1], res.Rows[len(res.Rows)-1]
+	if last.Reject.Utility > first.Reject.Utility*1.10 {
+		t.Errorf("hard rejection utility grew %.1f -> %.1f across overload; expected a plateau",
+			first.Reject.Utility, last.Reject.Utility)
+	}
+}
+
+// TestDegradeDeterministic pins that the sweep is a pure function of
+// its configuration: two runs under the same seed agree exactly.
+func TestDegradeDeterministic(t *testing.T) {
+	cfg := quickDegrade()
+	cfg.Loads = []float64{1.5}
+	a, b := Degrade(cfg), Degrade(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two runs under the same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -24,6 +24,13 @@ type Request struct {
 	Deadline time.Duration
 	// Demands are per-stage computation-time estimates, one per stage.
 	Demands []time.Duration
+	// Optional, when non-nil, marks the trailing portion of each stage's
+	// demand as optional (imprecise computation): TryAdmitQuality may
+	// admit the request with Optional[j] scaled down by the quality
+	// ladder, and SetQuality retunes it in flight. Each entry must be in
+	// [0, Demands[j]]. Nil means the request is rigid — all demand
+	// mandatory.
+	Optional []time.Duration
 }
 
 // wheelGranularity is the expiry wheel's level-0 bucket width. A purge
@@ -39,7 +46,7 @@ const maxStackStages = 8
 
 // admitBufs is pooled float scratch for pipelines wider than
 // maxStackStages.
-type admitBufs struct{ raw, utils, scales []float64 }
+type admitBufs struct{ raw, opt, utils, scales []float64 }
 
 var admitBufPool = sync.Pool{New: func() any { return new(admitBufs) }}
 
@@ -62,6 +69,16 @@ type Stats struct {
 	// backwards (VM migration, NTP correction, injected skew). The
 	// purge clock is monotone, so regressions cannot stall expiry.
 	ClockRegressions uint64
+	// Degraded counts admissions that entered below full quality via
+	// TryAdmitQuality's fallback search.
+	Degraded uint64
+	// Trimmed counts SetQuality calls that lowered an in-flight
+	// request's level; Restored counts the ones that raised it.
+	Trimmed  uint64
+	Restored uint64
+	// Cancelled counts pending expiries unlinked eagerly by Release or
+	// ReleaseAll instead of lingering until their deadline purge.
+	Cancelled uint64
 }
 
 // counters mirrors Stats as atomics so the lock-free reject path and
@@ -74,6 +91,10 @@ type counters struct {
 	reconciles       atomic.Uint64
 	orphansReaped    atomic.Uint64
 	clockRegressions atomic.Uint64
+	degraded         atomic.Uint64
+	trimmed          atomic.Uint64
+	restored         atomic.Uint64
+	cancelled        atomic.Uint64
 }
 
 // waiter is one blocked AdmitWithin caller. ch is buffered so wakers
@@ -121,6 +142,10 @@ type Controller struct {
 	maxNow  time.Time // monotone high-water mark of observed clock
 	waiters []*waiter // FIFO of blocked AdmitWithin callers
 	reapSet map[uint64]struct{} // reusable scratch for Reconcile
+	// levels records the quality level of requests admitted (or retuned)
+	// below full quality; absent means full. Guarded by mu, cleaned on
+	// expiry, release, and orphan reap.
+	levels map[uint64]int
 }
 
 // New builds a controller for the given region. reserved, when non-nil,
@@ -156,6 +181,7 @@ func New(region core.Region, reserved []float64, clock Clock) *Controller {
 		scales:    scales,
 		maxNow:    now,
 		reapSet:   map[uint64]struct{}{},
+		levels:    map[uint64]int{},
 	}
 	c.nextExpiry.Store(math.MaxInt64)
 	c.maxNowNano.Store(now.UnixNano())
@@ -295,6 +321,7 @@ func (c *Controller) purgeLocked(now time.Time) time.Time {
 				removed = true
 			}
 		}
+		delete(c.levels, e.id)
 		if removed {
 			expired++
 		}
@@ -684,6 +711,7 @@ func (c *Controller) Reconcile() ReconcileResult {
 		l.RangeTasks(func(id task.ID, _ float64) bool {
 			if _, ok := c.reapSet[uint64(id)]; !ok {
 				l.Remove(id)
+				delete(c.levels, uint64(id))
 				res.Orphans++
 			}
 			return true
@@ -730,21 +758,36 @@ func (c *Controller) StartWatchdog(interval time.Duration) (stop func()) {
 // Release drops the request's contribution on all stages immediately —
 // call it when a request is cancelled or finishes well before its
 // deadline and the caller prefers eager accounting over the idle reset.
-// Waiters are woken only when a contribution was actually removed; an
-// already-expired or unknown ID is a silent no-op.
+// The pending expiry is unlinked from the wheel in O(1) at the same
+// time, so release-heavy workloads never accumulate stale entries for
+// the purge to wade through. Waiters are woken only when a contribution
+// was actually removed; an already-expired or unknown ID is a silent
+// no-op.
 func (c *Controller) Release(id uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.releaseLocked(id)
+}
+
+// releaseLocked removes one request's contributions, its wheel entry,
+// and its quality record; on success it republishes and wakes a waiter.
+// Callers must hold mu. Reports whether a contribution was removed.
+func (c *Controller) releaseLocked(id uint64) bool {
 	removed := false
 	for _, l := range c.ledgers {
 		if l.Remove(coreID(id)) {
 			removed = true
 		}
 	}
+	if c.wheel.remove(id) {
+		c.stats.cancelled.Add(1)
+	}
+	delete(c.levels, id)
 	if removed {
 		c.publishUtilsLocked()
 		c.wakeLocked()
 	}
+	return removed
 }
 
 // ReleaseAll drops the contributions of a burst of requests under one
@@ -761,6 +804,7 @@ func (c *Controller) ReleaseAll(ids []uint64) int {
 	defer c.mu.Unlock()
 	c.purgeLocked(c.clock())
 	released := 0
+	cancelled := uint64(0)
 	for _, id := range ids {
 		removed := false
 		for _, l := range c.ledgers {
@@ -768,9 +812,16 @@ func (c *Controller) ReleaseAll(ids []uint64) int {
 				removed = true
 			}
 		}
+		if c.wheel.remove(id) {
+			cancelled++
+		}
+		delete(c.levels, id)
 		if removed {
 			released++
 		}
+	}
+	if cancelled > 0 {
+		c.stats.cancelled.Add(cancelled)
 	}
 	if released > 0 {
 		c.publishUtilsLocked()
@@ -876,5 +927,9 @@ func (c *Controller) Stats() Stats {
 		Reconciles:       c.stats.reconciles.Load(),
 		OrphansReaped:    c.stats.orphansReaped.Load(),
 		ClockRegressions: c.stats.clockRegressions.Load(),
+		Degraded:         c.stats.degraded.Load(),
+		Trimmed:          c.stats.trimmed.Load(),
+		Restored:         c.stats.restored.Load(),
+		Cancelled:        c.stats.cancelled.Load(),
 	}
 }

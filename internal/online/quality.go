@@ -1,0 +1,294 @@
+package online
+
+import (
+	"time"
+
+	"feasregion/internal/core"
+	"feasregion/internal/task"
+)
+
+// This file is the wall-clock mirror of internal/core's quality-aware
+// admission cascade: requests that mark part of their per-stage demand
+// optional (Request.Optional) can be admitted degraded when full demand
+// does not fit, and retuned in flight as the overload governor moves its
+// quality cap. The cascade reuses the admit path's stack/pooled scratch,
+// so the degraded fallback allocates exactly as much as a plain
+// TryAdmit: nothing.
+
+// QualityOf returns the quality level the request was admitted (or since
+// retuned) at, and whether it currently contributes to any stage ledger.
+// Requests admitted by the plain TryAdmit path report full quality.
+func (c *Controller) QualityOf(id uint64) (level int, present bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, l := range c.ledgers {
+		if _, ok := l.Contribution(coreID(id)); ok {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return 0, false
+	}
+	if lv, ok := c.levels[id]; ok {
+		return lv, true
+	}
+	return task.QualityLevels, true
+}
+
+// qualityVectors converts the request into per-stage synthetic
+// utilization (raw) and its optional portion (opt). It reports false on
+// a malformed request (non-positive deadline, wrong stage count, an
+// Optional entry outside [0, Demands[j]]).
+func (c *Controller) qualityVectors(r Request, raw, opt []float64) (hasOpt, ok bool) {
+	if r.Deadline <= 0 || len(r.Demands) != c.stages {
+		return false, false
+	}
+	if r.Optional != nil && len(r.Optional) != c.stages {
+		return false, false
+	}
+	invD := 1 / r.Deadline.Seconds()
+	for j, dem := range r.Demands {
+		raw[j] = dem.Seconds() * invD
+		o := 0.0
+		if r.Optional != nil {
+			if r.Optional[j] < 0 || r.Optional[j] > dem {
+				return false, false
+			}
+			o = r.Optional[j].Seconds() * invD
+		}
+		opt[j] = o
+		if o > 0 {
+			hasOpt = true
+		}
+	}
+	return hasOpt, true
+}
+
+// rawAt is the stage's synthetic utilization at a quality level: full
+// demand minus the untaken share of the optional portion.
+func rawAt(raw, opt []float64, j, level int) float64 {
+	if level >= task.QualityLevels {
+		return raw[j]
+	}
+	if level <= 0 {
+		return raw[j] - opt[j]
+	}
+	return raw[j] - opt[j]*(1-float64(level)/task.QualityLevels)
+}
+
+// TryAdmitQuality runs the quality-aware admission cascade against the
+// live region: test at maxLevel (callers pass the governor's quality
+// cap, or task.QualityLevels when ungoverned); if that fails and the
+// request carries optional demand, binary-search the highest level in
+// [0, maxLevel) whose degraded demand still fits, and commit there. The
+// committed contribution is the degraded one, so the deadline decrement
+// credits exactly what was charged. On success it returns the admitted
+// level. Like TryAdmit, the path is allocation-free and rejects
+// lock-free when even mandatory-only demand cannot fit and no purge is
+// due.
+func (c *Controller) TryAdmitQuality(r Request, maxLevel int) (level int, ok bool) {
+	if maxLevel > task.QualityLevels {
+		maxLevel = task.QualityLevels
+	}
+	if maxLevel < 0 {
+		maxLevel = 0
+	}
+	var stackRaw, stackOpt, stackUtils, stackScales [maxStackStages]float64
+	var raw, opt, utils, scales []float64
+	if c.stages <= maxStackStages {
+		raw, opt = stackRaw[:c.stages], stackOpt[:c.stages]
+		utils, scales = stackUtils[:c.stages], stackScales[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		if cap(bufs.raw) < c.stages || cap(bufs.opt) < c.stages {
+			bufs.raw = make([]float64, c.stages)
+			bufs.opt = make([]float64, c.stages)
+			bufs.utils = make([]float64, c.stages)
+			bufs.scales = make([]float64, c.stages)
+		}
+		raw, opt = bufs.raw[:c.stages], bufs.opt[:c.stages]
+		utils, scales = bufs.utils[:c.stages], bufs.scales[:c.stages]
+	}
+	hasOpt, valid := c.qualityVectors(r, raw, opt)
+	if !valid {
+		c.stats.rejected.Add(1)
+		return 0, false
+	}
+
+	// Optimistic lock-free reject, gated exactly like TryAdmit's: only
+	// valid while no purge is due, and only to reject. The probe uses
+	// mandatory-only demand — the cascade's weakest test — so a lock-free
+	// rejection here implies every quality level would fail too.
+	sampled := c.nowMonotoneNano()
+	if sampled < c.nextExpiry.Load() {
+		if b, _, snapOK := c.readSnapshot(utils, scales); snapOK {
+			sum := 0.0
+			for j := range utils {
+				sum += core.StageDelayFactor(utils[j] + rawAt(raw, opt, j, 0)*scales[j])
+			}
+			if sum > b {
+				c.stats.rejected.Add(1)
+				return 0, false
+			}
+		}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.purgeLocked(time.Unix(0, sampled))
+	sumAt := func(lv int) float64 {
+		sum := 0.0
+		for j, l := range c.ledgers {
+			sum += core.StageDelayFactor(l.Utilization() + rawAt(raw, opt, j, lv)*c.scales[j])
+		}
+		return sum
+	}
+	lv := maxLevel
+	switch {
+	case sumAt(maxLevel) <= c.bound:
+		// Fits at the cap.
+	case maxLevel == 0 || !hasOpt:
+		c.stats.rejected.Add(1)
+		return 0, false
+	case sumAt(0) > c.bound:
+		// Even mandatory-only does not fit.
+		c.stats.rejected.Add(1)
+		return 0, false
+	default:
+		// The region test is monotone in the level (demand only grows
+		// with quality): binary-search the highest fitting level below
+		// the cap.
+		lo, hi := 0, maxLevel-1
+		for lo < hi {
+			mid := lo + (hi-lo+1)/2
+			if sumAt(mid) <= c.bound {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		lv = lo
+	}
+	for j, l := range c.ledgers {
+		l.Add(coreID(r.ID), rawAt(raw, opt, j, lv)*c.scales[j])
+	}
+	at := now.UnixNano() + int64(r.Deadline)
+	c.wheel.push(at, r.ID)
+	if at < c.nextExpiry.Load() {
+		c.nextExpiry.Store(at)
+	}
+	c.stats.admitted.Add(1)
+	if lv < task.QualityLevels && hasOpt {
+		c.levels[r.ID] = lv
+		c.stats.degraded.Add(1)
+	}
+	c.publishUtilsLocked()
+	return lv, true
+}
+
+// SetQuality retunes an in-flight request's quality level: lowering
+// scales its contribution down on every stage (always permitted — it
+// only frees capacity and retries waiters, like a deadline decrement);
+// raising re-runs the region test with the enlarged contribution and is
+// refused when it would leave the region. The request must carry the
+// same Demands/Optional it was admitted with — the contribution is
+// scaled by the ratio of the new to the current level's demand, so any
+// stage scale in force at admission is preserved. It reports whether
+// the level changed; an unknown or expired ID, a rigid request, or a
+// no-op level returns false.
+func (c *Controller) SetQuality(r Request, level int) bool {
+	if level < 0 {
+		level = 0
+	}
+	if level > task.QualityLevels {
+		level = task.QualityLevels
+	}
+	var stackRaw, stackOpt [maxStackStages]float64
+	var raw, opt []float64
+	if c.stages <= maxStackStages {
+		raw, opt = stackRaw[:c.stages], stackOpt[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		if cap(bufs.raw) < c.stages || cap(bufs.opt) < c.stages {
+			bufs.raw = make([]float64, c.stages)
+			bufs.opt = make([]float64, c.stages)
+			bufs.utils = make([]float64, c.stages)
+			bufs.scales = make([]float64, c.stages)
+		}
+		raw, opt = bufs.raw[:c.stages], bufs.opt[:c.stages]
+	}
+	hasOpt, valid := c.qualityVectors(r, raw, opt)
+	if !valid || !hasOpt {
+		return false
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.purgeLocked(c.clock())
+	present := false
+	for _, l := range c.ledgers {
+		if _, ok := l.Contribution(coreID(r.ID)); ok {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return false
+	}
+	cur := task.QualityLevels
+	if lv, ok := c.levels[r.ID]; ok {
+		cur = lv
+	}
+	if level == cur {
+		return false
+	}
+	if level > cur {
+		// Raising charges more: re-test the region with each stage's
+		// contribution swapped for its enlarged version.
+		sum := 0.0
+		for j, l := range c.ledgers {
+			u := l.Utilization()
+			if contrib, ok := l.Contribution(coreID(r.ID)); ok {
+				u += c.retuned(raw, opt, j, contrib, cur, level) - contrib
+			}
+			sum += core.StageDelayFactor(u)
+		}
+		if sum > c.bound {
+			return false
+		}
+	}
+	for j, l := range c.ledgers {
+		contrib, ok := l.Contribution(coreID(r.ID))
+		if !ok {
+			continue
+		}
+		l.Update(coreID(r.ID), c.retuned(raw, opt, j, contrib, cur, level))
+	}
+	if level < task.QualityLevels {
+		c.levels[r.ID] = level
+	} else {
+		delete(c.levels, r.ID)
+	}
+	c.publishUtilsLocked()
+	if level < cur {
+		c.stats.trimmed.Add(1)
+		c.wakeLocked() // freed capacity: retry a waiter
+	} else {
+		c.stats.restored.Add(1)
+	}
+	return true
+}
+
+// retuned maps a stage's current ledger contribution from one quality
+// level to another by demand ratio, falling back to an absolute charge
+// when the current level's demand is zero (nothing to scale).
+func (c *Controller) retuned(raw, opt []float64, j int, contrib float64, cur, level int) float64 {
+	curDemand := rawAt(raw, opt, j, cur)
+	if curDemand <= 0 {
+		return rawAt(raw, opt, j, level) * c.scales[j]
+	}
+	return contrib * rawAt(raw, opt, j, level) / curDemand
+}

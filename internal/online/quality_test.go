@@ -1,0 +1,375 @@
+package online
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"feasregion/internal/core"
+	"feasregion/internal/task"
+)
+
+func qreq(id uint64, deadline time.Duration, demand, optional time.Duration) Request {
+	return Request{
+		ID:       id,
+		Deadline: deadline,
+		Demands:  []time.Duration{demand},
+		Optional: []time.Duration{optional},
+	}
+}
+
+func TestTryAdmitQualityFullFit(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	lv, ok := c.TryAdmitQuality(qreq(1, time.Second, 300*time.Millisecond, 200*time.Millisecond), task.QualityLevels)
+	if !ok || lv != task.QualityLevels {
+		t.Fatalf("uncontended admit at level %d ok=%v, want full %d", lv, ok, task.QualityLevels)
+	}
+	if got, present := c.QualityOf(1); !present || got != task.QualityLevels {
+		t.Fatalf("QualityOf = %d/%v, want full/present", got, present)
+	}
+	if s := c.Stats(); s.Degraded != 0 {
+		t.Fatalf("full-quality admit counted as degraded: %+v", s)
+	}
+}
+
+func TestTryAdmitQualityFallsBack(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	// Background: u=0.5, f(0.5)=0.75. Remaining headroom admits at most
+	// ~0.086 more utilization (f saturates the bound 1.0 at u≈0.586).
+	if !c.TryAdmit(req(100, time.Second, 500*time.Millisecond)) {
+		t.Fatal("background rejected")
+	}
+	// Arrival: demand 0.3 of which 0.28 optional. Mandatory 0.02 fits;
+	// each ladder step adds 0.035, so level 1 (0.055) fits and level 2
+	// (0.09) does not.
+	lv, ok := c.TryAdmitQuality(qreq(1, time.Second, 300*time.Millisecond, 280*time.Millisecond), task.QualityLevels)
+	if !ok {
+		t.Fatal("degradable arrival rejected outright")
+	}
+	if lv != 1 {
+		t.Fatalf("admitted at level %d, want 1 (highest fitting)", lv)
+	}
+	if got, present := c.QualityOf(1); !present || got != lv {
+		t.Fatalf("QualityOf = %d/%v, want %d/present", got, present, lv)
+	}
+	if s := c.Stats(); s.Degraded != 1 {
+		t.Fatalf("Degraded = %d, want 1", s.Degraded)
+	}
+	// A rigid request of the same size must still be rejected.
+	if c.TryAdmit(req(2, time.Second, 300*time.Millisecond)) {
+		t.Fatal("rigid request of the same size admitted")
+	}
+}
+
+func TestTryAdmitQualityRespectsCap(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	lv, ok := c.TryAdmitQuality(qreq(1, time.Second, 300*time.Millisecond, 200*time.Millisecond), 3)
+	if !ok || lv != 3 {
+		t.Fatalf("admit under cap 3 gave level %d ok=%v, want 3", lv, ok)
+	}
+	// Cap 0 admits mandatory-only.
+	lv, ok = c.TryAdmitQuality(qreq(2, time.Second, 300*time.Millisecond, 200*time.Millisecond), 0)
+	if !ok || lv != 0 {
+		t.Fatalf("admit under cap 0 gave level %d ok=%v, want 0", lv, ok)
+	}
+}
+
+func TestTryAdmitQualityRejectsWhenMandatoryDoesNotFit(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	if !c.TryAdmit(req(100, time.Second, 550*time.Millisecond)) {
+		t.Fatal("background rejected")
+	}
+	// Mandatory 0.2 alone overflows the remaining headroom.
+	if lv, ok := c.TryAdmitQuality(qreq(1, time.Second, 400*time.Millisecond, 200*time.Millisecond), task.QualityLevels); ok {
+		t.Fatalf("admitted at level %d though mandatory demand does not fit", lv)
+	}
+	if _, present := c.QualityOf(1); present {
+		t.Fatal("rejected request left a contribution")
+	}
+}
+
+func TestTryAdmitQualityRejectsMalformed(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(2), nil, clk.Now)
+	bad := Request{
+		ID:       1,
+		Deadline: time.Second,
+		Demands:  []time.Duration{time.Millisecond, time.Millisecond},
+		Optional: []time.Duration{2 * time.Millisecond, 0}, // optional > demand
+	}
+	if _, ok := c.TryAdmitQuality(bad, task.QualityLevels); ok {
+		t.Fatal("admitted a request with optional exceeding demand")
+	}
+	short := Request{
+		ID:       2,
+		Deadline: time.Second,
+		Demands:  []time.Duration{time.Millisecond, time.Millisecond},
+		Optional: []time.Duration{0}, // wrong arity
+	}
+	if _, ok := c.TryAdmitQuality(short, task.QualityLevels); ok {
+		t.Fatal("admitted a request with mismatched Optional length")
+	}
+}
+
+func TestDegradedExpiryCreditsDegradedDemand(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	if !c.TryAdmit(req(100, 10*time.Second, 5*time.Second)) {
+		t.Fatal("background rejected")
+	}
+	lv, ok := c.TryAdmitQuality(qreq(1, time.Second, 300*time.Millisecond, 280*time.Millisecond), task.QualityLevels)
+	if !ok || lv >= task.QualityLevels {
+		t.Fatalf("expected a degraded admit, got level %d ok=%v", lv, ok)
+	}
+	before := c.StageUtilization(0)
+	clk.Advance(time.Second + 2*wheelGranularity)
+	after := c.StageUtilization(0)
+	// The decrement credits exactly the degraded charge: utilization
+	// returns to the background's 0.5, not below.
+	if diff := after - 0.5; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("after expiry utilization %v (was %v), want background 0.5", after, before)
+	}
+	if _, present := c.QualityOf(1); present {
+		t.Fatal("expired request still tracked by QualityOf")
+	}
+}
+
+func TestSetQualityLowerFreesCapacity(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	r := qreq(1, time.Second, 500*time.Millisecond, 400*time.Millisecond)
+	if lv, ok := c.TryAdmitQuality(r, task.QualityLevels); !ok || lv != task.QualityLevels {
+		t.Fatalf("initial admit level %d ok=%v", lv, ok)
+	}
+	// A 0.2 rigid arrival does not fit next to 0.5.
+	if c.TryAdmit(req(2, time.Second, 200*time.Millisecond)) {
+		t.Fatal("rigid arrival fit though region is full")
+	}
+	if !c.SetQuality(r, 0) {
+		t.Fatal("SetQuality refused to lower")
+	}
+	if got, _ := c.QualityOf(1); got != 0 {
+		t.Fatalf("QualityOf = %d after trim, want 0", got)
+	}
+	// Mandatory-only is 0.1: the rigid arrival fits now.
+	if !c.TryAdmit(req(2, time.Second, 200*time.Millisecond)) {
+		t.Fatal("rigid arrival still rejected after trim freed capacity")
+	}
+	if s := c.Stats(); s.Trimmed != 1 {
+		t.Fatalf("Trimmed = %d, want 1", s.Trimmed)
+	}
+}
+
+func TestSetQualityRaiseRetestsRegion(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	r := qreq(1, time.Second, 500*time.Millisecond, 400*time.Millisecond)
+	if _, ok := c.TryAdmitQuality(r, task.QualityLevels); !ok {
+		t.Fatal("initial admit failed")
+	}
+	if !c.SetQuality(r, 0) {
+		t.Fatal("trim refused")
+	}
+	// Fill the freed room; the raise must now be refused.
+	if !c.TryAdmit(req(2, time.Second, 400*time.Millisecond)) {
+		t.Fatal("filler rejected")
+	}
+	if c.SetQuality(r, task.QualityLevels) {
+		t.Fatal("raise accepted though the region is full")
+	}
+	if got, _ := c.QualityOf(1); got != 0 {
+		t.Fatalf("refused raise moved the level to %d", got)
+	}
+	// Release the filler: the raise fits again and clears the record.
+	c.Release(2)
+	if !c.SetQuality(r, task.QualityLevels) {
+		t.Fatal("raise refused with room to spare")
+	}
+	if got, _ := c.QualityOf(1); got != task.QualityLevels {
+		t.Fatalf("QualityOf = %d after restore, want full", got)
+	}
+	if s := c.Stats(); s.Restored != 1 {
+		t.Fatalf("Restored = %d, want 1", s.Restored)
+	}
+	// No-ops report false.
+	if c.SetQuality(r, task.QualityLevels) {
+		t.Fatal("no-op SetQuality reported a change")
+	}
+	if c.SetQuality(req(99, time.Second, time.Millisecond), 0) {
+		t.Fatal("SetQuality on a rigid/unknown request reported a change")
+	}
+}
+
+func TestReleaseCancelsPendingExpiry(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	if !c.TryAdmit(req(1, time.Second, 100*time.Millisecond)) {
+		t.Fatal("admit failed")
+	}
+	if !c.TryAdmit(req(2, time.Second, 100*time.Millisecond)) {
+		t.Fatal("admit failed")
+	}
+	c.Release(1)
+	if c.ReleaseAll([]uint64{2, 3}) != 1 {
+		t.Fatal("ReleaseAll released wrong count")
+	}
+	c.mu.Lock()
+	left := c.wheel.count
+	c.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d stale wheel entries after release, want 0 (eager unlink)", left)
+	}
+	if s := c.Stats(); s.Cancelled != 2 {
+		t.Fatalf("Cancelled = %d, want 2", s.Cancelled)
+	}
+	// The expiry must not fire later (nothing to double-credit anyway,
+	// but the purge should see an empty wheel).
+	clk.Advance(2 * time.Second)
+	c.Reconcile()
+	if s := c.Stats(); s.Expired != 0 {
+		t.Fatalf("Expired = %d after eager release, want 0", s.Expired)
+	}
+}
+
+// TestQualityAdmitZeroAlloc proves the degraded fallback allocates
+// nothing: full test, mandatory precheck, binary search, and commit all
+// run on stack scratch, like the plain admit path.
+func TestQualityAdmitZeroAlloc(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(2), nil, clk.Now)
+	// Background pins the region (u=0.35 per stage, Σf ≈ 0.888) so the
+	// 0.06-utilization probe cannot fit at full quality but its 0.005
+	// mandatory part can: every run walks the whole cascade.
+	if !c.TryAdmit(req(1000, time.Second, 350*time.Millisecond, 350*time.Millisecond)) {
+		t.Fatal("background rejected")
+	}
+	r := Request{
+		Deadline: time.Second,
+		Demands:  []time.Duration{60 * time.Millisecond, 60 * time.Millisecond},
+		Optional: []time.Duration{55 * time.Millisecond, 55 * time.Millisecond},
+	}
+	var id uint64
+	allocs := testing.AllocsPerRun(200, func() {
+		id++
+		r.ID = id
+		lv, ok := c.TryAdmitQuality(r, task.QualityLevels)
+		if !ok {
+			t.Fatal("probe rejected")
+		}
+		if lv == task.QualityLevels {
+			t.Fatal("probe did not exercise the fallback search")
+		}
+		c.SetQuality(r, 0)
+		c.Release(id)
+	})
+	if allocs != 0 {
+		t.Fatalf("quality admit cycle allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestOnlineConcurrentQualitySoundness is the quality-path analogue of
+// TestOnlineConcurrentSoundness: TryAdmitQuality, SetQuality (trims and
+// raises), Release, and expiry churn race while a checker asserts the
+// committed utilization point never leaves the region. Degraded admits
+// commit a tested point, trims only shrink it, and raises re-test under
+// the lock, so Σ f(U_j) ≤ bound must hold at every instant.
+func TestOnlineConcurrentQualitySoundness(t *testing.T) {
+	region := core.NewRegion(2)
+	bound := region.Bound()
+	c := New(region, nil, nil) // real clock: expiry churn is part of the mix
+	const workers = 8
+	const opsPerWorker = 1200
+
+	var wg sync.WaitGroup
+	var nextID atomic.Uint64
+	stop := make(chan struct{})
+	checker := make(chan struct{})
+	go func() {
+		defer close(checker)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.mu.Lock()
+			sum := 0.0
+			for _, l := range c.ledgers {
+				sum += core.StageDelayFactor(l.Utilization())
+			}
+			c.mu.Unlock()
+			if sum > bound+1e-6 {
+				t.Errorf("region invariant violated: Σ f(U_j) = %v > bound %v", sum, bound)
+				return
+			}
+		}
+	}()
+
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			var mine []Request
+			for op := 0; op < opsPerWorker; op++ {
+				switch op % 6 {
+				case 0, 1, 2:
+					id := nextID.Add(1)
+					dem := time.Duration(100+op%300) * time.Microsecond
+					r := Request{
+						ID:       id,
+						Deadline: 5 * time.Millisecond,
+						Demands:  []time.Duration{dem, dem},
+						Optional: []time.Duration{dem / 2, dem * 3 / 4},
+					}
+					if _, ok := c.TryAdmitQuality(r, task.QualityLevels); ok {
+						mine = append(mine, r)
+					}
+				case 3:
+					if len(mine) > 0 {
+						c.SetQuality(mine[len(mine)-1], op%task.QualityLevels)
+					}
+				case 4:
+					if len(mine) > 0 {
+						c.SetQuality(mine[0], task.QualityLevels) // raise: re-tested
+						c.Release(mine[0].ID)
+						mine = mine[1:]
+					}
+				default:
+					_ = c.Utilizations()
+					if len(mine) > 0 {
+						_, _ = c.QualityOf(mine[0].ID)
+					}
+				}
+			}
+			for _, r := range mine {
+				c.Release(r.ID)
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	close(stop)
+	<-checker
+
+	snap := make([]float64, region.Stages)
+	if _, _, ok := c.readSnapshot(snap, nil); !ok {
+		t.Fatal("seqlock snapshot failed with no concurrent writers")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for j, l := range c.ledgers {
+		if snap[j] != l.Utilization() {
+			t.Fatalf("stage %d mirror %v != locked truth %v", j, snap[j], l.Utilization())
+		}
+	}
+	if len(c.levels) != 0 {
+		t.Fatalf("%d quality records leaked after all releases", len(c.levels))
+	}
+	if s := c.Stats(); s.Admitted == 0 || s.Degraded == 0 {
+		t.Fatalf("workload did not exercise the degraded path: %+v", s)
+	}
+}

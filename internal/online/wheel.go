@@ -39,9 +39,25 @@ const (
 	wheelSpan = 1 << (wheelBits * wheelLevels)
 )
 
+// slot records where an id's expiry currently lives, for O(1)
+// cancellation: the containing area (a wheel level, ripe, or overflow),
+// the bucket index within a level, and the position within the slice.
+// Every structural move (place, spill, refile, flush) keeps it current.
+type slot struct {
+	area uint8 // 0..wheelLevels-1: level; areaRipe; areaOverflow
+	idx  uint8 // bucket index within a level area
+	pos  int32 // position within the containing slice
+}
+
+// Non-level slot areas.
+const (
+	areaRipe     = wheelLevels
+	areaOverflow = wheelLevels + 1
+)
+
 type timerWheel struct {
-	granularity int64 // bucket width in nanoseconds
-	base        int64 // UnixNano origin of tick 0
+	granularity int64  // bucket width in nanoseconds
+	base        int64  // UnixNano origin of tick 0
 	cur         uint64 // cursor tick; level-0 buckets for ticks < cur are flushed
 	count       int    // total pending expiries (levels + ripe + overflow)
 	inLevels    int    // pending expiries stored in the level buckets
@@ -49,6 +65,15 @@ type timerWheel struct {
 	ripe        []expiry // already due when pushed or cascaded; drained next advance
 	overflow    []expiry // further than wheelSpan ticks ahead
 	overflowMin int64    // math.MaxInt64 when overflow is empty
+
+	// slots is the id→location cancellation index: remove unlinks an
+	// expiry eagerly in O(1) (swap-remove from its bucket) instead of
+	// leaving a stale entry for the purge to flush — under high release
+	// traffic stale entries were roughly half of purge cost. At most one
+	// entry per id: a push for an id that is still filed (possible when a
+	// released id is reused before its old deadline passes) replaces the
+	// stale entry.
+	slots map[uint64]slot
 }
 
 func newTimerWheel(granularity time.Duration, base time.Time) *timerWheel {
@@ -59,6 +84,7 @@ func newTimerWheel(granularity time.Duration, base time.Time) *timerWheel {
 		granularity: int64(granularity),
 		base:        base.UnixNano(),
 		overflowMin: math.MaxInt64,
+		slots:       map[uint64]slot{},
 	}
 }
 
@@ -76,17 +102,28 @@ func (w *timerWheel) timeOf(tick uint64) int64 {
 	return w.base + int64(tick)*w.granularity
 }
 
-// push schedules the id's expiry: one append, O(1).
+// push schedules the id's expiry: one append, O(1). A stale entry for
+// the same id (released, then the id reused) is unlinked first so the
+// index stays one-entry-per-id.
 func (w *timerWheel) push(at int64, id uint64) {
+	if _, dup := w.slots[id]; dup {
+		w.remove(id)
+	}
 	w.count++
 	tick := w.tickOf(at)
 	if tick < w.cur {
 		// Already due (its bucket was flushed before it arrived);
 		// drained by the next advance.
-		w.ripe = append(w.ripe, expiry{at: at, id: id})
+		w.fileRipe(expiry{at: at, id: id})
 		return
 	}
 	w.place(expiry{at: at, id: id}, tick)
+}
+
+// fileRipe appends to the ripe list and indexes the entry.
+func (w *timerWheel) fileRipe(e expiry) {
+	w.ripe = append(w.ripe, e)
+	w.slots[e.id] = slot{area: areaRipe, pos: int32(len(w.ripe) - 1)}
 }
 
 // place files an item under its tick at the innermost level whose
@@ -98,6 +135,7 @@ func (w *timerWheel) place(e expiry, tick uint64) {
 			idx := (tick >> shift) & wheelMask
 			w.levels[lvl][idx] = append(w.levels[lvl][idx], e)
 			w.inLevels++
+			w.slots[e.id] = slot{area: uint8(lvl), idx: uint8(idx), pos: int32(len(w.levels[lvl][idx]) - 1)}
 			return
 		}
 	}
@@ -105,6 +143,7 @@ func (w *timerWheel) place(e expiry, tick uint64) {
 		w.overflowMin = e.at
 	}
 	w.overflow = append(w.overflow, e)
+	w.slots[e.id] = slot{area: areaOverflow, pos: int32(len(w.overflow) - 1)}
 }
 
 // advanceTo moves the cursor to now, invoking expire for every item
@@ -130,6 +169,7 @@ func (w *timerWheel) advanceTo(now int64, expire func(e expiry)) int {
 			w.count -= len(b)
 			flushed += len(b)
 			for _, e := range b {
+				delete(w.slots, e.id)
 				expire(e)
 			}
 		}
@@ -143,11 +183,45 @@ func (w *timerWheel) advanceTo(now int64, expire func(e expiry)) int {
 		flushed += len(w.ripe)
 		w.count -= len(w.ripe)
 		for _, e := range w.ripe {
+			delete(w.slots, e.id)
 			expire(e)
 		}
 		w.ripe = w.ripe[:0]
 	}
 	return flushed
+}
+
+// remove unlinks a pending expiry in O(1): swap-remove from whatever
+// bucket holds it, fixing the moved entry's index slot. Reports whether
+// the id was pending. Removing an overflow entry may leave overflowMin
+// stale-low; that only makes earliest() more conservative, never wrong.
+func (w *timerWheel) remove(id uint64) bool {
+	s, ok := w.slots[id]
+	if !ok {
+		return false
+	}
+	delete(w.slots, id)
+	var b *[]expiry
+	switch s.area {
+	case areaRipe:
+		b = &w.ripe
+	case areaOverflow:
+		b = &w.overflow
+	default:
+		b = &w.levels[s.area][s.idx]
+		w.inLevels--
+	}
+	last := len(*b) - 1
+	if int(s.pos) != last {
+		moved := (*b)[last]
+		(*b)[s.pos] = moved
+		ms := w.slots[moved.id]
+		ms.pos = s.pos
+		w.slots[moved.id] = ms
+	}
+	*b = (*b)[:last]
+	w.count--
+	return true
 }
 
 // cascade spills the next higher-level bucket down after a lower level
@@ -176,7 +250,7 @@ func (w *timerWheel) spill(bucket *[]expiry) {
 	w.inLevels -= len(b)
 	for _, e := range b {
 		if tick := w.tickOf(e.at); tick < w.cur {
-			w.ripe = append(w.ripe, e)
+			w.fileRipe(e)
 		} else {
 			w.place(e, tick)
 		}
@@ -194,7 +268,7 @@ func (w *timerWheel) maybeRefileOverflow() {
 	w.overflowMin = math.MaxInt64
 	for _, e := range of {
 		if tick := w.tickOf(e.at); tick < w.cur {
-			w.ripe = append(w.ripe, e)
+			w.fileRipe(e)
 		} else {
 			w.place(e, tick)
 		}

@@ -28,12 +28,15 @@ func TestWheelNeverEarly(t *testing.T) {
 
 // TestWheelPropertyVsReference drives the wheel with randomized pushes
 // (already-due, level-0-near, mid-level, and beyond-horizon overflow
-// deadlines) and advances, cross-checking against a reference pending
-// set — the moral equivalent of the old binary heap + pending map. The
-// properties: every expiry fires at or after its deadline and at most
-// one granularity late (relative to the purge time), none is lost or
-// duplicated, earliest() is a valid lower bound on the true minimum
-// pending deadline, and forEach visits exactly the pending set.
+// deadlines), random cancellations, and advances, cross-checking against
+// a reference pending set — the moral equivalent of the old binary heap
+// + pending map. The properties: every expiry fires at or after its
+// deadline and at most one granularity late (relative to the purge
+// time), none is lost or duplicated, a removed expiry never fires,
+// remove reports membership exactly, the cancellation index stays in
+// lockstep with the pending count, earliest() is a valid lower bound on
+// the true minimum pending deadline, and forEach visits exactly the
+// pending set.
 func TestWheelPropertyVsReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	base := time.Unix(1_000_000, 0)
@@ -42,6 +45,7 @@ func TestWheelPropertyVsReference(t *testing.T) {
 	pending := map[uint64]int64{} // the reference "heap" (UnixNano deadlines)
 	now := base.UnixNano()
 	var nextID uint64
+	var ids []uint64 // every id ever pushed, for cancellation picks
 
 	expire := func(e expiry) {
 		at, ok := pending[e.id]
@@ -81,10 +85,13 @@ func TestWheelPropertyVsReference(t *testing.T) {
 		if w.count != len(pending) {
 			t.Fatalf("wheel count %d, reference %d", w.count, len(pending))
 		}
+		if len(w.slots) != len(pending) {
+			t.Fatalf("cancellation index has %d entries, %d pending", len(w.slots), len(pending))
+		}
 	}
 
 	for step := 0; step < 4000; step++ {
-		switch rng.Intn(3) {
+		switch rng.Intn(5) {
 		case 0, 1: // push a small burst
 			for i := rng.Intn(4) + 1; i > 0; i-- {
 				nextID++
@@ -101,7 +108,17 @@ func TestWheelPropertyVsReference(t *testing.T) {
 				}
 				at := now + int64(off)
 				pending[nextID] = at
+				ids = append(ids, nextID)
 				w.push(at, nextID)
+			}
+		case 2: // cancel: remove must mirror reference membership exactly
+			for i := rng.Intn(3) + 1; i > 0 && len(ids) > 0; i-- {
+				id := ids[rng.Intn(len(ids))]
+				_, live := pending[id]
+				if w.remove(id) != live {
+					t.Fatalf("remove(%d) = %v, reference pending %v", id, !live, live)
+				}
+				delete(pending, id)
 			}
 		default: // advance (possibly by zero: ripe still drains)
 			now += int64(time.Duration(rng.Intn(20_000)) * time.Millisecond)
@@ -131,8 +148,53 @@ func TestWheelPropertyVsReference(t *testing.T) {
 	if len(pending) != 0 {
 		t.Fatalf("%d expiries lost after full drain", len(pending))
 	}
-	if w.count != 0 || w.inLevels != 0 || len(w.overflow) != 0 || len(w.ripe) != 0 {
-		t.Fatalf("wheel not empty after drain: count=%d inLevels=%d overflow=%d ripe=%d",
-			w.count, w.inLevels, len(w.overflow), len(w.ripe))
+	if w.count != 0 || w.inLevels != 0 || len(w.overflow) != 0 || len(w.ripe) != 0 || len(w.slots) != 0 {
+		t.Fatalf("wheel not empty after drain: count=%d inLevels=%d overflow=%d ripe=%d slots=%d",
+			w.count, w.inLevels, len(w.overflow), len(w.ripe), len(w.slots))
+	}
+}
+
+// TestWheelRemove pins the cancellation basics the property test only
+// reaches statistically: a removed expiry never fires, removing an
+// unknown or already-fired id reports false, swap-removal keeps the
+// surviving entries firing, and re-pushing a still-filed id replaces the
+// stale entry instead of duplicating it.
+func TestWheelRemove(t *testing.T) {
+	base := time.Unix(1_000_000, 0)
+	g := time.Millisecond
+	w := newTimerWheel(g, base)
+	at := base.Add(10 * time.Millisecond).UnixNano()
+	for id := uint64(1); id <= 3; id++ {
+		w.push(at, id) // same bucket: removal must swap-fix neighbours
+	}
+	if !w.remove(2) {
+		t.Fatal("remove of a pending id reported false")
+	}
+	if w.remove(2) || w.remove(99) {
+		t.Fatal("remove of an absent id reported true")
+	}
+	fired := map[uint64]bool{}
+	w.advanceTo(base.Add(20*time.Millisecond).UnixNano(), func(e expiry) { fired[e.id] = true })
+	if fired[2] {
+		t.Fatal("cancelled expiry fired")
+	}
+	if !fired[1] || !fired[3] {
+		t.Fatalf("surviving expiries lost after swap-removal: fired %v", fired)
+	}
+	if w.remove(1) {
+		t.Fatal("remove of an already-fired id reported true")
+	}
+
+	// Re-pushing a filed id replaces the stale entry: only the second
+	// deadline fires, once.
+	w.push(base.Add(30*time.Millisecond).UnixNano(), 7)
+	w.push(base.Add(40*time.Millisecond).UnixNano(), 7)
+	if w.count != 1 {
+		t.Fatalf("duplicate push left count %d, want 1", w.count)
+	}
+	var fires []int64
+	w.advanceTo(base.Add(60*time.Millisecond).UnixNano(), func(e expiry) { fires = append(fires, e.at) })
+	if len(fires) != 1 || fires[0] != base.Add(40*time.Millisecond).UnixNano() {
+		t.Fatalf("re-pushed id fired %v, want the replacement deadline only", fires)
 	}
 }

@@ -3,12 +3,12 @@ package pipeline
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"feasregion/internal/trace"
 
 	"feasregion/internal/adapt"
 	"feasregion/internal/core"
+	"feasregion/internal/degrade"
 	"feasregion/internal/des"
 	"feasregion/internal/dist"
 	"feasregion/internal/faults"
@@ -81,6 +81,25 @@ type Options struct {
 	// feasible-region controller.
 	EnableShedding bool
 
+	// EnableDegradation activates quality-aware (imprecise-computation)
+	// admission: arrivals carrying optional demand are admitted through
+	// the core cascade (full quality first, then the highest fitting
+	// ladder level), and before rejecting an important arrival the
+	// pipeline trims less important in-flight tasks toward mandatory-only
+	// (core.PlanDegradation) — degrade before you reject. Requires the
+	// default feasible-region controller; incompatible with MaxWait (the
+	// wait queue admits at full quality only).
+	EnableDegradation bool
+
+	// Governor, when non-nil, attaches an overload governor (implies
+	// EnableDegradation): its hysteresis state machine reads the
+	// controller's region headroom and the overrun guard's detections,
+	// caps the quality level new admissions enter at, trims in-flight
+	// tasks when the cap drops, and gates eviction behind the Shedding
+	// state. The caller drives the ticks — typically
+	// Governor().ScheduleSim(sim, interval, horizon).
+	Governor *degrade.Config
+
 	// OverrunPolicy arms the overrun guard: every guarded task's job is
 	// submitted with its admitted per-stage demand estimate as an
 	// execution budget, and crossing it triggers the policy (log,
@@ -149,9 +168,11 @@ type Pipeline struct {
 	policy task.Policy
 	prng   *dist.RNG
 
-	shedding bool
-	guard    *core.Guard
-	faults   *faults.Injector
+	shedding    bool
+	degradation bool
+	governor    *degrade.Governor
+	guard       *core.Guard
+	faults      *faults.Injector
 	inflight map[task.ID]*inflight
 	tracer   *trace.Recorder
 	health   *obs.Monitor
@@ -176,6 +197,9 @@ type Pipeline struct {
 
 	measuring      bool
 	measureStart   des.Time
+	degraded       uint64  // window: admissions below full quality
+	trimmedTasks   uint64  // window: in-flight quality trims
+	utility        float64 // window: Σ task.Utility over on-time completions
 	busyAtStart    []float64
 	responseTimes  stats.Welford
 	respP50        *stats.Quantile
@@ -207,6 +231,9 @@ type inflight struct {
 	stage    int
 	job      *sched.Job // current stage's job, for shedding cancellation
 	injected bool       // bypassed admission (certified critical): never guarded
+	// level is the task's current quality level (task.QualityLevels when
+	// admitted at full quality or rigid); trims lower it in place.
+	level int
 	// missStage is the stage whose tenure the task's absolute deadline
 	// expired in (−1 while the deadline has not passed) — the miss
 	// attribution behind feasregion_pipeline_misses{stage=...}.
@@ -293,6 +320,15 @@ func New(sim *des.Simulator, opts Options) *Pipeline {
 		}
 		p.shedding = true
 	}
+	if opts.EnableDegradation || opts.Governor != nil {
+		if p.ctrl == nil {
+			panic("pipeline: quality-aware degradation requires the default feasible-region controller")
+		}
+		if p.wq != nil {
+			panic("pipeline: degradation does not compose with MaxWait (the wait queue admits at full quality)")
+		}
+		p.degradation = true
+	}
 	if opts.OverrunPolicy != core.OverrunIgnore {
 		if p.ctrl == nil {
 			panic("pipeline: the overrun guard requires the default feasible-region controller")
@@ -305,8 +341,19 @@ func New(sim *des.Simulator, opts Options) *Pipeline {
 			})
 		}
 	}
-	if p.shedding || p.guard != nil {
+	if p.shedding || p.guard != nil || p.degradation {
 		p.inflight = map[task.ID]*inflight{}
+	}
+	if opts.Governor != nil {
+		in := degrade.Inputs{
+			Headroom: func() (float64, float64) { return p.ctrl.Value(), p.ctrl.Region().Bound() },
+		}
+		if p.guard != nil {
+			in.Overruns = func() uint64 { return p.guard.Stats().Detected }
+		}
+		p.governor = degrade.New(*opts.Governor, in)
+		p.governor.SetTrimmer(p.TrimOptional)
+		p.governor.SetMetrics(opts.Metrics)
 	}
 	if opts.Faults != nil {
 		p.faults = opts.Faults
@@ -438,6 +485,9 @@ func (p *Pipeline) Offer(t *task.Task) bool {
 		p.wq.Submit(t)
 		return false
 	}
+	if p.adm != nil && p.degradation {
+		return p.offerQuality(t)
+	}
 	if p.adm != nil && !p.adm.TryAdmit(t) {
 		if !p.shedding || !p.shedFor(t) {
 			p.trace(t.ID, "admission", "reject")
@@ -453,6 +503,49 @@ func (p *Pipeline) Offer(t *task.Task) bool {
 	return true
 }
 
+// offerQuality runs the degrade-before-you-reject admission sequence:
+// (1) the core cascade — full demand under the governor's quality cap,
+// then the highest fitting ladder level; (2) trim less important
+// in-flight tasks toward mandatory-only (PlanDegradation) and retry; (3)
+// only when the governor permits eviction (or no governor is attached),
+// fall back to semantic shedding and retry once more.
+func (p *Pipeline) offerQuality(t *task.Task) bool {
+	lvCap := task.QualityLevels
+	if p.governor != nil {
+		lvCap = p.governor.QualityCap()
+	}
+	if lv, ok := p.ctrl.TryAdmitQuality(t, lvCap); ok {
+		p.admitAt(t, lv)
+		return true
+	}
+	if p.degradeFor(t) {
+		if lv, ok := p.ctrl.TryAdmitQuality(t, lvCap); ok {
+			p.admitAt(t, lv)
+			return true
+		}
+	}
+	if p.shedding && (p.governor == nil || p.governor.AllowEviction()) && p.shedFor(t) {
+		if lv, ok := p.ctrl.TryAdmitQuality(t, lvCap); ok {
+			p.admitAt(t, lv)
+			return true
+		}
+	}
+	p.trace(t.ID, "admission", "reject")
+	return false
+}
+
+// admitAt records a quality-cascade admission and starts the task.
+func (p *Pipeline) admitAt(t *task.Task, level int) {
+	p.trace(t.ID, "admission", "admit")
+	if level < task.QualityLevels && t.HasOptional() {
+		p.trace(t.ID, "admission", "degraded")
+		if p.measuring {
+			p.degraded++
+		}
+	}
+	p.startAs(t, false, level)
+}
+
 // trace records a pipeline-level event when tracing is wired.
 func (p *Pipeline) trace(id task.ID, source, kind string) {
 	if p.tracer != nil {
@@ -460,30 +553,35 @@ func (p *Pipeline) trace(id task.ID, source, kind string) {
 	}
 }
 
-// shedFor tries to make room for an important arrival by shedding less
-// important in-flight tasks, least important first (newest first among
-// equals). It reports whether enough was shed for t to fit.
-func (p *Pipeline) shedFor(t *task.Task) bool {
-	candidates := make([]*inflight, 0, len(p.inflight))
+// victims collects the in-flight tasks an arrival may displace (less
+// important, not injected) in the canonical victim order
+// (task.OrderVictims) — shared by shedding and degradation so both
+// mechanisms pick the same targets deterministically.
+func (p *Pipeline) victims(t *task.Task) ([]*task.Task, map[task.ID]*inflight) {
+	vs := make([]*task.Task, 0, len(p.inflight))
+	byID := make(map[task.ID]*inflight, len(p.inflight))
 	for _, f := range p.inflight {
-		if f.t.Importance < t.Importance {
-			candidates = append(candidates, f)
+		if f.injected || f.t.Importance >= t.Importance {
+			continue
 		}
+		vs = append(vs, f.t)
+		byID[f.t.ID] = f
 	}
-	if len(candidates) == 0 {
+	task.OrderVictims(vs)
+	return vs, byID
+}
+
+// shedFor tries to make room for an important arrival by shedding less
+// important in-flight tasks in canonical victim order. It reports
+// whether enough was shed for t to fit.
+func (p *Pipeline) shedFor(t *task.Task) bool {
+	vs, byID := p.victims(t)
+	if len(vs) == 0 {
 		return false
 	}
-	sort.Slice(candidates, func(i, j int) bool {
-		if candidates[i].t.Importance != candidates[j].t.Importance {
-			return candidates[i].t.Importance < candidates[j].t.Importance
-		}
-		return candidates[i].t.ID > candidates[j].t.ID
-	})
-	ids := make([]task.ID, len(candidates))
-	byID := make(map[task.ID]*inflight, len(candidates))
-	for i, f := range candidates {
-		ids[i] = f.t.ID
-		byID[f.t.ID] = f
+	ids := make([]task.ID, len(vs))
+	for i, v := range vs {
+		ids[i] = v.ID
 	}
 	plan, ok := p.ctrl.PlanShedding(t, ids)
 	if !ok {
@@ -494,6 +592,87 @@ func (p *Pipeline) shedFor(t *task.Task) bool {
 	}
 	return true
 }
+
+// degradeFor tries to make room for an arrival by trimming less
+// important in-flight tasks toward mandatory-only demand, escalating to
+// eviction only when trimming every victim is not enough AND the
+// governor (if any) permits eviction. Nothing is applied unless the
+// whole plan is. It reports whether room was made (the caller then
+// re-runs the admission cascade, which may now land above
+// mandatory-only).
+func (p *Pipeline) degradeFor(t *task.Task) bool {
+	vs, byID := p.victims(t)
+	if len(vs) == 0 {
+		return false
+	}
+	plan, ok := p.ctrl.PlanDegradation(t, vs)
+	if !ok {
+		return false
+	}
+	if len(plan.Evict) > 0 && p.governor != nil && !p.governor.AllowEviction() {
+		return false
+	}
+	for _, id := range plan.Trim {
+		p.applyTrim(byID[id], 0)
+	}
+	for _, id := range plan.Evict {
+		p.abort(byID[id], "shed")
+	}
+	return true
+}
+
+// applyTrim lowers one in-flight task to the level: the ledger
+// contribution shrinks through core.Degrade, and the currently running
+// (or queued) stage job is cut to the degraded demand with a
+// proportionally scaled overrun budget. Raising is never done in place —
+// restored quality only applies to future admissions. Reports whether
+// the task was trimmed.
+func (p *Pipeline) applyTrim(f *inflight, level int) bool {
+	if f == nil || level >= f.level || !f.t.HasOptional() {
+		return false
+	}
+	if _, ok := p.ctrl.Degrade(f.t, level); !ok {
+		return false
+	}
+	f.level = level
+	p.trace(f.t.ID, "admission", "trim")
+	if p.measuring {
+		p.trimmedTasks++
+	}
+	if f.job != nil {
+		j := f.stage
+		sub := f.t.Subtasks[j]
+		if sub.Optional > 0 && len(sub.Segments) == 0 && sub.Demand > 0 {
+			d := f.t.StageDemandAt(j, level)
+			budget := math.Inf(1)
+			if p.guard != nil && !f.injected {
+				budget = p.guard.Budget(f.t, j) * d / sub.Demand
+			}
+			p.stages[j].TrimTo(f.job, d, budget)
+		}
+	}
+	return true
+}
+
+// TrimOptional degrades every non-injected in-flight task above maxLevel
+// down to it and returns how many tasks were trimmed — the governor's
+// actuator (wired as its trimmer), also callable directly.
+func (p *Pipeline) TrimOptional(maxLevel int) int {
+	n := 0
+	for _, f := range p.inflight {
+		if f.injected {
+			continue
+		}
+		if p.applyTrim(f, maxLevel) {
+			n++
+		}
+	}
+	return n
+}
+
+// Governor returns the overload governor, or nil when not configured.
+// Drive it with ScheduleSim over the run's horizon.
+func (p *Pipeline) Governor() *degrade.Governor { return p.governor }
 
 // abort drops one in-flight task (semantic shedding or overrun
 // eviction): its current job is cancelled, its synthetic-utilization
@@ -530,7 +709,7 @@ func (p *Pipeline) class(t *task.Task) *ClassMetrics {
 // guard: their capacity was certified offline, not estimated.
 func (p *Pipeline) Inject(t *task.Task) {
 	p.assignPriority(t)
-	p.startAs(t, true)
+	p.startAs(t, true, task.QualityLevels)
 }
 
 func (p *Pipeline) assignPriority(t *task.Task) {
@@ -538,9 +717,9 @@ func (p *Pipeline) assignPriority(t *task.Task) {
 }
 
 // start begins execution at the first stage with non-zero demand.
-func (p *Pipeline) start(t *task.Task) { p.startAs(t, false) }
+func (p *Pipeline) start(t *task.Task) { p.startAs(t, false, task.QualityLevels) }
 
-func (p *Pipeline) startAs(t *task.Task, injected bool) {
+func (p *Pipeline) startAs(t *task.Task, injected bool, level int) {
 	if len(t.Subtasks) != len(p.stages) {
 		panic(fmt.Sprintf("pipeline: task %d has %d subtasks for %d stages", t.ID, len(t.Subtasks), len(p.stages)))
 	}
@@ -552,7 +731,7 @@ func (p *Pipeline) startAs(t *task.Task, injected bool) {
 		p.classEntered = map[string]uint64{}
 	}
 	p.classEntered[t.Class]++
-	f := &inflight{t: t, stage: 0, injected: injected, missStage: -1}
+	f := &inflight{t: t, stage: 0, injected: injected, missStage: -1, level: level}
 	if p.inflight != nil {
 		p.inflight[t.ID] = f
 	}
@@ -566,6 +745,14 @@ func (p *Pipeline) advance(f *inflight, now des.Time) {
 	for f.stage < len(p.stages) {
 		j := f.stage
 		sub := t.Subtasks[j]
+		ratio := 1.0
+		if f.level < task.QualityLevels && sub.Optional > 0 && len(sub.Segments) == 0 && sub.Demand > 0 {
+			// Degraded admission: the stage runs only the quality level's
+			// share of the optional demand.
+			d := t.StageDemandAt(j, f.level)
+			ratio = d / sub.Demand
+			sub = task.Subtask{Demand: d}
+		}
 		if sub.Demand <= 0 && len(sub.Segments) == 0 {
 			// No work here: the task departs stage j instantly.
 			if p.adm != nil {
@@ -576,7 +763,7 @@ func (p *Pipeline) advance(f *inflight, now des.Time) {
 		}
 		budget := math.Inf(1)
 		if p.guard != nil && !f.injected {
-			budget = p.guard.Budget(t, j)
+			budget = p.guard.Budget(t, j) * ratio
 		}
 		enq := p.sim.Now()
 		f.job = p.stages[j].SubmitBudgeted(t.ID, t.Priority, sub, budget, func(done des.Time) {
@@ -592,8 +779,9 @@ func (p *Pipeline) advance(f *inflight, now des.Time) {
 			}
 			if p.health != nil {
 				// f.job is still this stage's completed job here; advance
-				// replaces it only after the observation.
-				p.health.Observe(j, t.StageDemand(j), f.job.Consumed())
+				// replaces it only after the observation. Degraded jobs
+				// declare their degraded demand, not the full one.
+				p.health.Observe(j, t.StageDemandAt(j, f.level), f.job.Consumed())
 			}
 			if p.adm != nil {
 				p.adm.MarkDeparted(j, t.ID)
@@ -637,6 +825,9 @@ func (p *Pipeline) finish(f *inflight, now des.Time) {
 	p.respP95.Add(resp)
 	p.respP99.Add(resp)
 	p.missRatio.Observe(miss)
+	if !miss {
+		p.utility += t.Utility(f.level)
+	}
 	cm := p.class(t)
 	cm.Completed++
 	if miss {
@@ -664,6 +855,7 @@ func (p *Pipeline) BeginMeasurement() {
 	p.missRatio = stats.Ratio{}
 	p.offered, p.enteredService, p.completed, p.missed, p.shed = 0, 0, 0, 0, 0
 	p.overrunEvicted = 0
+	p.degraded, p.trimmedTasks, p.utility = 0, 0, 0
 	p.classes = map[string]*ClassMetrics{}
 	if p.ctrl != nil {
 		for j := 0; j < len(p.stages); j++ {
@@ -692,6 +884,16 @@ type Metrics struct {
 	OverrunEvicted uint64
 	MissRatio      float64
 	AcceptRatio    float64
+
+	// Degraded counts admissions that entered below full quality over
+	// the window; TrimmedTasks counts in-flight quality trims (admission
+	// PlanDegradation plus governor ticks); UtilityDelivered sums
+	// task.Utility(level) over on-time completions — full-quality rigid
+	// or undegraded tasks deliver 1, degraded ones less, missed or shed
+	// ones nothing.
+	Degraded         uint64
+	TrimmedTasks     uint64
+	UtilityDelivered float64
 
 	// GuardStats snapshots the overrun guard's cumulative counters
 	// (zero when no guard is armed). Unlike the window counters above,
@@ -724,6 +926,9 @@ func (p *Pipeline) Snapshot() Metrics {
 		Missed:           p.missed,
 		Shed:             p.shed,
 		OverrunEvicted:   p.overrunEvicted,
+		Degraded:         p.degraded,
+		TrimmedTasks:     p.trimmedTasks,
+		UtilityDelivered: p.utility,
 		MissRatio:        p.missRatio.Value(),
 		ResponseTimes:    p.responseTimes,
 		ResponseP50:      p.respP50.Value(),

@@ -560,6 +560,75 @@ func (s *Stage) Cancel(j *Job) bool {
 	}
 }
 
+// TrimTo shrinks a resident job's total computation demand to newDemand
+// (nominal; the exec model, if any, is re-applied exactly as at submit
+// time) and replaces its overrun budget — the scheduler-side actuator of
+// quality degradation: when an in-flight task drops to a lower quality
+// level, the stage stops executing optional work the ledgers no longer
+// account for. Only unsegmented (single segment, no lock) jobs can be
+// trimmed; critical sections are not skippable. Demand already executed
+// is sunk — the job's remaining work becomes max(0, newDemand−executed) —
+// and TrimTo never extends a job: a newDemand above the current plan only
+// updates the budget. Trimming a running job to at or below its executed
+// time completes it at the current instant. It reports whether the job
+// was resident (running or ready) and trimmable.
+func (s *Stage) TrimTo(j *Job, newDemand, newBudget float64) bool {
+	if newDemand < 0 || math.IsNaN(newDemand) || newBudget < 0 || math.IsNaN(newBudget) {
+		panic(fmt.Sprintf("sched: stage %q: invalid trim (demand %v, budget %v) for task %d",
+			s.name, newDemand, newBudget, j.TaskID))
+	}
+	if len(j.segments) != 1 || j.segments[0].Lock != task.NoLock {
+		return false
+	}
+	actual := newDemand
+	if s.execModel != nil {
+		actual = s.execModel(j.TaskID, newDemand)
+		if actual < 0 || math.IsNaN(actual) || math.IsInf(actual, 0) {
+			panic(fmt.Sprintf("sched: stage %q: exec model returned %v for task %d", s.name, actual, j.TaskID))
+		}
+	}
+	switch {
+	case s.running == j:
+		// Fold the in-flight dispatch into consumed and restart the
+		// segment clock so the completion event and budget watchdog are
+		// re-derived from a consistent state.
+		now := s.sim.Now()
+		elapsed := now - j.segStart
+		rem := j.segRemaining - elapsed
+		if rem < 0 {
+			rem = 0
+		}
+		newRem := actual - (j.consumed + elapsed)
+		if newRem < 0 {
+			newRem = 0
+		}
+		if newRem > rem {
+			newRem = rem // never extend
+		}
+		j.consumed += elapsed
+		j.segStart = now
+		j.segRemaining = newRem
+		s.sim.Cancel(j.completion)
+		j.completion = s.sim.After(newRem, func() { s.onSegmentDone(j) })
+		j.budget = newBudget
+		s.disarmWatch(j)
+		s.armWatch(j)
+		return true
+	case j.heapIdx >= 0:
+		newRem := actual - j.consumed
+		if newRem < 0 {
+			newRem = 0
+		}
+		if newRem < j.segRemaining {
+			j.segRemaining = newRem
+		}
+		j.budget = newBudget
+		return true
+	default:
+		return false // completed, cancelled, or never submitted here
+	}
+}
+
 // recomputeInheritance re-derives every lock holder's inherited priority
 // from the remaining blocked jobs (after a blocked job is cancelled).
 func (s *Stage) recomputeInheritance() {

@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+)
+
+func TestTrimToRunningJob(t *testing.T) {
+	sim := des.New()
+	st := New(sim, "s0")
+	done := map[task.ID]des.Time{}
+	var j *Job
+	sim.At(0, func() {
+		j = st.Submit(1, 1, task.NewSubtask(10), func(now des.Time) { done[1] = now })
+	})
+	// At t=4 the job has executed 4 of 10; trim its total demand to 6, so
+	// 2 units remain and it completes at t=6 instead of t=10.
+	sim.At(4, func() {
+		if !st.TrimTo(j, 6, math.Inf(1)) {
+			t.Fatal("TrimTo refused a running job")
+		}
+	})
+	sim.Run()
+	if got := done[1]; got != 6 {
+		t.Fatalf("completion at %v, want 6", got)
+	}
+	if got := j.Consumed(); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("consumed %v, want 6", got)
+	}
+}
+
+func TestTrimToBelowExecutedCompletesNow(t *testing.T) {
+	sim := des.New()
+	st := New(sim, "s0")
+	done := map[task.ID]des.Time{}
+	var j *Job
+	sim.At(0, func() {
+		j = st.Submit(1, 1, task.NewSubtask(10), func(now des.Time) { done[1] = now })
+	})
+	sim.At(7, func() {
+		// Already executed 7 > new demand 5: the job completes immediately.
+		st.TrimTo(j, 5, math.Inf(1))
+	})
+	sim.Run()
+	if got := done[1]; got != 7 {
+		t.Fatalf("completion at %v, want immediate completion at 7", got)
+	}
+}
+
+func TestTrimToQueuedJob(t *testing.T) {
+	sim := des.New()
+	st := New(sim, "s0")
+	done := map[task.ID]des.Time{}
+	var j *Job
+	sim.At(0, func() {
+		st.Submit(1, 0, task.NewSubtask(5), func(now des.Time) { done[1] = now })
+		j = st.Submit(2, 1, task.NewSubtask(10), func(now des.Time) { done[2] = now })
+	})
+	sim.At(1, func() {
+		if !st.TrimTo(j, 3, math.Inf(1)) {
+			t.Fatal("TrimTo refused a queued job")
+		}
+	})
+	sim.Run()
+	if got := done[2]; got != 8 {
+		t.Fatalf("completion at %v, want 5 (queue) + 3 (trimmed) = 8", got)
+	}
+}
+
+func TestTrimToNeverExtends(t *testing.T) {
+	sim := des.New()
+	st := New(sim, "s0")
+	done := map[task.ID]des.Time{}
+	var j *Job
+	sim.At(0, func() {
+		j = st.Submit(1, 1, task.NewSubtask(4), func(now des.Time) { done[1] = now })
+	})
+	sim.At(1, func() {
+		if !st.TrimTo(j, 100, math.Inf(1)) {
+			t.Fatal("TrimTo refused")
+		}
+	})
+	sim.Run()
+	if got := done[1]; got != 4 {
+		t.Fatalf("completion at %v, want unchanged 4 (trim must never extend)", got)
+	}
+}
+
+func TestTrimToRefusesSegmentedAndCompleted(t *testing.T) {
+	sim := des.New()
+	st := New(sim, "s0")
+	st.RegisterLock(1, 0)
+	var seg, plain *Job
+	sim.At(0, func() {
+		seg = st.Submit(1, 1, task.Subtask{Demand: 2, Segments: []task.Segment{
+			{Duration: 1, Lock: task.NoLock}, {Duration: 1, Lock: 1},
+		}}, nil)
+		plain = st.Submit(2, 2, task.NewSubtask(1), nil)
+	})
+	sim.At(0.5, func() {
+		if st.TrimTo(seg, 1, math.Inf(1)) {
+			t.Error("TrimTo accepted a segmented job")
+		}
+	})
+	sim.Run()
+	if st.TrimTo(plain, 0.5, math.Inf(1)) {
+		t.Error("TrimTo accepted a completed job")
+	}
+}
+
+func TestTrimToRearmsBudgetWatchdog(t *testing.T) {
+	sim := des.New()
+	st := New(sim, "s0")
+	var overrunAt des.Time = -1
+	st.OnOverrun(func(j *Job, consumed, total float64) { overrunAt = sim.Now() })
+	var j *Job
+	sim.At(0, func() {
+		// Budget 8 on a 10-demand job: watchdog would fire at t=8.
+		j = st.SubmitBudgeted(1, 1, task.NewSubtask(10), 8, nil)
+	})
+	sim.At(2, func() {
+		// Degrade: demand 6, budget 3. Already consumed 2, so the new
+		// budget is crossed at t=3.
+		st.TrimTo(j, 6, 3)
+	})
+	sim.Run()
+	if overrunAt != 3 {
+		t.Fatalf("watchdog fired at %v, want 3 after budget replacement", overrunAt)
+	}
+}
+
+func TestTrimToAppliesExecModel(t *testing.T) {
+	sim := des.New()
+	st := New(sim, "s0")
+	// Stage runs at half speed: nominal demand doubles.
+	st.SetExecModel(func(_ task.ID, nominal float64) float64 { return 2 * nominal })
+	done := map[task.ID]des.Time{}
+	var j *Job
+	sim.At(0, func() {
+		j = st.Submit(1, 1, task.NewSubtask(5), func(now des.Time) { done[1] = now })
+	})
+	sim.At(2, func() {
+		// Nominal trim to 3 -> actual 6; 2 executed, 4 remain -> done at 6.
+		st.TrimTo(j, 3, math.Inf(1))
+	})
+	sim.Run()
+	if got := done[1]; got != 6 {
+		t.Fatalf("completion at %v, want 6 (trim maps through the exec model)", got)
+	}
+}
+
+func TestTrimToPreemptedJobKeepsConsistency(t *testing.T) {
+	sim := des.New()
+	st := New(sim, "s0")
+	done := map[task.ID]des.Time{}
+	var low *Job
+	sim.At(0, func() {
+		low = st.Submit(1, 5, task.NewSubtask(10), func(now des.Time) { done[1] = now })
+	})
+	sim.At(2, func() {
+		// Preempt with an urgent job, then trim the preempted one.
+		st.Submit(2, 0, task.NewSubtask(4), func(now des.Time) { done[2] = now })
+	})
+	sim.At(3, func() {
+		if !st.TrimTo(low, 5, math.Inf(1)) {
+			t.Fatal("TrimTo refused a preempted (ready) job")
+		}
+	})
+	sim.Run()
+	// low executed 2 before preemption; urgent runs [2,6]; low resumes with
+	// 5-2=3 remaining -> completes at 9.
+	if got := done[2]; got != 6 {
+		t.Fatalf("urgent completion at %v, want 6", got)
+	}
+	if got := done[1]; got != 9 {
+		t.Fatalf("trimmed completion at %v, want 9", got)
+	}
+}

@@ -1,6 +1,8 @@
 package task
 
 import (
+	"sort"
+
 	"feasregion/internal/dist"
 )
 
@@ -76,6 +78,36 @@ func (SemanticImportance) Assign(t *Task, _ *dist.RNG) float64 { return -t.Impor
 
 // Fixed implements Policy.
 func (SemanticImportance) Fixed() bool { return true }
+
+// OrderVictims sorts tasks in place into the canonical victim order
+// shared by load shedding (§5) and quality degradation: least important
+// first, and among equally important tasks the one freeing the most
+// synthetic utilization (TotalDemand/Deadline) first, with descending ID
+// as the final tie-break so the order is deterministic across runs.
+// Eviction and optional-demand trimming both walk this order, so the two
+// mechanisms always sacrifice the same tasks first.
+func OrderVictims(victims []*Task) {
+	sort.Slice(victims, func(a, b int) bool {
+		va, vb := victims[a], victims[b]
+		if va.Importance != vb.Importance {
+			return va.Importance < vb.Importance
+		}
+		ca, cb := victimWeight(va), victimWeight(vb)
+		if ca != cb {
+			return ca > cb
+		}
+		return va.ID > vb.ID
+	})
+}
+
+// victimWeight is the total synthetic utilization a task frees when
+// evicted, used as the secondary victim-order key.
+func victimWeight(t *Task) float64 {
+	if t.Deadline <= 0 {
+		return 0
+	}
+	return t.TotalDemand() / t.Deadline
+}
 
 // FIFO serves tasks in arrival order. Like EDF it is arrival-time
 // dependent and serves only as a simulator baseline.

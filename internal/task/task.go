@@ -14,6 +14,22 @@ type ID int64
 // NoLock marks a segment that executes outside any critical section.
 const NoLock = -1
 
+// QualityLevels is the height of the discrete quality ladder used by
+// imprecise (mandatory/optional) tasks. Level 0 executes mandatory demand
+// only, level QualityLevels executes the full demand, and level q in
+// between executes M_ij + O_ij*q/QualityLevels on every stage. A small
+// discrete ladder keeps the quality binary search O(log QualityLevels)
+// region tests and makes governor transitions observable.
+const QualityLevels = 8
+
+// MandatoryUtility is the fraction of a task's value delivered by
+// completing only its mandatory parts. The imprecise-computation reward
+// model is deliberately concave in demand: the mandatory prefix produces
+// an acceptable (if coarse) result, so it carries a disproportionate
+// share of the value. Each optional quality step adds an equal share of
+// the remaining 1 - MandatoryUtility.
+const MandatoryUtility = 0.5
+
 // Segment is one contiguous piece of a subtask's execution. A segment with
 // Lock != NoLock executes inside a critical section guarded by that
 // stage-local lock (acquired at segment start, released at segment end).
@@ -25,8 +41,17 @@ type Segment struct {
 // Subtask is the work a task performs on one pipeline stage (or DAG node's
 // resource). Demand is the total computation time; Segments optionally
 // partitions it into critical and non-critical pieces.
+//
+// Optional splits Demand into an imprecise-computation pair
+// C_ij = M_ij + O_ij: the first Demand-Optional units are mandatory
+// (the result is unacceptable without them) and the trailing Optional
+// units refine it. Quality-aware admission may trim any prefix of the
+// optional part; Optional = 0 reproduces the paper's all-or-nothing
+// model. Optional demand cannot be combined with explicit Segments
+// (critical sections are not skippable).
 type Subtask struct {
 	Demand   float64
+	Optional float64
 	Segments []Segment
 }
 
@@ -44,10 +69,33 @@ func (s Subtask) SegmentsOrWhole() []Segment {
 	return []Segment{{Duration: s.Demand, Lock: NoLock}}
 }
 
+// Mandatory returns M_ij = Demand - Optional, the part of the subtask
+// that quality degradation can never trim.
+func (s Subtask) Mandatory() float64 { return s.Demand - s.Optional }
+
+// DemandAt returns the subtask's computation demand when executed at the
+// given quality level: the mandatory part plus level/QualityLevels of the
+// optional part. Levels outside [0, QualityLevels] are clamped.
+func (s Subtask) DemandAt(level int) float64 {
+	if s.Optional == 0 || level >= QualityLevels {
+		return s.Demand
+	}
+	if level <= 0 {
+		return s.Demand - s.Optional
+	}
+	return s.Demand - s.Optional*(1-float64(level)/QualityLevels)
+}
+
 // Validate checks that explicit segments, when present, sum to Demand.
 func (s Subtask) Validate() error {
 	if s.Demand < 0 || math.IsNaN(s.Demand) {
 		return fmt.Errorf("task: subtask demand %v is negative or NaN", s.Demand)
+	}
+	if s.Optional < 0 || s.Optional > s.Demand || math.IsNaN(s.Optional) {
+		return fmt.Errorf("task: optional demand %v outside [0, %v]", s.Optional, s.Demand)
+	}
+	if s.Optional > 0 && len(s.Segments) > 0 {
+		return fmt.Errorf("task: optional demand cannot be combined with explicit segments")
 	}
 	if len(s.Segments) == 0 {
 		return nil
@@ -129,6 +177,75 @@ func (t *Task) Contribution(j int) float64 {
 		return math.Inf(1)
 	}
 	return t.StageDemand(j) / t.Deadline
+}
+
+// StageDemandAt returns the demand of stage j when the task executes at
+// the given quality level (see Subtask.DemandAt). Out-of-range stages
+// have zero demand.
+func (t *Task) StageDemandAt(j, level int) float64 {
+	if j < 0 || j >= len(t.Subtasks) {
+		return 0
+	}
+	return t.Subtasks[j].DemandAt(level)
+}
+
+// MandatoryDemand returns M_ij for stage j: the demand that remains at
+// quality level 0.
+func (t *Task) MandatoryDemand(j int) float64 { return t.StageDemandAt(j, 0) }
+
+// OptionalDemand returns O_ij for stage j: the demand trimmed away when
+// the task degrades from full quality to mandatory-only.
+func (t *Task) OptionalDemand(j int) float64 {
+	if j < 0 || j >= len(t.Subtasks) {
+		return 0
+	}
+	return t.Subtasks[j].Optional
+}
+
+// HasOptional reports whether any stage of the task carries optional
+// demand, i.e. whether quality degradation can shrink it at all.
+func (t *Task) HasOptional() bool {
+	for _, s := range t.Subtasks {
+		if s.Optional > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Utility returns the value delivered by completing the task at the given
+// quality level, normalized to [0, 1]: MandatoryUtility for a
+// mandatory-only run, 1 for a full-quality run, linear in the level in
+// between. Tasks with no optional demand always deliver 1. Rejected or
+// evicted tasks deliver 0 (there is no level for them; callers simply do
+// not count them).
+func (t *Task) Utility(level int) float64 {
+	if !t.HasOptional() || level >= QualityLevels {
+		return 1
+	}
+	if level < 0 {
+		level = 0
+	}
+	return MandatoryUtility + (1-MandatoryUtility)*float64(level)/QualityLevels
+}
+
+// SetOptionalFraction marks frac of every stage's demand as optional
+// (clamped to [0, 1]) and returns the task, for fluent construction of
+// imprecise chains. Stages with explicit segments are left untouched.
+func (t *Task) SetOptionalFraction(frac float64) *Task {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	for j := range t.Subtasks {
+		if len(t.Subtasks[j].Segments) > 0 {
+			continue
+		}
+		t.Subtasks[j].Optional = t.Subtasks[j].Demand * frac
+	}
+	return t
 }
 
 // Validate checks structural invariants of the task.

@@ -292,3 +292,137 @@ func TestZeroDeadlineContributionIsInf(t *testing.T) {
 		t.Fatal("zero-deadline contribution should be +Inf so admission always rejects")
 	}
 }
+
+func TestQualityLadder(t *testing.T) {
+	tk := Chain(1, 0, 10, 1.0, 2.0).SetOptionalFraction(0.5)
+	if !tk.HasOptional() {
+		t.Fatal("SetOptionalFraction did not mark optional demand")
+	}
+	if got := tk.MandatoryDemand(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MandatoryDemand(0) = %v, want 0.5", got)
+	}
+	if got := tk.OptionalDemand(1); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("OptionalDemand(1) = %v, want 1.0", got)
+	}
+	// Level endpoints and monotonicity of the ladder.
+	if got := tk.StageDemandAt(0, QualityLevels); got != tk.StageDemand(0) {
+		t.Fatalf("full level demand %v != StageDemand %v", got, tk.StageDemand(0))
+	}
+	if got := tk.StageDemandAt(0, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("level-0 demand %v, want mandatory 0.5", got)
+	}
+	prev := -1.0
+	for q := 0; q <= QualityLevels; q++ {
+		d := tk.StageDemandAt(1, q)
+		if d < prev {
+			t.Fatalf("demand not monotone in level: level %d demand %v < %v", q, d, prev)
+		}
+		if d < tk.MandatoryDemand(1)-1e-12 || d > tk.StageDemand(1)+1e-12 {
+			t.Fatalf("level %d demand %v outside [mandatory, full]", q, d)
+		}
+		prev = d
+	}
+	// Clamping.
+	if tk.StageDemandAt(0, -3) != tk.MandatoryDemand(0) {
+		t.Fatal("negative level should clamp to mandatory")
+	}
+	if tk.StageDemandAt(0, QualityLevels+5) != tk.StageDemand(0) {
+		t.Fatal("over-max level should clamp to full demand")
+	}
+}
+
+func TestUtilityModel(t *testing.T) {
+	imp := Chain(1, 0, 10, 1).SetOptionalFraction(0.6)
+	if got := imp.Utility(QualityLevels); got != 1 {
+		t.Fatalf("full-quality utility = %v, want 1", got)
+	}
+	if got := imp.Utility(0); got != MandatoryUtility {
+		t.Fatalf("mandatory-only utility = %v, want %v", got, MandatoryUtility)
+	}
+	half := imp.Utility(QualityLevels / 2)
+	want := MandatoryUtility + (1-MandatoryUtility)*0.5
+	if math.Abs(half-want) > 1e-12 {
+		t.Fatalf("mid-ladder utility = %v, want %v", half, want)
+	}
+	// Utility is concave in executed demand: the mandatory prefix is worth
+	// more per unit than the optional tail (the reason degradation wins
+	// under overload).
+	if MandatoryUtility <= imp.MandatoryDemand(0)/imp.StageDemand(0) {
+		t.Fatal("utility model must be concave: mandatory value share must exceed its demand share")
+	}
+	rigid := Chain(2, 0, 10, 1)
+	if rigid.Utility(0) != 1 {
+		t.Fatal("tasks without optional demand always deliver full utility")
+	}
+}
+
+func TestValidateRejectsBadOptional(t *testing.T) {
+	over := Chain(1, 0, 1, 1)
+	over.Subtasks[0].Optional = 1.5
+	if err := over.Validate(); err == nil {
+		t.Error("optional > demand accepted")
+	}
+	neg := Chain(2, 0, 1, 1)
+	neg.Subtasks[0].Optional = -0.1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative optional accepted")
+	}
+	seg := &Task{ID: 3, Deadline: 1, Subtasks: []Subtask{{
+		Demand:   1,
+		Optional: 0.5,
+		Segments: []Segment{{Duration: 1, Lock: NoLock}},
+	}}}
+	if err := seg.Validate(); err == nil {
+		t.Error("optional demand combined with segments accepted")
+	}
+}
+
+func TestSetOptionalFractionSkipsSegmented(t *testing.T) {
+	tk := &Task{ID: 1, Deadline: 1, Subtasks: []Subtask{
+		NewSubtask(1),
+		{Demand: 1, Segments: []Segment{{Duration: 1, Lock: 0}}},
+	}}
+	tk.SetOptionalFraction(0.5)
+	if tk.Subtasks[0].Optional != 0.5 {
+		t.Fatal("plain subtask should gain optional demand")
+	}
+	if tk.Subtasks[1].Optional != 0 {
+		t.Fatal("segmented subtask must stay fully mandatory")
+	}
+	if err := tk.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderVictims(t *testing.T) {
+	mk := func(id ID, imp, deadline float64, demands ...float64) *Task {
+		tk := Chain(id, 0, deadline, demands...)
+		tk.Importance = imp
+		return tk
+	}
+	a := mk(1, 2, 10, 1)     // weight 0.1
+	b := mk(2, 1, 10, 4)     // least important, weight 0.4
+	c := mk(3, 1, 10, 1)     // least important, weight 0.1
+	d := mk(4, 5, 10, 1)     // most important
+	e := mk(5, 1, 10, 1)     // ties with c except ID
+	victims := []*Task{d, a, c, b, e}
+	OrderVictims(victims)
+	wantIDs := []ID{2, 5, 3, 1, 4}
+	for i, v := range victims {
+		if v.ID != wantIDs[i] {
+			got := make([]ID, len(victims))
+			for j, w := range victims {
+				got[j] = w.ID
+			}
+			t.Fatalf("victim order = %v, want %v", got, wantIDs)
+		}
+	}
+	// Deterministic: re-sorting a shuffled copy gives the same order.
+	again := []*Task{e, b, d, a, c}
+	OrderVictims(again)
+	for i := range again {
+		if again[i].ID != victims[i].ID {
+			t.Fatal("OrderVictims is not deterministic")
+		}
+	}
+}
