@@ -31,11 +31,14 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench 'Metrics(Off|On)' -benchmem -count 3 -json . > BENCH_metrics.json
 
-# Admission hot-path scaling benchmarks (current vs frozen pre-rewrite
-# baseline; uncontended ns/op + allocs/op, 1/4/16-goroutine curves,
-# lock-free reject path) as go-test JSON: the repo's perf trajectory.
+# Admission hot-path scaling benchmarks (frozen pre-rewrite baseline
+# vs current single-shard vs K=8 sharded; uncontended ns/op +
+# allocs/op, 1/4/16/64/128/256-goroutine curves, lock-free reject
+# path) as go-test JSON: the repo's perf trajectory. The sharded
+# acceptance floor is ≥ 3× single-shard throughput at 64 goroutines
+# with 0 allocs/op.
 bench-admit:
-	$(GO) test -run '^$$' -bench '^Benchmark(Baseline)?Admit' -benchmem -count 3 -json . > BENCH_admit.json
+	$(GO) test -run '^$$' -bench '^Benchmark(Baseline|Sharded)?Admit' -benchmem -count 3 -json . > BENCH_admit.json
 
 # Quality-cascade benchmarks (full-quality admit vs degraded fallback
 # vs mandatory-only lock-free reject, plus the SetQuality actuator) as

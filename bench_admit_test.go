@@ -22,11 +22,18 @@ import (
 //
 //   - Uncontended: serial admit+release ns/op and allocs/op (the new
 //     path must report 0 allocs/op);
-//   - Parallel1/4/16: g goroutines splitting b.N over admit+release —
-//     the throughput scaling curve;
+//   - Parallel1/4/16/64/128/256: g goroutines splitting b.N over
+//     admit+release — the throughput scaling curve;
 //   - RejectParallel16: a full region hammered by 16 goroutines — the
 //     new path rejects lock-free off the seqlock mirror, the baseline
 //     serializes every rejection.
+//
+// The BenchmarkShardedAdmit* set runs the same harness over the K=8
+// sharded controller (online.Config{Shards: 8}): admits charge a
+// cache-line-isolated home shard instead of one shared mutex, so the
+// wide fan-outs (64+) are where the partition pays — the acceptance
+// floor is ≥ 3× the single-shard 64-goroutine throughput at 0
+// allocs/op.
 //
 // `make bench-admit` emits these as BENCH_admit.json.
 
@@ -265,8 +272,58 @@ func BenchmarkAdmitParallel16(b *testing.B) {
 	admitReleaseParallel(b, online.New(benchRegion(), nil, nil), 16)
 }
 
+func BenchmarkAdmitParallel64(b *testing.B) {
+	admitReleaseParallel(b, online.New(benchRegion(), nil, nil), 64)
+}
+
+func BenchmarkAdmitParallel128(b *testing.B) {
+	admitReleaseParallel(b, online.New(benchRegion(), nil, nil), 128)
+}
+
+func BenchmarkAdmitParallel256(b *testing.B) {
+	admitReleaseParallel(b, online.New(benchRegion(), nil, nil), 256)
+}
+
 func BenchmarkAdmitRejectParallel16(b *testing.B) {
 	rejectParallel(b, online.New(benchRegion(), nil, nil), 16)
+}
+
+// --- sharded controller (K=8) ---
+
+func shardedController() admitReleaser {
+	return online.NewWithConfig(benchRegion(), online.Config{Shards: 8})
+}
+
+func BenchmarkShardedAdmitUncontended(b *testing.B) {
+	admitReleaseSerial(b, shardedController())
+}
+
+func BenchmarkShardedAdmitParallel1(b *testing.B) {
+	admitReleaseParallel(b, shardedController(), 1)
+}
+
+func BenchmarkShardedAdmitParallel4(b *testing.B) {
+	admitReleaseParallel(b, shardedController(), 4)
+}
+
+func BenchmarkShardedAdmitParallel16(b *testing.B) {
+	admitReleaseParallel(b, shardedController(), 16)
+}
+
+func BenchmarkShardedAdmitParallel64(b *testing.B) {
+	admitReleaseParallel(b, shardedController(), 64)
+}
+
+func BenchmarkShardedAdmitParallel128(b *testing.B) {
+	admitReleaseParallel(b, shardedController(), 128)
+}
+
+func BenchmarkShardedAdmitParallel256(b *testing.B) {
+	admitReleaseParallel(b, shardedController(), 256)
+}
+
+func BenchmarkShardedAdmitRejectParallel16(b *testing.B) {
+	rejectParallel(b, shardedController(), 16)
 }
 
 // --- frozen pre-change baseline ---

@@ -213,6 +213,21 @@ func NewOnlineController(region Region, reserved []float64, clock OnlineClock) *
 	return online.New(region, reserved, clock)
 }
 
+// OnlineConfig is the full configuration for an OnlineController,
+// including the shard count for multi-core admission: Shards > 1
+// partitions the region bound across cache-line-isolated shards so
+// concurrent admits stop contending on one mutex, while staying
+// work-conserving (the sharded controller admits exactly the task sets
+// the unsharded one admits).
+type OnlineConfig = online.Config
+
+// NewOnlineControllerWithConfig builds a wall-clock controller from the
+// full configuration; the zero Config matches NewOnlineController with
+// nil reserved floors and the system clock.
+func NewOnlineControllerWithConfig(region Region, cfg OnlineConfig) *OnlineController {
+	return online.NewWithConfig(region, cfg)
+}
+
 // ---- Observability (metrics & stage-health feedback) ----
 
 // MetricsRegistry is the dependency-free instrument registry: counters,

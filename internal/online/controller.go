@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"feasregion/internal/core"
+	"feasregion/internal/expiry"
+	"feasregion/internal/shard"
 	"feasregion/internal/task"
 )
 
@@ -15,23 +17,10 @@ import (
 type Clock func() time.Time
 
 // Request describes one admission request: per-stage computation-time
-// estimates and a relative end-to-end deadline.
-type Request struct {
-	// ID must be unique among in-flight requests (e.g. a request
-	// counter); it keys departure marking and release.
-	ID uint64
-	// Deadline is the relative end-to-end deadline.
-	Deadline time.Duration
-	// Demands are per-stage computation-time estimates, one per stage.
-	Demands []time.Duration
-	// Optional, when non-nil, marks the trailing portion of each stage's
-	// demand as optional (imprecise computation): TryAdmitQuality may
-	// admit the request with Optional[j] scaled down by the quality
-	// ladder, and SetQuality retunes it in flight. Each entry must be in
-	// [0, Demands[j]]. Nil means the request is rigid — all demand
-	// mandatory.
-	Optional []time.Duration
-}
+// estimates and a relative end-to-end deadline. It is an alias of the
+// shard package's request type, so the sharded delegation passes
+// requests (and request slices) through without copying.
+type Request = shard.Request
 
 // wheelGranularity is the expiry wheel's level-0 bucket width. A purge
 // may run up to one bucket late, so capacity release lags a deadline by
@@ -77,8 +66,17 @@ type Stats struct {
 	Trimmed  uint64
 	Restored uint64
 	// Cancelled counts pending expiries unlinked eagerly by Release or
-	// ReleaseAll instead of lingering until their deadline purge.
+	// ReleaseAll instead of lingering until their deadline purge. A
+	// sharded controller cancels lazily instead: the count is stale
+	// wheel entries its purge discarded.
 	Cancelled uint64
+	// Steals, GlobalFallbacks, and Rebalances count sharded-mode
+	// control traffic (always zero on an unsharded controller): admits
+	// that needed peer headroom, exact all-shard admission passes, and
+	// cap re-partitions.
+	Steals          uint64
+	GlobalFallbacks uint64
+	Rebalances      uint64
 }
 
 // counters mirrors Stats as atomics so the lock-free reject path and
@@ -99,10 +97,14 @@ type counters struct {
 
 // waiter is one blocked AdmitWithin caller. ch is buffered so wakers
 // never block; queued tracks FIFO membership so a timed-out waiter can
-// remove itself and a woken one re-queues cleanly.
+// remove itself and a woken one re-queues cleanly. woken marks a waiter
+// that consumed a wake token: if its re-test fails it re-queues at the
+// FRONT of the FIFO (it was the head when woken), so a burst of wakes
+// cannot rotate the queue and starve the oldest waiter.
 type waiter struct {
 	ch     chan struct{}
 	queued bool
+	woken  bool
 }
 
 // Controller is a thread-safe wall-clock admission controller enforcing
@@ -135,9 +137,18 @@ type Controller struct {
 
 	stats counters
 
+	// sh, when non-nil, is the sharded data plane (Config.Shards > 1):
+	// every admission-path method delegates to it and the fields above
+	// except clock/stages are unused. The waiter FIFO below still lives
+	// here — the shard controller reports freed capacity through its
+	// wake hook, gated on nwaiters so uncontended shard operations never
+	// touch this mutex.
+	sh       *shard.Controller
+	nwaiters atomic.Int64
+
 	mu      sync.Mutex
 	ledgers []*core.Ledger
-	wheel   *timerWheel
+	wheel   *expiry.Wheel
 	scales  []float64 // per-stage demand multipliers (degraded stages)
 	maxNow  time.Time // monotone high-water mark of observed clock
 	waiters []*waiter // FIFO of blocked AdmitWithin callers
@@ -148,10 +159,53 @@ type Controller struct {
 	levels map[uint64]int
 }
 
+// Config bundles the optional knobs of NewWithConfig. The zero value
+// reproduces New(region, nil, nil).
+type Config struct {
+	// Reserved, when non-nil, sets per-stage reserved utilization
+	// floors (one entry per stage).
+	Reserved []float64
+	// Clock overrides time.Now (tests, simulation adapters).
+	Clock Clock
+	// Shards partitions the admission bound across 2^⌈log₂ K⌉
+	// cache-line-padded shards (clamped to [1, 64]) so concurrent
+	// admits stop serializing on one mutex. 0 or 1 keeps the single
+	// unsharded data plane. The sharded controller admits exactly the
+	// task sets the unsharded one admits (see internal/shard); the one
+	// observable difference is that Release cancels pending expiries
+	// lazily, so Stats.Cancelled counts purge-time discards instead of
+	// eager unlinks.
+	Shards int
+}
+
 // New builds a controller for the given region. reserved, when non-nil,
 // sets per-stage reserved utilization floors. clock may be nil
 // (time.Now).
 func New(region core.Region, reserved []float64, clock Clock) *Controller {
+	return NewWithConfig(region, Config{Reserved: reserved, Clock: clock})
+}
+
+// NewWithConfig builds a controller with the full option set.
+func NewWithConfig(region core.Region, cfg Config) *Controller {
+	if cfg.Shards > 1 {
+		c := &Controller{
+			stages: region.Stages,
+			clock:  cfg.Clock,
+			sh:     shard.New(region, cfg.Reserved, shard.Clock(cfg.Clock), cfg.Shards),
+		}
+		if c.clock == nil {
+			c.clock = time.Now
+		}
+		c.sh.SetWakeHook(func() {
+			if c.nwaiters.Load() > 0 {
+				c.mu.Lock()
+				c.wakeLocked()
+				c.mu.Unlock()
+			}
+		})
+		return c
+	}
+	reserved, clock := cfg.Reserved, cfg.Clock
 	if reserved != nil && len(reserved) != region.Stages {
 		panic(fmt.Sprintf("online: %d reserved values for %d stages", len(reserved), region.Stages))
 	}
@@ -177,7 +231,7 @@ func New(region core.Region, reserved []float64, clock Clock) *Controller {
 		utilBits:  make([]atomic.Uint64, region.Stages),
 		scaleBits: make([]atomic.Uint64, region.Stages),
 		ledgers:   ledgers,
-		wheel:     newTimerWheel(wheelGranularity, now),
+		wheel:     expiry.New(wheelGranularity, now, true),
 		scales:    scales,
 		maxNow:    now,
 		reapSet:   map[uint64]struct{}{},
@@ -254,15 +308,28 @@ func (c *Controller) wakeLocked() {
 	c.waiters[0] = nil
 	c.waiters = c.waiters[1:]
 	w.queued = false
+	c.nwaiters.Add(-1)
 	w.ch <- struct{}{} // buffered: a queued waiter's channel is empty
 }
 
-// enqueueLocked appends w to the FIFO unless already queued.
+// enqueueLocked adds w to the FIFO unless already queued: at the tail
+// normally, at the front when w holds a consumed wake token (it was the
+// head when woken; a failed re-test must not send it to the back, or a
+// release burst would rotate the whole queue past it).
 func (c *Controller) enqueueLocked(w *waiter) {
-	if !w.queued {
-		w.queued = true
+	if w.queued {
+		return
+	}
+	w.queued = true
+	if w.woken {
+		w.woken = false
+		c.waiters = append(c.waiters, nil)
+		copy(c.waiters[1:], c.waiters)
+		c.waiters[0] = w
+	} else {
 		c.waiters = append(c.waiters, w)
 	}
+	c.nwaiters.Add(1)
 }
 
 // dequeueLocked removes w if still queued; reports whether it was.
@@ -279,6 +346,7 @@ func (c *Controller) dequeueLocked(w *waiter) bool {
 		}
 	}
 	w.queued = false
+	c.nwaiters.Add(-1)
 	return true
 }
 
@@ -312,16 +380,27 @@ func (c *Controller) nowMonotoneNano() int64 {
 // purgeLocked removes contributions whose deadlines have passed and
 // returns the monotone view of now. Callers must hold mu.
 func (c *Controller) purgeLocked(now time.Time) time.Time {
+	now, _ = c.purgeQuietLocked(now, true)
+	return now
+}
+
+// purgeQuietLocked is purgeLocked with the waiter wake optionally
+// suppressed, for batch operations that coalesce their own single wake
+// over everything the batch freed (purge-expired and released alike) —
+// without it, a ReleaseAll under burst release hands out two tokens per
+// batch and thrashes the FIFO baton. It also returns how many
+// contributions expired so the caller knows a wake is owed.
+func (c *Controller) purgeQuietLocked(now time.Time, wake bool) (time.Time, int) {
 	now = c.monotoneLocked(now)
 	expired := 0
-	flushed := c.wheel.advanceTo(now.UnixNano(), func(e expiry) {
+	flushed := c.wheel.AdvanceTo(now.UnixNano(), func(e expiry.Entry) {
 		removed := false
 		for _, l := range c.ledgers {
-			if l.Remove(coreID(e.id)) {
+			if l.Remove(coreID(e.ID)) {
 				removed = true
 			}
 		}
-		delete(c.levels, e.id)
+		delete(c.levels, e.ID)
 		if removed {
 			expired++
 		}
@@ -330,7 +409,7 @@ func (c *Controller) purgeLocked(now time.Time) time.Time {
 	// bound has been reached — earliest() scans buckets, so don't pay
 	// for it on every uncontended admit.
 	if flushed > 0 || c.nextExpiry.Load() <= now.UnixNano() {
-		if at, ok := c.wheel.earliest(); ok {
+		if at, ok := c.wheel.Earliest(); ok {
 			c.nextExpiry.Store(at)
 		} else {
 			c.nextExpiry.Store(math.MaxInt64)
@@ -339,9 +418,11 @@ func (c *Controller) purgeLocked(now time.Time) time.Time {
 	if expired > 0 {
 		c.stats.expired.Add(uint64(expired))
 		c.publishUtilsLocked()
-		c.wakeLocked()
+		if wake {
+			c.wakeLocked()
+		}
 	}
-	return now
+	return now, expired
 }
 
 // coreID maps the request ID space onto the ledger's task.ID key space.
@@ -352,6 +433,9 @@ func coreID(id uint64) task.ID { return task.ID(id) }
 // the test fails and no purge is due — lock-free: rejection under
 // overload does not serialize on the controller's mutex.
 func (c *Controller) TryAdmit(r Request) bool {
+	if c.sh != nil {
+		return c.sh.Admit(&r, true)
+	}
 	return c.admit(r, true, nil)
 }
 
@@ -457,7 +541,7 @@ func (c *Controller) commitLocked(r Request, raw []float64, now time.Time) {
 		l.Add(coreID(r.ID), raw[j]*c.scales[j])
 	}
 	at := now.UnixNano() + int64(r.Deadline)
-	c.wheel.push(at, r.ID)
+	c.wheel.Push(at, r.ID)
 	if at < c.nextExpiry.Load() {
 		c.nextExpiry.Store(at) // writers are serialized by mu: plain min
 	}
@@ -472,6 +556,9 @@ func (c *Controller) commitLocked(r Request, raw []float64, now time.Time) {
 func (c *Controller) TryAdmitAll(rs []Request, out []bool) int {
 	if out != nil && len(out) < len(rs) {
 		panic(fmt.Sprintf("online: TryAdmitAll result slice len %d for %d requests", len(out), len(rs)))
+	}
+	if c.sh != nil {
+		return c.sh.TryAdmitAll(rs, out)
 	}
 	var stackRaw [maxStackStages]float64
 	var raw []float64
@@ -532,6 +619,9 @@ func (c *Controller) TryAdmitAll(rs []Request, out []bool) int {
 // successful re-test passes the token on, a failed one re-queues the
 // waiter. Nothing herds on a shared broadcast.
 func (c *Controller) AdmitWithin(r Request, maxWait time.Duration) bool {
+	if c.sh != nil {
+		return c.admitWithinSharded(r, maxWait)
+	}
 	if r.Deadline <= 0 || len(r.Demands) != c.stages {
 		c.stats.rejected.Add(1)
 		return false
@@ -580,10 +670,92 @@ func (c *Controller) AdmitWithin(r Request, maxWait time.Duration) bool {
 		select {
 		case <-w.ch:
 			timer.Stop()
+			w.woken = true // a failed re-test re-queues at the front
 		case <-timer.C:
 			// Timer retry: leave the FIFO before re-testing so a
 			// concurrent wake cannot target an already-awake waiter; a
 			// token that raced in is handed to the next in line.
+			c.mu.Lock()
+			if !c.dequeueLocked(w) {
+				select {
+				case <-w.ch:
+					c.wakeLocked()
+				default:
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// admitWithinSharded is AdmitWithin over the sharded data plane. The
+// shard controller has no single lock to atomically test-and-enqueue
+// under, so the loop enqueues BEFORE testing (after the first, fast,
+// unenqueued attempt): any capacity freed after the enqueue targets
+// this waiter through the wake hook, and any freed between a failed
+// test and the enqueue is caught by the enqueued re-test — a wakeup
+// can never be lost.
+func (c *Controller) admitWithinSharded(r Request, maxWait time.Duration) bool {
+	if r.Deadline <= 0 || len(r.Demands) != c.stages {
+		c.sh.CountRejected()
+		return false
+	}
+	start := c.clock()
+	waitDeadline := start.Add(maxWait)
+	w := &waiter{ch: make(chan struct{}, 1)}
+	first := true
+	for {
+		now := c.clock()
+		late := r
+		late.Deadline = r.Deadline - now.Sub(start)
+		if late.Deadline <= 0 {
+			c.abandonWait(w)
+			c.sh.CountRejected()
+			return false
+		}
+		timedOut := !now.Before(waitDeadline)
+		if !first && !timedOut {
+			c.mu.Lock()
+			c.enqueueLocked(w)
+			c.mu.Unlock()
+		}
+		if c.sh.Admit(&late, false) {
+			if !first {
+				c.abandonWait(w)
+				// Pass the baton: the drop that woke us may have freed
+				// room for the next waiter too.
+				c.mu.Lock()
+				c.wakeLocked()
+				c.mu.Unlock()
+			}
+			return true
+		}
+		if timedOut {
+			c.abandonWait(w)
+			c.sh.CountRejected()
+			return false
+		}
+		if first {
+			// Failed fast attempt: loop once more to enqueue, then
+			// re-test before sleeping.
+			first = false
+			continue
+		}
+		sleep := waitDeadline.Sub(now)
+		if next := c.sh.NextExpiry(); next != math.MaxInt64 {
+			if d := time.Unix(0, next).Sub(now); d < sleep {
+				sleep = d
+			}
+		}
+		if sleep < time.Millisecond {
+			sleep = time.Millisecond
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-w.ch:
+			timer.Stop()
+			w.woken = true
+		case <-timer.C:
 			c.mu.Lock()
 			if !c.dequeueLocked(w) {
 				select {
@@ -614,6 +786,10 @@ func (c *Controller) abandonWait(w *waiter) {
 // MarkDeparted records that the request finished its work at the stage,
 // making its contribution eligible for the stage's idle reset.
 func (c *Controller) MarkDeparted(stage int, id uint64) {
+	if c.sh != nil {
+		c.sh.MarkDeparted(stage, id)
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ledgers[stage].MarkDeparted(coreID(id))
@@ -622,6 +798,10 @@ func (c *Controller) MarkDeparted(stage int, id uint64) {
 // StageIdle performs the idle reset for a stage; call it when the
 // stage's worker pool drains (no queued or running work).
 func (c *Controller) StageIdle(stage int) {
+	if c.sh != nil {
+		c.sh.StageIdle(stage)
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.purgeLocked(c.clock())
@@ -641,6 +821,10 @@ func (c *Controller) StageIdle(stage int) {
 func (c *Controller) SetStageScale(stage int, scale float64) {
 	if scale <= 0 || scale != scale || scale > 1e9 {
 		panic(fmt.Sprintf("online: stage scale %v must be positive and finite", scale))
+	}
+	if c.sh != nil {
+		c.sh.SetStageScale(stage, scale)
+		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -663,6 +847,9 @@ func (c *Controller) StageScales() []float64 {
 
 // StageScale returns stage j's demand multiplier without locking.
 func (c *Controller) StageScale(j int) float64 {
+	if c.sh != nil {
+		return c.sh.StageScale(j)
+	}
 	return math.Float64frombits(c.scaleBits[j].Load())
 }
 
@@ -671,6 +858,9 @@ func (c *Controller) StageScale(j int) float64 {
 // lock to purge first — so scrapes stay fresh without ever contending
 // with admits on a healthy path.
 func (c *Controller) StageUtilization(j int) float64 {
+	if c.sh != nil {
+		return c.sh.StageUtilization(j)
+	}
 	if c.nowMonotoneNano() < c.nextExpiry.Load() {
 		return math.Float64frombits(c.utilBits[j].Load())
 	}
@@ -700,13 +890,19 @@ type ReconcileResult struct {
 // applications call it periodically (or via StartWatchdog) as a safety
 // net; on a healthy controller it is a cheap no-op.
 func (c *Controller) Reconcile() ReconcileResult {
+	if c.sh != nil {
+		// The sharded reconcile doubles as the slow rebalance tick; its
+		// task table cannot leak orphans (a row and its charge are one
+		// record), so only the purge count is meaningful.
+		return ReconcileResult{Expired: c.sh.Reconcile()}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	before := c.stats.expired.Load()
 	c.purgeLocked(c.clock())
 	res := ReconcileResult{Expired: int(c.stats.expired.Load() - before)}
 	clear(c.reapSet)
-	c.wheel.forEach(func(e expiry) { c.reapSet[e.id] = struct{}{} })
+	c.wheel.ForEach(func(e expiry.Entry) { c.reapSet[e.ID] = struct{}{} })
 	for _, l := range c.ledgers {
 		l.RangeTasks(func(id task.ID, _ float64) bool {
 			if _, ok := c.reapSet[uint64(id)]; !ok {
@@ -764,6 +960,10 @@ func (c *Controller) StartWatchdog(interval time.Duration) (stop func()) {
 // was actually removed; an already-expired or unknown ID is a silent
 // no-op.
 func (c *Controller) Release(id uint64) {
+	if c.sh != nil {
+		c.sh.Release(id)
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.releaseLocked(id)
@@ -779,7 +979,7 @@ func (c *Controller) releaseLocked(id uint64) bool {
 			removed = true
 		}
 	}
-	if c.wheel.remove(id) {
+	if c.wheel.Remove(id) {
 		c.stats.cancelled.Add(1)
 	}
 	delete(c.levels, id)
@@ -795,14 +995,19 @@ func (c *Controller) releaseLocked(id uint64) bool {
 // services that complete requests in bursts (e.g. a pipeline stage
 // finishing a batch). It returns how many of the IDs still had a live
 // contribution; already-expired or unknown IDs are silent no-ops. The
-// mirror is republished and waiters woken once for the whole batch.
+// mirror is republished and waiters woken once for the whole batch —
+// including anything the accompanying purge expired, so a burst release
+// hands out exactly one wake token, never two.
 func (c *Controller) ReleaseAll(ids []uint64) int {
 	if len(ids) == 0 {
 		return 0
 	}
+	if c.sh != nil {
+		return c.sh.ReleaseAll(ids)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.purgeLocked(c.clock())
+	_, expired := c.purgeQuietLocked(c.clock(), false)
 	released := 0
 	cancelled := uint64(0)
 	for _, id := range ids {
@@ -812,7 +1017,7 @@ func (c *Controller) ReleaseAll(ids []uint64) int {
 				removed = true
 			}
 		}
-		if c.wheel.remove(id) {
+		if c.wheel.Remove(id) {
 			cancelled++
 		}
 		delete(c.levels, id)
@@ -825,6 +1030,8 @@ func (c *Controller) ReleaseAll(ids []uint64) int {
 	}
 	if released > 0 {
 		c.publishUtilsLocked()
+	}
+	if released > 0 || expired > 0 {
 		c.wakeLocked()
 	}
 	return released
@@ -836,6 +1043,10 @@ func (c *Controller) ReleaseAll(ids []uint64) int {
 // are purged rather than marked.
 func (c *Controller) MarkDepartedAll(stage int, ids []uint64) {
 	if len(ids) == 0 {
+		return
+	}
+	if c.sh != nil {
+		c.sh.MarkDepartedAll(stage, ids)
 		return
 	}
 	c.mu.Lock()
@@ -850,6 +1061,9 @@ func (c *Controller) MarkDepartedAll(stage int, ids []uint64) {
 // read is lock-free (seqlock snapshot) unless an expiry is due, in
 // which case the locked path purges first.
 func (c *Controller) Utilizations() []float64 {
+	if c.sh != nil {
+		return c.sh.Utilizations()
+	}
 	us := make([]float64, c.stages)
 	if c.nowMonotoneNano() < c.nextExpiry.Load() {
 		if _, _, ok := c.readSnapshot(us, nil); ok {
@@ -875,12 +1089,18 @@ func (c *Controller) Headroom(stage int) float64 {
 // Bound returns the current admission bound α·(1 − Σβ_j) without
 // locking (seqlock mirror read).
 func (c *Controller) Bound() float64 {
+	if c.sh != nil {
+		return c.sh.Bound()
+	}
 	return math.Float64frombits(c.boundBits.Load())
 }
 
 // Region returns a copy of the controller's current feasible region
 // (the base configuration, or the latest SetRegionInputs update).
 func (c *Controller) Region() core.Region {
+	if c.sh != nil {
+		return c.sh.Region()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r := c.region
@@ -902,6 +1122,10 @@ func (c *Controller) Region() core.Region {
 // contributions are unchanged. When the bound relaxes, one waiter is
 // woken to retry.
 func (c *Controller) SetRegionInputs(alpha float64, betas []float64) {
+	if c.sh != nil {
+		c.sh.SetRegionInputs(alpha, betas)
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r := c.region.WithAlpha(alpha)
@@ -917,8 +1141,28 @@ func (c *Controller) SetRegionInputs(alpha float64, betas []float64) {
 	}
 }
 
-// Stats returns a snapshot of the counters without taking the lock.
+// Stats returns a snapshot of the counters without taking the lock
+// (sharded mode sums per-shard counters under each shard's lock in
+// turn).
 func (c *Controller) Stats() Stats {
+	if c.sh != nil {
+		ss := c.sh.Stats()
+		return Stats{
+			Admitted:         ss.Admitted,
+			Rejected:         ss.Rejected,
+			Expired:          ss.Expired,
+			IdleResets:       ss.IdleResets,
+			Reconciles:       ss.Reconciles,
+			ClockRegressions: ss.ClockRegressions,
+			Degraded:         ss.Degraded,
+			Trimmed:          ss.Trimmed,
+			Restored:         ss.Restored,
+			Cancelled:        ss.Cancelled,
+			Steals:           ss.Steals,
+			GlobalFallbacks:  ss.GlobalFallbacks,
+			Rebalances:       ss.Rebalances,
+		}
+	}
 	return Stats{
 		Admitted:         c.stats.admitted.Load(),
 		Rejected:         c.stats.rejected.Load(),

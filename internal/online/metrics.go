@@ -1,6 +1,8 @@
 package online
 
 import (
+	"fmt"
+
 	"feasregion/internal/core"
 	"feasregion/internal/metrics"
 )
@@ -33,6 +35,24 @@ func (c *Controller) RegisterMetrics(r *metrics.Registry) {
 		stat(func(s Stats) uint64 { return s.OrphansReaped }))
 	r.CounterFunc("feasregion_online_clock_regressions_total", "observations of the wall clock stepping backwards",
 		stat(func(s Stats) uint64 { return s.ClockRegressions }))
+	if c.sh != nil {
+		r.CounterFunc("feasregion_online_steals_total", "admits that needed headroom stolen from peer shards",
+			stat(func(s Stats) uint64 { return s.Steals }))
+		r.CounterFunc("feasregion_online_global_fallbacks_total", "exact all-shard admission passes",
+			stat(func(s Stats) uint64 { return s.GlobalFallbacks }))
+		r.CounterFunc("feasregion_online_rebalances_total", "shard cap re-partitions (fallback admits, watchdog ticks, region moves)",
+			stat(func(s Stats) uint64 { return s.Rebalances }))
+		for k := 0; k < c.sh.Shards(); k++ {
+			for j := 0; j < c.stages; j++ {
+				k, j := k, j
+				labels := []metrics.Label{metrics.Stage(j), {Name: "shard", Value: fmt.Sprintf("%d", k)}}
+				r.GaugeFunc("feasregion_online_shard_stage_utilization", "per-shard per-stage synthetic utilization",
+					func() float64 { return c.sh.ShardStageUtilization(k, j) }, labels...)
+				r.GaugeFunc("feasregion_online_shard_stage_cap", "per-shard per-stage utilization cap (partitioned bound)",
+					func() float64 { return c.sh.ShardStageCap(k, j) }, labels...)
+			}
+		}
+	}
 
 	for j := 0; j < c.stages; j++ {
 		j := j

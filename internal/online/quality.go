@@ -19,6 +19,9 @@ import (
 // retuned) at, and whether it currently contributes to any stage ledger.
 // Requests admitted by the plain TryAdmit path report full quality.
 func (c *Controller) QualityOf(id uint64) (level int, present bool) {
+	if c.sh != nil {
+		return c.sh.QualityOf(id)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, l := range c.ledgers {
@@ -88,6 +91,9 @@ func rawAt(raw, opt []float64, j, level int) float64 {
 // lock-free when even mandatory-only demand cannot fit and no purge is
 // due.
 func (c *Controller) TryAdmitQuality(r Request, maxLevel int) (level int, ok bool) {
+	if c.sh != nil {
+		return c.sh.TryAdmitQuality(r, maxLevel)
+	}
 	if maxLevel > task.QualityLevels {
 		maxLevel = task.QualityLevels
 	}
@@ -175,7 +181,7 @@ func (c *Controller) TryAdmitQuality(r Request, maxLevel int) (level int, ok boo
 		l.Add(coreID(r.ID), rawAt(raw, opt, j, lv)*c.scales[j])
 	}
 	at := now.UnixNano() + int64(r.Deadline)
-	c.wheel.push(at, r.ID)
+	c.wheel.Push(at, r.ID)
 	if at < c.nextExpiry.Load() {
 		c.nextExpiry.Store(at)
 	}
@@ -199,6 +205,9 @@ func (c *Controller) TryAdmitQuality(r Request, maxLevel int) (level int, ok boo
 // the level changed; an unknown or expired ID, a rigid request, or a
 // no-op level returns false.
 func (c *Controller) SetQuality(r Request, level int) bool {
+	if c.sh != nil {
+		return c.sh.SetQuality(r, level)
+	}
 	if level < 0 {
 		level = 0
 	}

@@ -219,7 +219,7 @@ func TestReleaseCancelsPendingExpiry(t *testing.T) {
 		t.Fatal("ReleaseAll released wrong count")
 	}
 	c.mu.Lock()
-	left := c.wheel.count
+	left := c.wheel.Count()
 	c.mu.Unlock()
 	if left != 0 {
 		t.Fatalf("%d stale wheel entries after release, want 0 (eager unlink)", left)

@@ -1,0 +1,131 @@
+package online
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"feasregion/internal/core"
+)
+
+// TestShardedReleaseAllCoalescesWake pins the burst-release fix: a
+// ReleaseAll over the sharded data plane must hand the waiter FIFO
+// exactly one wake token for the whole batch, not one per released ID —
+// otherwise a burst release thrashes the baton, waking every waiter to
+// fight over capacity that the first one may consume entirely.
+func TestShardedReleaseAllCoalescesWake(t *testing.T) {
+	clk := newFakeClock()
+	c := NewWithConfig(core.NewRegion(1), Config{Clock: clk.Now, Shards: 4})
+	var ids []uint64
+	for i := uint64(1); i <= 6; i++ {
+		if !c.TryAdmit(req(i, time.Hour, time.Millisecond)) {
+			t.Fatalf("admit %d rejected", i)
+		}
+		ids = append(ids, i)
+	}
+	ws := []*waiter{
+		{ch: make(chan struct{}, 1)},
+		{ch: make(chan struct{}, 1)},
+		{ch: make(chan struct{}, 1)},
+	}
+	c.mu.Lock()
+	for _, w := range ws {
+		c.enqueueLocked(w)
+	}
+	c.mu.Unlock()
+
+	if n := c.ReleaseAll(ids); n != len(ids) {
+		t.Fatalf("released %d of %d", n, len(ids))
+	}
+	tokens := 0
+	for _, w := range ws {
+		select {
+		case <-w.ch:
+			tokens++
+		default:
+		}
+	}
+	if tokens != 1 {
+		t.Fatalf("burst release handed out %d wake tokens, want exactly 1", tokens)
+	}
+	// The token went to the head; the other two must still be queued.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.waiters) != 2 || c.waiters[0] != ws[1] || c.waiters[1] != ws[2] {
+		t.Fatalf("FIFO disturbed: %d waiters left", len(c.waiters))
+	}
+	c.waiters = nil // detach the fakes before the controller is dropped
+	c.nwaiters.Store(0)
+}
+
+// TestWokenWaiterRequeuesAtFront pins the FIFO-fairness half of the
+// fix: a waiter that consumed a wake token but failed its re-test
+// re-queues at the FRONT of the FIFO, so a burst of releases cannot
+// rotate the whole queue past it and starve it.
+func TestWokenWaiterRequeuesAtFront(t *testing.T) {
+	c := New(core.NewRegion(1), nil, nil)
+	w1 := &waiter{ch: make(chan struct{}, 1)}
+	w2 := &waiter{ch: make(chan struct{}, 1)}
+	c.mu.Lock()
+	c.enqueueLocked(w1)
+	c.enqueueLocked(w2)
+	c.wakeLocked() // w1 consumes the head token
+	c.mu.Unlock()
+	select {
+	case <-w1.ch:
+	default:
+		t.Fatal("head waiter got no token")
+	}
+	w1.woken = true // as AdmitWithin records after <-w.ch
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enqueueLocked(w1) // failed re-test: back to sleep
+	if len(c.waiters) != 2 || c.waiters[0] != w1 || c.waiters[1] != w2 {
+		t.Fatalf("woken waiter did not re-queue at the front")
+	}
+	if w1.woken {
+		t.Fatal("woken flag must be consumed by the re-queue")
+	}
+	if got := c.nwaiters.Load(); got != 2 {
+		t.Fatalf("nwaiters = %d, want 2", got)
+	}
+	c.waiters = nil
+	c.nwaiters.Store(0)
+}
+
+// TestShardedAdmitWithinDrainsOnBurstRelease is the end-to-end check:
+// several AdmitWithin callers block on a full sharded controller, one
+// burst release frees room for all of them, and the baton pass must let
+// every waiter through — one coalesced wake plus success-time handoffs.
+func TestShardedAdmitWithinDrainsOnBurstRelease(t *testing.T) {
+	c := NewWithConfig(core.NewRegion(1), Config{Shards: 4})
+	var ids []uint64
+	var id uint64
+	for {
+		id++
+		if !c.TryAdmit(req(id, time.Hour, 200*time.Millisecond)) {
+			break
+		}
+		ids = append(ids, id)
+	}
+	const blocked = 3
+	var wg sync.WaitGroup
+	results := make([]bool, blocked)
+	for i := 0; i < blocked; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.AdmitWithin(req(id+1+uint64(i), time.Hour, 200*time.Millisecond), 5*time.Second)
+		}(i)
+	}
+	// Let the waiters reach their sleep, then free everything at once.
+	time.Sleep(50 * time.Millisecond)
+	c.ReleaseAll(ids)
+	wg.Wait()
+	for i, ok := range results {
+		if !ok {
+			t.Fatalf("waiter %d timed out after the burst release (stats %+v)", i, c.Stats())
+		}
+	}
+}

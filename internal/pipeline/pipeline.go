@@ -49,6 +49,18 @@ type Options struct {
 	// When set, Region/Reserved/Estimator/MaxWait are ignored.
 	Admitter Admitter
 
+	// Shards, when > 1, replaces the default controller with the
+	// sharded wall-clock admission controller (internal/shard) driven
+	// by a simulated clock — the same data plane a deployment would run
+	// multi-core, exercised under the simulator. It admits the same
+	// task sets as the default controller up to the expiry wheel's 1 ms
+	// purge granularity (the sim controller releases contributions at
+	// exact deadlines). Plain configuration only: incompatible with
+	// Admitter, Estimator, MaxWait, shedding, degradation, governor,
+	// overrun guard, and Adapt, which all require the sim-time
+	// controller; Pipeline.Controller() returns nil.
+	Shards int
+
 	// Region overrides the admission region; nil selects the
 	// deadline-monotonic independent-task region for Stages stages.
 	Region *core.Region
@@ -268,6 +280,17 @@ func New(sim *des.Simulator, opts Options) *Pipeline {
 	case opts.NoAdmission:
 	case opts.Admitter != nil:
 		p.adm = opts.Admitter
+	case opts.Shards > 1:
+		if opts.Estimator != nil || opts.MaxWait > 0 || opts.EnableShedding ||
+			opts.EnableDegradation || opts.Governor != nil ||
+			opts.OverrunPolicy != core.OverrunIgnore || opts.Adapt != nil {
+			panic("pipeline: Shards requires the plain feasible-region configuration")
+		}
+		region := core.NewRegion(opts.Stages)
+		if opts.Region != nil {
+			region = *opts.Region
+		}
+		p.adm = newShardAdmitter(sim, region, opts.Reserved, opts.Shards, opts.Metrics)
 	default:
 		region := core.NewRegion(opts.Stages)
 		if opts.Region != nil {

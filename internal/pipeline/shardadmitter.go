@@ -1,0 +1,65 @@
+package pipeline
+
+import (
+	"time"
+
+	"feasregion/internal/core"
+	"feasregion/internal/des"
+	"feasregion/internal/metrics"
+	"feasregion/internal/online"
+	"feasregion/internal/task"
+)
+
+// shardAdmitter drives the sharded wall-clock admission controller
+// (internal/shard via the online wrapper) from the simulator: the
+// injected clock reads simulated time, so deadline expiries fire as the
+// simulation advances, and every admit exercises the exact production
+// data plane — caps, steals, gate, global pass — under reproducible
+// workloads. Demands and deadlines convert from simulated seconds to
+// nanosecond durations; contributions release on the expiry wheel's
+// 1 ms purge granularity, marginally more conservative than the sim
+// controller's exact-deadline release.
+type shardAdmitter struct {
+	ctrl    *online.Controller
+	demands []time.Duration
+}
+
+func newShardAdmitter(sim *des.Simulator, region core.Region, reserved []float64, shards int, reg *metrics.Registry) *shardAdmitter {
+	a := &shardAdmitter{
+		ctrl: online.NewWithConfig(region, online.Config{
+			Reserved: reserved,
+			Clock:    func() time.Time { return time.Unix(0, int64(sim.Now()*float64(time.Second))) },
+			Shards:   shards,
+		}),
+		demands: make([]time.Duration, region.Stages),
+	}
+	if reg != nil {
+		a.ctrl.RegisterMetrics(reg)
+	}
+	return a
+}
+
+func (a *shardAdmitter) TryAdmit(t *task.Task) bool {
+	if t.Deadline <= 0 {
+		return false
+	}
+	for j := range a.demands {
+		a.demands[j] = time.Duration(t.StageDemand(j) * float64(time.Second))
+	}
+	return a.ctrl.TryAdmit(online.Request{
+		ID:       uint64(t.ID),
+		Deadline: time.Duration(t.Deadline * float64(time.Second)),
+		Demands:  a.demands,
+	})
+}
+
+func (a *shardAdmitter) MarkDeparted(stage int, id task.ID) {
+	a.ctrl.MarkDeparted(stage, uint64(id))
+}
+
+func (a *shardAdmitter) HandleStageIdle(stage int) {
+	a.ctrl.StageIdle(stage)
+}
+
+// Online exposes the wrapped controller for stats and inspection.
+func (a *shardAdmitter) Online() *online.Controller { return a.ctrl }

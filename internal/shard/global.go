@@ -1,0 +1,556 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+
+	"feasregion/internal/core"
+	"feasregion/internal/task"
+)
+
+// This file is the sharded controller's control plane: everything that
+// crosses shard boundaries. Lock order is gmu, then shards in index
+// order; the steal path holds at most one shard lock at a time (and
+// never gmu), so it can run concurrently with other shards' admits.
+
+func (c *Controller) lockShards() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+	}
+}
+
+func (c *Controller) unlockShards() {
+	for i := len(c.shards) - 1; i >= 0; i-- {
+		c.shards[i].mu.Unlock()
+	}
+}
+
+func (c *Controller) lockAll() {
+	c.gmu.Lock()
+	c.lockShards()
+}
+
+func (c *Controller) unlockAll() {
+	c.unlockShards()
+	c.gmu.Unlock()
+}
+
+// purgeAllLocked folds one clock sample into every shard and flushes
+// their due expiries. Callers hold all shard locks.
+func (c *Controller) purgeAllLocked() (expired int) {
+	now := c.nowNano()
+	for _, s := range c.shards {
+		expired += s.purgeLocked(c, s.monotoneLocked(now))
+	}
+	return expired
+}
+
+// repartitionMargin is subtracted from the residual value budget before
+// it is spread into per-shard caps, keeping floating-point rounding on
+// the conservative side: a cap-test pass must always imply the exact
+// Σf ≤ bound test passes (soundness), so the margin may only cost a
+// boundary admit its fast path — the exact global pass still takes it,
+// and work conservation is unaffected.
+const repartitionMargin = 1e-12
+
+// repartitionLocked re-centers every shard's caps around the current
+// truth. Per stage, the global cap spreads the region's residual value
+// budget evenly across stages in f-space:
+//
+//	Cap_j = f⁻¹(f(U_j) + (B − Σ_i f(U_i))/N)
+//
+// so Σ_j f(Cap_j) = B by construction, and each shard's cap is its own
+// utilization plus a share of Cap_j − U_j — uniform, or weighted by
+// release traffic when the watchdog calls (the shards draining fastest
+// get the headroom, since that is where the next admits will land
+// locally). Caps never drop below current utilizations, so the shard
+// invariant util ≤ cap survives any re-partition unconditionally. The
+// generation bump invalidates in-flight steals. Callers hold gmu and
+// every shard lock.
+func (c *Controller) repartitionLocked(weighted bool) {
+	var stackU, stackCap [maxStackStages]float64
+	var utils, caps []float64
+	if c.stages <= maxStackStages {
+		utils, caps = stackU[:c.stages], stackCap[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		bufs.size(c.stages)
+		utils, caps = bufs.utils[:c.stages], bufs.eff[:c.stages]
+	}
+	v := 0.0
+	for j := 0; j < c.stages; j++ {
+		u := 0.0
+		for _, s := range c.shards {
+			u += s.util(j)
+		}
+		utils[j] = u
+		v += core.StageDelayFactor(u)
+	}
+	residual := c.bound - v - repartitionMargin*(1+c.bound)
+	share := residual / float64(c.stages)
+	for j := range utils {
+		if residual <= 0 {
+			caps[j] = utils[j]
+			continue
+		}
+		caps[j] = core.InverseStageDelayFactor(core.StageDelayFactor(utils[j]) + share)
+		if caps[j] < utils[j] {
+			caps[j] = utils[j]
+		}
+	}
+	totW := 0.0
+	for _, s := range c.shards {
+		if weighted {
+			totW += float64(s.releasedTraffic) + 1
+		} else {
+			totW++
+		}
+	}
+	for j := range utils {
+		extra := caps[j] - utils[j]
+		for _, s := range c.shards {
+			w := 1.0
+			if weighted {
+				w = float64(s.releasedTraffic) + 1
+			}
+			s.caps[j] = s.util(j) + extra*(w/totW)
+		}
+	}
+	for _, s := range c.shards {
+		if weighted {
+			s.releasedTraffic = 0
+		}
+		s.updateHintLocked()
+	}
+	c.gen.Add(1)
+	c.rebalances.Add(1)
+}
+
+// stealThenAdmit gathers headroom from peer shards into the home shard
+// and retries the local admit. It probes up to maxStealProbes peers,
+// richest first by slack hint, locking one shard at a time; the
+// transfer commits only if no re-partition raced (generation check
+// under the home lock — the generation can only change while every
+// shard lock is held, so holding home's makes check-then-add atomic).
+// On a lost race the gathered slack is abandoned: the re-partition that
+// bumped the generation rebuilt every cap from true utilizations, so
+// abandoning only under-counts capacity until the next re-partition —
+// conservative, never unsound.
+func (c *Controller) stealThenAdmit(home *shard, id uint64, deadline int64, eff []float64, level uint8) bool {
+	genAt := c.gen.Load()
+	var stackRem, stackTaken [maxStackStages]float64
+	var rem, taken []float64
+	if c.stages <= maxStackStages {
+		rem, taken = stackRem[:c.stages], stackTaken[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		bufs.size(c.stages)
+		rem, taken = bufs.opt[:c.stages], bufs.utils[:c.stages]
+	}
+	for j := range eff {
+		rem[j] = eff[j] * c.stageScale(j)
+		taken[j] = 0
+	}
+
+	var peers [MaxShards]*shard
+	var slacks [MaxShards]float64
+	n := 0
+	for _, s := range c.shards {
+		if s == home {
+			continue
+		}
+		peers[n] = s
+		slacks[n] = math.Float64frombits(s.slackHint.Load())
+		n++
+	}
+	probes := maxStealProbes
+	if probes > n {
+		probes = n
+	}
+	stole := false
+	expired := 0
+	now := c.nowNano()
+	for p := 0; p < probes; p++ {
+		best := p
+		for q := p + 1; q < n; q++ {
+			if slacks[q] > slacks[best] {
+				best = q
+			}
+		}
+		peers[p], peers[best] = peers[best], peers[p]
+		slacks[p], slacks[best] = slacks[best], slacks[p]
+		s := peers[p]
+		s.mu.Lock()
+		mnow := s.monotoneLocked(now)
+		if s.nextExp.Load() <= mnow {
+			expired += s.purgeLocked(c, mnow)
+		}
+		for j := range rem {
+			if rem[j] <= 0 {
+				continue
+			}
+			avail := s.caps[j] - s.util(j)
+			if avail <= 0 {
+				continue
+			}
+			t := rem[j]
+			if avail < t {
+				t = avail
+			}
+			s.caps[j] -= t
+			taken[j] += t
+			rem[j] -= t
+			stole = true
+		}
+		s.updateHintLocked()
+		s.mu.Unlock()
+		full := true
+		for j := range rem {
+			if rem[j] > 0 {
+				full = false
+				break
+			}
+		}
+		if full {
+			break
+		}
+	}
+	if expired > 0 {
+		c.hook()
+	}
+	if !stole {
+		return false
+	}
+
+	home.mu.Lock()
+	if c.gen.Load() != genAt {
+		home.mu.Unlock()
+		return false
+	}
+	for j := range taken {
+		home.caps[j] += taken[j]
+	}
+	ok, e := home.admitLocked(c, id, deadline, eff, level)
+	home.updateHintLocked()
+	home.mu.Unlock()
+	if e > 0 {
+		c.hook()
+	}
+	if ok {
+		c.steals.Add(1)
+	}
+	return ok
+}
+
+// armGateLocked publishes the per-stage global utilizations as the
+// overload reject gate's snapshot. Callers hold every shard lock, so no
+// capacity-freeing critical section can be concurrent with the arming:
+// any later free acquires a shard lock, observes gateArmed, and bumps
+// freedGen — which is exactly the invalidation the gate checks.
+func (c *Controller) armGateLocked(utils []float64) {
+	c.gateSeq.Add(1) // odd: snapshot inconsistent
+	for j, u := range utils {
+		c.gateBits[j].Store(math.Float64bits(u))
+	}
+	c.gateFreedGen.Store(c.freedGen.Load())
+	c.gateSeq.Add(1) // even: consistent
+	c.gateArmed.Store(true)
+}
+
+// globalAdmit is the exact all-shard pass — the last resort before a
+// true reject, and the only path that can reject a feasible request's
+// complement: it drains every shard's slack by testing against the real
+// global utilizations under all locks, exactly like the unsharded
+// controller's locked test. opt/maxLevel/hasOpt drive the quality
+// cascade (opt nil means rigid full-demand). On admit it commits to the
+// home shard and re-partitions, so the slack the request exposed is
+// spread back over the shards; on reject it arms the lock-free gate.
+func (c *Controller) globalAdmit(id uint64, deadline int64, raw, opt []float64, maxLevel int, hasOpt bool, countReject bool) (bool, int) {
+	ok, lv, expired := c.globalAdmitLocked(id, deadline, raw, opt, maxLevel, hasOpt, countReject)
+	if expired > 0 {
+		c.hook()
+	}
+	return ok, lv
+}
+
+func (c *Controller) globalAdmitLocked(id uint64, deadline int64, raw, opt []float64, maxLevel int, hasOpt bool, countReject bool) (bool, int, int) {
+	c.globalFallbacks.Add(1)
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	c.lockShards()
+	defer c.unlockShards()
+	expired := c.purgeAllLocked()
+
+	var stackU [maxStackStages]float64
+	var utils []float64
+	if c.stages <= maxStackStages {
+		utils = stackU[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		bufs.size(c.stages)
+		utils = bufs.utils[:c.stages]
+	}
+	for j := range utils {
+		u := 0.0
+		for _, s := range c.shards {
+			u += s.util(j)
+		}
+		utils[j] = u
+	}
+	sumAt := func(lv int) float64 {
+		sum := 0.0
+		for j := range utils {
+			d := raw[j]
+			if opt != nil {
+				d = rawAt(raw, opt, j, lv)
+			}
+			sum += core.StageDelayFactor(utils[j] + d*c.stageScale(j))
+		}
+		return sum
+	}
+	lv := maxLevel
+	fits := false
+	switch {
+	case sumAt(maxLevel) <= c.bound:
+		fits = true
+	case maxLevel == 0 || !hasOpt:
+		// No degraded fallback available.
+	case sumAt(0) > c.bound:
+		// Even mandatory-only does not fit.
+	default:
+		// Demand is monotone in the level: binary-search the highest
+		// fitting level below the cap, exactly like the unsharded
+		// cascade.
+		lo, hi := 0, maxLevel-1
+		for lo < hi {
+			mid := lo + (hi-lo+1)/2
+			if sumAt(mid) <= c.bound {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		lv, fits = lo, true
+	}
+
+	home := c.shardOf(id)
+	if !fits {
+		if countReject {
+			home.rejected++
+		}
+		c.armGateLocked(utils)
+		return false, 0, expired
+	}
+	if c.gateArmed.Load() {
+		c.gateArmed.Store(false)
+	}
+	var stackSc [maxStackStages]float64
+	var sc []float64
+	if c.stages <= maxStackStages {
+		sc = stackSc[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		bufs.size(c.stages)
+		sc = bufs.eff[:c.stages]
+	}
+	for j := range sc {
+		d := raw[j]
+		if opt != nil {
+			d = rawAt(raw, opt, j, lv)
+		}
+		sc[j] = d * c.stageScale(j)
+	}
+	storeLevel := uint8(task.QualityLevels)
+	if hasOpt && lv < task.QualityLevels {
+		storeLevel = uint8(lv)
+	}
+	home.commitLocked(id, home.maxNow+deadline, sc, storeLevel)
+	c.repartitionLocked(false)
+	return true, lv, expired
+}
+
+// TryAdmitAll tests and commits a burst of requests: one lock
+// acquisition and one purge per shard for the requests their home caps
+// can take, then the full fallback chain in arrival order for the rest.
+// out[i], when out is non-nil, reports request i's outcome; it returns
+// the number admitted. Unlike the unsharded batch, requests are not
+// tested in strict arrival order — each shard's group runs against its
+// local state first — so a mixed accept/reject boundary can differ from
+// the sequential order (the per-request TryAdmit decisions are what the
+// sharded controller keeps identical).
+func (c *Controller) TryAdmitAll(rs []Request, out []bool) int {
+	if out != nil && len(out) < len(rs) {
+		panic(fmt.Sprintf("shard: TryAdmitAll result slice len %d for %d requests", len(out), len(rs)))
+	}
+	if len(rs) == 0 {
+		return 0
+	}
+	if out == nil {
+		out = make([]bool, len(rs))
+	}
+	done := make([]bool, len(rs))
+	for i := range rs {
+		out[i] = false
+	}
+	var stackRaw [maxStackStages]float64
+	var raw []float64
+	if c.stages <= maxStackStages {
+		raw = stackRaw[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		bufs.size(c.stages)
+		raw = bufs.raw[:c.stages]
+	}
+	admitted := 0
+	expired := 0
+	for si, s := range c.shards {
+		locked := false
+		for i := range rs {
+			r := &rs[i]
+			if c.shardIdx(r.ID) != si {
+				continue
+			}
+			if r.Deadline <= 0 || len(r.Demands) != c.stages || r.ID == ^uint64(0) {
+				c.rejectedInvalid.Add(1)
+				done[i] = true
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+			}
+			invD := 1 / float64(r.Deadline)
+			for j, dem := range r.Demands {
+				raw[j] = float64(dem) * invD
+			}
+			ok, e := s.admitLocked(c, r.ID, int64(r.Deadline), raw, task.QualityLevels)
+			expired += e
+			if ok {
+				out[i] = true
+				done[i] = true
+				admitted++
+			}
+		}
+		if locked {
+			s.mu.Unlock()
+		}
+	}
+	if expired > 0 {
+		c.hook()
+	}
+	for i := range rs {
+		if done[i] {
+			continue
+		}
+		if c.admit(&rs[i], true) {
+			out[i] = true
+			admitted++
+		}
+	}
+	return admitted
+}
+
+// SetRegionInputs replaces the region's α and per-stage β_j at runtime,
+// then re-partitions the new bound across shards. Semantics mirror
+// online.Controller.SetRegionInputs: alpha must be in (0, 1], betas
+// non-negative with one entry per stage (nil keeps current), admitted
+// contributions are unchanged, and a raised bound wakes a waiter.
+func (c *Controller) SetRegionInputs(alpha float64, betas []float64) {
+	if c.setRegion(alpha, betas) {
+		c.hook()
+	}
+}
+
+func (c *Controller) setRegion(alpha float64, betas []float64) (raised bool) {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	r := c.region.WithAlpha(alpha) // may panic: shards not yet locked
+	if betas != nil {
+		r = r.WithBetas(betas)
+	}
+	c.lockShards()
+	defer c.unlockShards()
+	old := c.bound
+	c.region = r
+	c.bound = r.Bound()
+	c.boundBits.Store(math.Float64bits(c.bound))
+	c.repartitionLocked(false)
+	if c.bound > old {
+		c.noteFreed()
+		return true
+	}
+	return false
+}
+
+// SetStageScale sets a demand multiplier for future admissions at the
+// stage, on every shard atomically. Mirrors online.Controller's
+// contract: scale must be positive and finite, admitted contributions
+// are unchanged, a relaxed (lowered) scale wakes a waiter.
+func (c *Controller) SetStageScale(stage int, scale float64) {
+	if scale <= 0 || scale != scale || scale > 1e9 {
+		panic(fmt.Sprintf("shard: stage scale %v must be positive and finite", scale))
+	}
+	if c.applyScale(stage, scale) {
+		c.hook()
+	}
+}
+
+func (c *Controller) applyScale(stage int, scale float64) (lowered bool) {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	c.lockShards()
+	defer c.unlockShards()
+	old := math.Float64frombits(c.scaleBits[stage].Load())
+	for _, s := range c.shards {
+		s.scales[stage] = scale
+	}
+	c.scaleBits[stage].Store(math.Float64bits(scale))
+	if scale < old {
+		// A relaxed scale shrinks future demand charges: the armed gate's
+		// reject proof no longer covers them.
+		c.noteFreed()
+		return true
+	}
+	return false
+}
+
+// StageScales returns the current per-stage demand multipliers.
+func (c *Controller) StageScales() []float64 {
+	out := make([]float64, c.stages)
+	for j := range out {
+		out[j] = c.stageScale(j)
+	}
+	return out
+}
+
+// Headroom returns how much additional synthetic utilization the stage
+// can absorb right now, globally.
+func (c *Controller) Headroom(stage int) float64 {
+	us := c.Utilizations()
+	return c.Region().Headroom(us, stage)
+}
+
+// Reconcile runs one watchdog pass: a monotone purge on every shard
+// plus the slow rebalance — caps re-centered toward the shards with the
+// most release traffic since the last pass. The shard table cannot leak
+// orphans (a row and its charge are one record), so unlike the
+// unsharded Reconcile there is nothing to reap; it returns the number
+// of contributions the purge expired.
+func (c *Controller) Reconcile() (expired int) {
+	c.gmu.Lock()
+	c.lockShards()
+	expired = c.purgeAllLocked()
+	c.repartitionLocked(true)
+	c.reconciles.Add(1)
+	c.unlockShards()
+	c.gmu.Unlock()
+	if expired > 0 {
+		c.hook()
+	}
+	return expired
+}

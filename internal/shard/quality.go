@@ -1,0 +1,280 @@
+package shard
+
+import (
+	"feasregion/internal/core"
+	"feasregion/internal/task"
+)
+
+// Quality-aware admission over the sharded region. The routing rule
+// that keeps decisions identical to the unsharded cascade: the local
+// fast path and the steal path only ever admit at maxLevel (a cap-test
+// pass at maxLevel implies the exact region test passes at maxLevel,
+// which is the unsharded cascade's first branch); every degraded
+// outcome — the binary search below the cap — runs inside the exact
+// all-shard pass, whose state after purging equals the unsharded
+// controller's. The lock-free gate probes mandatory-only demand, the
+// cascade's weakest test, so a gate reject implies every level fails.
+
+// rawAt is the stage's synthetic utilization at a quality level: full
+// demand minus the untaken share of the optional portion.
+func rawAt(raw, opt []float64, j, level int) float64 {
+	if level >= task.QualityLevels {
+		return raw[j]
+	}
+	if level <= 0 {
+		return raw[j] - opt[j]
+	}
+	return raw[j] - opt[j]*(1-float64(level)/task.QualityLevels)
+}
+
+// qualityVectors converts the request into per-stage synthetic
+// utilization (raw) and its optional portion (opt). It reports false on
+// a malformed request; unlike the unsharded controller the all-ones ID
+// is also malformed (the shard table reserves it).
+func (c *Controller) qualityVectors(r Request, raw, opt []float64) (hasOpt, ok bool) {
+	if r.Deadline <= 0 || len(r.Demands) != c.stages || r.ID == ^uint64(0) {
+		return false, false
+	}
+	if r.Optional != nil && len(r.Optional) != c.stages {
+		return false, false
+	}
+	invD := 1 / float64(r.Deadline)
+	for j, dem := range r.Demands {
+		raw[j] = float64(dem) * invD
+		o := 0.0
+		if r.Optional != nil {
+			if r.Optional[j] < 0 || r.Optional[j] > dem {
+				return false, false
+			}
+			o = float64(r.Optional[j]) * invD
+		}
+		opt[j] = o
+		if o > 0 {
+			hasOpt = true
+		}
+	}
+	return hasOpt, true
+}
+
+// TryAdmitQuality runs the quality-aware admission cascade against the
+// sharded region: test at maxLevel locally (then with stolen headroom);
+// if the caps cannot take full maxLevel demand, the exact all-shard
+// pass runs the same degraded binary search as the unsharded cascade.
+// On success it returns the admitted level. Like TryAdmit, the happy
+// path touches one shard and rejection under sustained overload is
+// lock-free.
+func (c *Controller) TryAdmitQuality(r Request, maxLevel int) (level int, ok bool) {
+	if maxLevel > task.QualityLevels {
+		maxLevel = task.QualityLevels
+	}
+	if maxLevel < 0 {
+		maxLevel = 0
+	}
+	var stackRaw, stackOpt, stackEff [maxStackStages]float64
+	var raw, opt, eff []float64
+	if c.stages <= maxStackStages {
+		raw, opt, eff = stackRaw[:c.stages], stackOpt[:c.stages], stackEff[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		bufs.size(c.stages)
+		raw, opt, eff = bufs.raw[:c.stages], bufs.opt[:c.stages], bufs.eff[:c.stages]
+	}
+	hasOpt, valid := c.qualityVectors(r, raw, opt)
+	if !valid {
+		c.rejectedInvalid.Add(1)
+		return 0, false
+	}
+	for j := range eff {
+		eff[j] = rawAt(raw, opt, j, maxLevel)
+	}
+	storeLevel := uint8(task.QualityLevels)
+	if hasOpt && maxLevel < task.QualityLevels {
+		storeLevel = uint8(maxLevel)
+	}
+
+	s := c.shardOf(r.ID)
+	s.mu.Lock()
+	admitted, expired := s.admitLocked(c, r.ID, int64(r.Deadline), eff, storeLevel)
+	s.mu.Unlock()
+	if expired > 0 {
+		c.hook()
+	}
+	if admitted {
+		return maxLevel, true
+	}
+	if c.k > 1 && c.stealThenAdmit(s, r.ID, int64(r.Deadline), eff, storeLevel) {
+		return maxLevel, true
+	}
+	if c.gateRejects(raw, opt, 0) {
+		c.rejectedGate.Add(1)
+		return 0, false
+	}
+	return c.level(c.globalAdmit(r.ID, int64(r.Deadline), raw, opt, maxLevel, hasOpt, true))
+}
+
+// level flips globalAdmit's (ok, level) into TryAdmitQuality's return
+// order.
+func (c *Controller) level(ok bool, lv int) (int, bool) { return lv, ok }
+
+// SetQuality retunes an in-flight request's quality level, mirroring
+// online.Controller.SetQuality: lowering only frees capacity, so it
+// runs entirely under the home shard's lock; raising charges more and
+// must re-run the region test against the true global utilizations, so
+// it takes the exact-pass locks and re-partitions (the enlarged
+// contribution may exceed the home shard's cap, which the re-partition
+// absorbs — caps are rebuilt at-or-above utilizations).
+func (c *Controller) SetQuality(r Request, level int) bool {
+	if level < 0 {
+		level = 0
+	}
+	if level > task.QualityLevels {
+		level = task.QualityLevels
+	}
+	var stackRaw, stackOpt [maxStackStages]float64
+	var raw, opt []float64
+	if c.stages <= maxStackStages {
+		raw, opt = stackRaw[:c.stages], stackOpt[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		bufs.size(c.stages)
+		raw, opt = bufs.raw[:c.stages], bufs.opt[:c.stages]
+	}
+	hasOpt, valid := c.qualityVectors(r, raw, opt)
+	if !valid || !hasOpt {
+		return false
+	}
+
+	s := c.shardOf(r.ID)
+	s.mu.Lock()
+	mnow := s.monotoneLocked(c.nowNano())
+	s.purgeLocked(c, mnow)
+	slot, present := s.tbl.lookup(r.ID)
+	if !present || s.tbl.liveN[slot] == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	cur := int(s.tbl.levels[slot])
+	if level == cur {
+		s.mu.Unlock()
+		return false
+	}
+	if level < cur {
+		c.retuneLocked(s, slot, raw, opt, cur, level)
+		s.tbl.levels[slot] = uint8(level)
+		s.trimmed++
+		s.updateHintLocked()
+		c.noteFreed()
+		s.mu.Unlock()
+		c.hook()
+		return true
+	}
+	s.mu.Unlock()
+	return c.raiseQuality(r.ID, raw, opt, level)
+}
+
+// retuneLocked maps every still-charged stage's contribution from cur
+// to level by demand ratio (falling back to an absolute charge when the
+// current level's demand is zero), updating the shard sums in place.
+// Callers hold s.mu.
+func (c *Controller) retuneLocked(s *shard, slot int, raw, opt []float64, cur, level int) {
+	for j := 0; j < s.tbl.stages; j++ {
+		if !s.tbl.presentAt(slot, j) {
+			continue
+		}
+		contrib := s.tbl.contribs[slot*s.tbl.stages+j]
+		next := c.retuned(raw, opt, j, contrib, cur, level)
+		s.tbl.contribs[slot*s.tbl.stages+j] = next
+		s.addSum(j, next-contrib)
+	}
+}
+
+// retuned maps a stage's contribution from one quality level to another
+// by demand ratio, like the unsharded controller's retuned.
+func (c *Controller) retuned(raw, opt []float64, j int, contrib float64, cur, level int) float64 {
+	curDemand := rawAt(raw, opt, j, cur)
+	if curDemand <= 0 {
+		return rawAt(raw, opt, j, level) * c.stageScale(j)
+	}
+	return contrib * rawAt(raw, opt, j, level) / curDemand
+}
+
+// raiseQuality re-tests the region with the enlarged contribution under
+// the exact-pass locks, re-reading the row (it may have expired between
+// the caller's unlock and here).
+func (c *Controller) raiseQuality(id uint64, raw, opt []float64, level int) bool {
+	restored, expired := c.raiseQualityLocked(id, raw, opt, level)
+	if expired > 0 {
+		c.hook()
+	}
+	return restored
+}
+
+func (c *Controller) raiseQualityLocked(id uint64, raw, opt []float64, level int) (bool, int) {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	c.lockShards()
+	defer c.unlockShards()
+	expired := c.purgeAllLocked()
+	s := c.shardOf(id)
+	slot, present := s.tbl.lookup(id)
+	if !present || s.tbl.liveN[slot] == 0 {
+		return false, expired
+	}
+	cur := int(s.tbl.levels[slot])
+	if level == cur {
+		return false, expired
+	}
+	if level < cur {
+		// The level dropped while we were switching locks: lowering is
+		// always permitted, finish it here.
+		c.retuneLocked(s, slot, raw, opt, cur, level)
+		s.tbl.levels[slot] = uint8(level)
+		s.trimmed++
+		s.updateHintLocked()
+		c.noteFreed()
+		return true, expired
+	}
+	// Re-test with each still-charged stage's contribution swapped for
+	// its enlarged version, against the true global utilizations.
+	sum := 0.0
+	for j := 0; j < c.stages; j++ {
+		u := 0.0
+		for _, sh := range c.shards {
+			u += sh.util(j)
+		}
+		if s.tbl.presentAt(slot, j) {
+			contrib := s.tbl.contribs[slot*s.tbl.stages+j]
+			u += c.retuned(raw, opt, j, contrib, cur, level) - contrib
+		}
+		sum += core.StageDelayFactor(u)
+	}
+	if sum > c.bound {
+		return false, expired
+	}
+	c.retuneLocked(s, slot, raw, opt, cur, level)
+	lvByte := uint8(level)
+	if level >= task.QualityLevels {
+		lvByte = uint8(task.QualityLevels)
+	}
+	s.tbl.levels[slot] = lvByte
+	s.restored++
+	// The raised contribution may exceed the home shard's cap; rebuild
+	// the partition from the new truth.
+	c.repartitionLocked(false)
+	return true, expired
+}
+
+// QualityOf returns the quality level the request was admitted (or
+// since retuned) at, and whether it currently contributes anywhere.
+func (c *Controller) QualityOf(id uint64) (level int, present bool) {
+	s := c.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.tbl.lookup(id)
+	if !ok || s.tbl.liveN[slot] == 0 {
+		return 0, false
+	}
+	return int(s.tbl.levels[slot]), true
+}

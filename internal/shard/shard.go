@@ -1,0 +1,913 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"feasregion/internal/core"
+	"feasregion/internal/expiry"
+	"feasregion/internal/task"
+)
+
+// Clock abstracts time.Now for testing. A nil clock selects the
+// monotonic fast path: timestamps are derived from a fixed epoch plus
+// time.Since, which skips the wall-clock composition (roughly half the
+// cost of time.Now on VM clocksources) and can never step backwards.
+type Clock func() time.Time
+
+// Request describes one admission request: per-stage computation-time
+// estimates and a relative end-to-end deadline. online.Request aliases
+// this type, so the two controllers share request values freely.
+type Request struct {
+	// ID must be unique among in-flight requests (e.g. a request
+	// counter); it keys departure marking and release. The sharded
+	// controller additionally reserves the all-ones ID as a table
+	// sentinel and rejects it as malformed.
+	ID uint64
+	// Deadline is the relative end-to-end deadline.
+	Deadline time.Duration
+	// Demands are per-stage computation-time estimates, one per stage.
+	Demands []time.Duration
+	// Optional, when non-nil, marks the trailing portion of each stage's
+	// demand as optional (imprecise computation): TryAdmitQuality may
+	// admit the request with Optional[j] scaled down by the quality
+	// ladder, and SetQuality retunes it in flight. Each entry must be in
+	// [0, Demands[j]]. Nil means the request is rigid — all demand
+	// mandatory.
+	Optional []time.Duration
+}
+
+// wheelGranularity matches the unsharded controller's purge precision.
+const wheelGranularity = time.Millisecond
+
+// maxStackStages bounds the stage count served by stack scratch; wider
+// pipelines draw from a sync.Pool so the path stays allocation-free.
+const maxStackStages = 8
+
+// MaxShards caps the shard count; Shards values are rounded up to a
+// power of two and clamped to [1, MaxShards].
+const MaxShards = 64
+
+// maxStealProbes bounds how many peers a locally-rejected admit may
+// lock while gathering headroom before falling through to the exact
+// global pass.
+const maxStealProbes = 3
+
+type admitBufs struct{ raw, opt, eff, utils float64Slice }
+
+type float64Slice = []float64
+
+var admitBufPool = sync.Pool{New: func() any { return new(admitBufs) }}
+
+func (b *admitBufs) size(stages int) {
+	if cap(b.raw) < stages {
+		b.raw = make([]float64, stages)
+		b.opt = make([]float64, stages)
+		b.eff = make([]float64, stages)
+		b.utils = make([]float64, stages)
+	}
+}
+
+// Stats counts admission outcomes and sharding control-plane activity.
+type Stats struct {
+	Admitted         uint64
+	Rejected         uint64
+	Expired          uint64
+	IdleResets       uint64
+	Reconciles       uint64
+	ClockRegressions uint64
+	Degraded         uint64
+	Trimmed          uint64
+	Restored         uint64
+	// Cancelled counts stale wheel entries the purge discarded lazily —
+	// deadlines of requests that had been released (or recycled) before
+	// they fired. The unsharded controller unlinks these eagerly; the
+	// sharded one filters them at flush time against the task table.
+	Cancelled uint64
+	// Steals counts admits that succeeded only after transferring
+	// headroom from peer shards.
+	Steals uint64
+	// GlobalFallbacks counts exact all-shard passes (the last resort
+	// before a true reject, and the only path that can reject).
+	GlobalFallbacks uint64
+	// Rebalances counts cap re-partitions: one per global pass, per
+	// Reconcile tick, and per region/quality mutation that moves caps.
+	Rebalances uint64
+}
+
+// shard is one partition of the region bound. Each shard admits against
+// its private per-stage caps with its own mutex, table, and timer
+// wheel, so the happy path touches exactly one shard's cache lines.
+// The trailing pad keeps two shards' hot state off a shared line even
+// when the allocator packs them.
+type shard struct {
+	mu sync.Mutex
+
+	// sums/comps are Kahan-compensated per-stage sums of the local
+	// contributions; utilization at stage j is floors[j]+sums[j]
+	// (clamped at the floor, like core.Ledger's reserved floor).
+	sums   []float64
+	comps  []float64
+	floors []float64 // reserved_j / K: this shard's share of the floors
+	caps   []float64 // per-stage budget; invariant: util(j) ≤ caps[j]
+	scales []float64 // per-stage demand multipliers (copies, kept equal)
+
+	tbl    table
+	whl    *expiry.Wheel
+	maxNow int64 // monotone high-water mark of observed time
+
+	// staged holds freshly committed expiry entries that have not been
+	// filed into the wheel yet. A request released before the next
+	// purge — the common case on the hot path — has its entry dropped
+	// at the drain's (id, at) match and never pays wheel bucket math.
+	// Invariant: the wheel cursor never advances while an entry sits
+	// here (every purge drains first), so a deferred Push files at the
+	// same tick a commit-time Push would have, and expiry timing is
+	// bit-identical to the eager scheme.
+	staged []expiry.Entry
+
+	// Counters are plain (guarded by mu); Stats sums across shards.
+	admitted, rejected, expired, cancelled uint64
+	degraded, trimmed, restored            uint64
+	clockRegressions                       uint64
+	// releasedTraffic weights the watchdog rebalance: shards that
+	// released or expired the most capacity since the last re-partition
+	// get the larger slack share.
+	releasedTraffic uint64
+
+	// nextExp gates the purge: a lower bound (UnixNano) on the earliest
+	// pending wheel entry, math.MaxInt64 when none. Written under mu,
+	// read without it (admit fast path, AdmitWithin sleep, reject gate).
+	nextExp atomic.Int64
+
+	// slackHint publishes min_j(caps[j]−util(j)) with hysteresis so
+	// peers can order steal probes richest-first without locking. Stale
+	// by up to 1/4 relative — it is an ordering hint, never a charge.
+	// hintOps amortizes the refresh: plain commits and releases only
+	// recompute the min-scan every hintEvery-th mutation (a misordered
+	// probe costs one extra bounded attempt, never soundness); purge
+	// expiries, steals, and repartitions refresh eagerly because they
+	// move capacity in bulk.
+	slackHint atomic.Uint64
+	hintOps   uint8
+
+	_ [64]byte
+}
+
+// hintEvery is the hint-refresh stride on the plain admit/release path.
+const hintEvery = 8
+
+// stagedCap bounds the staging buffer (4 KiB of entries per shard); a
+// commit finding it full drains it into the wheel inline, so sustained
+// admission with no purge due cannot grow it without bound.
+const stagedCap = 256
+
+// drainStagedLocked sifts the staging buffer: entries whose table row
+// is gone (released, or the ID was re-admitted with a new deadline) are
+// dropped as lazy cancellations without ever touching the wheel; live
+// ones are filed for flush. Callers hold s.mu.
+func (s *shard) drainStagedLocked() {
+	for _, e := range s.staged {
+		slot, ok := s.tbl.lookup(e.ID)
+		if !ok || s.tbl.ats[slot] != e.At {
+			s.cancelled++
+			continue
+		}
+		s.whl.Push(e.At, e.ID)
+	}
+	s.staged = s.staged[:0]
+}
+
+// noteHintOpLocked defers the slack-hint min-scan to every
+// hintEvery-th plain mutation. Callers hold s.mu.
+func (s *shard) noteHintOpLocked() {
+	if s.hintOps++; s.hintOps >= hintEvery {
+		s.hintOps = 0
+		s.updateHintLocked()
+	}
+}
+
+func (s *shard) util(j int) float64 {
+	u := s.floors[j] + s.sums[j]
+	if u < s.floors[j] {
+		return s.floors[j]
+	}
+	return u
+}
+
+func (s *shard) addSum(j int, v float64) {
+	y := v - s.comps[j]
+	t := s.sums[j] + y
+	s.comps[j] = (t - s.sums[j]) - y
+	s.sums[j] = t
+}
+
+// rebaselineLocked kills residual floating error whenever the shard
+// empties, mirroring core.Ledger's exact rebaseline.
+func (s *shard) rebaselineLocked() {
+	if s.tbl.live == 0 {
+		for j := range s.sums {
+			s.sums[j], s.comps[j] = 0, 0
+		}
+	}
+}
+
+// updateHintLocked republishes the slack hint when it drifted by more
+// than 1/4 relative (or crossed zero) — rare under steady churn, so the
+// hot path almost never pays the atomic store.
+func (s *shard) updateHintLocked() {
+	min := math.Inf(1)
+	for j := range s.caps {
+		if sl := s.caps[j] - s.util(j); sl < min {
+			min = sl
+		}
+	}
+	if min < 0 {
+		min = 0
+	}
+	old := math.Float64frombits(s.slackHint.Load())
+	if min > old*0.75 && min < old*1.25 && (min == 0) == (old == 0) {
+		return
+	}
+	s.slackHint.Store(math.Float64bits(min))
+}
+
+// Controller is a sharded wall-clock admission controller enforcing the
+// same feasible region as online.Controller, with the Theorem-1 bound
+// partitioned across K shards: each shard owns per-stage utilization
+// caps with Σ_k caps_jk = Cap_j and Σ_j f(Cap_j) ≤ α·(1−Σβ). A local
+// admit charges only its home shard (one uncontended lock, no shared
+// cache lines); a local reject steals headroom from the richest peers,
+// and an exact all-shard pass drains every shard's slack before a true
+// reject — so the sharded controller admits exactly the task sets the
+// unsharded region admits (see DESIGN.md §11 for the soundness and
+// work-conservation arguments).
+type Controller struct {
+	stages int
+	k      int
+	shift  uint // shard index = (id*hashMul) >> shift
+	shards []*shard
+
+	clock     Clock
+	epoch     time.Time
+	epochNano int64
+
+	// gmu serializes global operations (exact pass, rebalance, region
+	// and scale mutations). Lock order: gmu, then shards in index
+	// order; the steal path holds at most one shard lock at a time and
+	// never gmu.
+	gmu      sync.Mutex
+	region   core.Region
+	bound    float64
+	reserved []float64
+
+	boundBits atomic.Uint64
+	scaleBits []atomic.Uint64
+
+	// gen is the cap-partition generation. Every re-partition bumps it
+	// (under gmu + all shard locks); a steal commits its transferred
+	// headroom only if gen is unchanged since the transfer began,
+	// otherwise the transfer is abandoned (a pure capacity shrink —
+	// conservative) and the re-partition that raced has already rebuilt
+	// every cap from the true utilizations.
+	gen atomic.Uint64
+
+	// Overload reject gate: after an exact pass rejects, it publishes
+	// the per-stage global utilizations as lower bounds (seqlock).
+	// Until any capacity is freed (freedGen) or a purge comes due, a
+	// request whose demand pushes even those lower bounds past the
+	// bound can be rejected lock-free — the sharded analogue of the
+	// unsharded controller's optimistic mirror reject.
+	gateArmed    atomic.Bool
+	gateSeq      atomic.Uint64
+	gateFreedGen atomic.Uint64
+	gateBits     []atomic.Uint64
+	freedGen     atomic.Uint64
+
+	// wakeHook, when set, is invoked (outside all shard locks) after
+	// any operation that frees capacity: release, expiry, idle reset,
+	// quality trim, scale relaxation, bound raise. The wrapping
+	// controller uses it to hand a wake token to its AdmitWithin FIFO.
+	wakeHook func()
+
+	rejectedInvalid atomic.Uint64
+	rejectedGate    atomic.Uint64
+	steals          atomic.Uint64
+	globalFallbacks atomic.Uint64
+	rebalances      atomic.Uint64
+	reconciles      atomic.Uint64
+	idleResets      atomic.Uint64
+}
+
+// New builds a sharded controller for the region with k shards (rounded
+// up to a power of two, clamped to [1, MaxShards]). reserved, when
+// non-nil, sets per-stage reserved utilization floors, split evenly
+// across shards. clock may be nil (monotonic fast path).
+func New(region core.Region, reserved []float64, clock Clock, k int) *Controller {
+	if reserved != nil && len(reserved) != region.Stages {
+		panic(fmt.Sprintf("shard: %d reserved values for %d stages", len(reserved), region.Stages))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > MaxShards {
+		k = MaxShards
+	}
+	pow := 1
+	bits := uint(0)
+	for pow < k {
+		pow <<= 1
+		bits++
+	}
+	k = pow
+
+	c := &Controller{
+		stages:    region.Stages,
+		k:         k,
+		shift:     64 - bits, // shift 64 on uint64 yields 0 in Go: k=1 → shard 0
+		clock:     clock,
+		region:    region,
+		bound:     region.Bound(),
+		scaleBits: make([]atomic.Uint64, region.Stages),
+		gateBits:  make([]atomic.Uint64, region.Stages),
+	}
+	if reserved != nil {
+		c.reserved = append([]float64(nil), reserved...)
+	}
+	c.boundBits.Store(math.Float64bits(c.bound))
+	for j := range c.scaleBits {
+		c.scaleBits[j].Store(math.Float64bits(1))
+	}
+	var now time.Time
+	if clock != nil {
+		now = clock()
+	} else {
+		now = time.Now()
+		c.epoch = now
+		c.epochNano = now.UnixNano()
+	}
+	c.shards = make([]*shard, k)
+	for i := range c.shards {
+		s := &shard{
+			sums:   make([]float64, c.stages),
+			comps:  make([]float64, c.stages),
+			floors: make([]float64, c.stages),
+			caps:   make([]float64, c.stages),
+			scales: make([]float64, c.stages),
+			tbl:    newTable(c.stages),
+			whl:    expiry.New(wheelGranularity, now, false),
+			maxNow: now.UnixNano(),
+		}
+		for j := range s.scales {
+			s.scales[j] = 1
+			if reserved != nil {
+				s.floors[j] = reserved[j] / float64(k)
+			}
+		}
+		s.nextExp.Store(math.MaxInt64)
+		c.shards[i] = s
+	}
+	// Initial partition: caps from the balanced residual split around
+	// the reserved floors.
+	c.lockAll()
+	c.repartitionLocked(false)
+	c.unlockAll()
+	return c
+}
+
+// SetWakeHook installs the capacity-freed callback. Call before any
+// concurrent use.
+func (c *Controller) SetWakeHook(fn func()) { c.wakeHook = fn }
+
+func (c *Controller) hook() {
+	if c.wakeHook != nil {
+		c.wakeHook()
+	}
+}
+
+// Shards returns the shard count (after rounding).
+func (c *Controller) Shards() int { return c.k }
+
+func (c *Controller) nowNano() int64 {
+	if c.clock != nil {
+		return c.clock().UnixNano()
+	}
+	return c.epochNano + int64(time.Since(c.epoch))
+}
+
+func (c *Controller) shardOf(id uint64) *shard {
+	return c.shards[(id*hashMul)>>c.shift]
+}
+
+func (c *Controller) shardIdx(id uint64) int {
+	return int((id * hashMul) >> c.shift)
+}
+
+func (c *Controller) stageScale(j int) float64 {
+	return math.Float64frombits(c.scaleBits[j].Load())
+}
+
+func (c *Controller) boundNow() float64 {
+	return math.Float64frombits(c.boundBits.Load())
+}
+
+// noteFreed invalidates the overload reject gate. Must be called while
+// holding the shard (or global) lock that serialized the freeing
+// mutation, so it is ordered against the gate's arming (which holds
+// every shard lock).
+func (c *Controller) noteFreed() {
+	if c.gateArmed.Load() {
+		c.freedGen.Add(1)
+	}
+}
+
+// monotoneLocked folds a clock observation into the shard's monotone
+// high-water mark; regressions (injected skew, stepped wall clocks) are
+// counted and clamped so expiry can never stall. Callers hold s.mu.
+func (s *shard) monotoneLocked(now int64) int64 {
+	if now < s.maxNow {
+		s.clockRegressions++
+		return s.maxNow
+	}
+	s.maxNow = now
+	return now
+}
+
+// purgeLocked flushes due wheel entries against the table: an entry
+// whose (id, deadline) matches a row removes the row and credits its
+// contributions; a mismatch is a lazily-cancelled stale entry. Callers
+// hold s.mu and pass a monotone now. Returns how many live rows
+// expired; the caller invokes the wake hook outside the lock when > 0.
+func (s *shard) purgeLocked(c *Controller, mnow int64) int {
+	if len(s.staged) > 0 {
+		s.drainStagedLocked()
+	}
+	expired := 0
+	flushed := s.whl.AdvanceTo(mnow, func(e expiry.Entry) {
+		slot, ok := s.tbl.lookup(e.ID)
+		if !ok || s.tbl.ats[slot] != e.At {
+			s.cancelled++
+			return
+		}
+		if s.tbl.liveN[slot] > 0 {
+			expired++
+		}
+		for j := 0; j < s.tbl.stages; j++ {
+			s.addSum(j, -s.tbl.contribs[slot*s.tbl.stages+j])
+		}
+		s.tbl.delete(slot)
+	})
+	if flushed > 0 || s.nextExp.Load() <= mnow {
+		if at, ok := s.whl.Earliest(); ok {
+			s.nextExp.Store(at)
+		} else {
+			s.nextExp.Store(math.MaxInt64)
+		}
+	}
+	if expired > 0 {
+		s.expired += uint64(expired)
+		s.releasedTraffic += uint64(expired)
+		s.rebaselineLocked()
+		s.updateHintLocked()
+		c.noteFreed()
+	}
+	return expired
+}
+
+// commitLocked inserts the admitted row (contribs already scaled and
+// quality-adjusted), schedules its expiry, and charges the sums.
+// Callers hold s.mu and have verified the cap test.
+func (s *shard) commitLocked(id uint64, at int64, contribs []float64, level uint8) {
+	slot := s.tbl.insert(id, at, level)
+	for j, v := range contribs {
+		s.tbl.contribs[slot*s.tbl.stages+j] = v
+		s.addSum(j, v)
+	}
+	if len(s.staged) >= stagedCap {
+		s.drainStagedLocked()
+	}
+	s.staged = append(s.staged, expiry.Entry{At: at, ID: id})
+	if at < s.nextExp.Load() {
+		s.nextExp.Store(at)
+	}
+	s.admitted++
+	if int(level) < task.QualityLevels {
+		s.degraded++
+	}
+	s.noteHintOpLocked()
+}
+
+// admitLocked runs monotone fold + due purge + the pointwise cap test,
+// committing on success. eff is the per-stage unscaled synthetic
+// demand; level is the quality level to record. Callers hold s.mu.
+// Returns (admitted, expiredByPurge).
+func (s *shard) admitLocked(c *Controller, id uint64, deadline int64, eff []float64, level uint8) (bool, int) {
+	mnow := s.monotoneLocked(c.nowNano())
+	expired := 0
+	if s.nextExp.Load() <= mnow {
+		expired = s.purgeLocked(c, mnow)
+	}
+	var scaled [maxStackStages]float64
+	var sc []float64
+	if s.tbl.stages <= maxStackStages {
+		sc = scaled[:s.tbl.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		bufs.size(s.tbl.stages)
+		sc = bufs.eff[:s.tbl.stages]
+	}
+	for j := range eff {
+		sc[j] = eff[j] * s.scales[j]
+		if s.util(j)+sc[j] > s.caps[j] {
+			return false, expired
+		}
+	}
+	s.commitLocked(id, mnow+deadline, sc, level)
+	return true, expired
+}
+
+// TryAdmit tests the request against the region and commits it on
+// success: against the home shard's caps first (one uncontended lock),
+// then with stolen peer headroom, then in the exact all-shard pass.
+// Allocation-free; under sustained overload rejects are lock-free via
+// the gate snapshot.
+func (c *Controller) TryAdmit(r Request) bool {
+	return c.admit(&r, true)
+}
+
+// TryAdmitRetry is TryAdmit without counting a failed attempt as a
+// rejection — the AdmitWithin retry loop's variant.
+func (c *Controller) TryAdmitRetry(r Request) bool {
+	return c.admit(&r, false)
+}
+
+// Admit is the by-reference admission entry point for wrapping
+// controllers on their hot path: it skips the Request copy TryAdmit's
+// value signature costs. The request is only read, never retained.
+func (c *Controller) Admit(r *Request, countReject bool) bool {
+	return c.admit(r, countReject)
+}
+
+// CountRejected adds one terminal rejection to the counters (the
+// wrapping controller's AdmitWithin accounts its give-ups here).
+func (c *Controller) CountRejected() { c.rejectedInvalid.Add(1) }
+
+func (c *Controller) admit(r *Request, countReject bool) bool {
+	if r.Deadline <= 0 || len(r.Demands) != c.stages || r.ID == ^uint64(0) {
+		if countReject {
+			c.rejectedInvalid.Add(1)
+		}
+		return false
+	}
+	var stackRaw [maxStackStages]float64
+	var raw []float64
+	if c.stages <= maxStackStages {
+		raw = stackRaw[:c.stages]
+	} else {
+		bufs := admitBufPool.Get().(*admitBufs)
+		defer admitBufPool.Put(bufs)
+		bufs.size(c.stages)
+		raw = bufs.raw[:c.stages]
+	}
+	// The synthetic utilization demand/deadline is dimensionless, so the
+	// ratio of nanosecond counts equals the ratio of seconds — skipping
+	// Duration.Seconds saves four div+mod decompositions per admit.
+	invD := 1 / float64(r.Deadline)
+	for j, dem := range r.Demands {
+		raw[j] = float64(dem) * invD
+	}
+
+	s := c.shardOf(r.ID)
+	s.mu.Lock()
+	ok, expired := s.admitLocked(c, r.ID, int64(r.Deadline), raw, task.QualityLevels)
+	s.mu.Unlock()
+	if expired > 0 {
+		c.hook()
+	}
+	if ok {
+		return true
+	}
+	if c.k > 1 && c.stealThenAdmit(s, r.ID, int64(r.Deadline), raw, task.QualityLevels) {
+		return true
+	}
+	if c.gateRejects(raw, nil, 0) {
+		if countReject {
+			c.rejectedGate.Add(1)
+		}
+		return false
+	}
+	admitted, _ := c.globalAdmit(r.ID, int64(r.Deadline), raw, nil, task.QualityLevels, false, countReject)
+	return admitted
+}
+
+// gateRejects is the lock-free overload reject: valid only while the
+// gate is armed, no capacity has been freed since its snapshot, and no
+// purge is due on any shard. The snapshot utilizations are lower bounds
+// on the current ones (admits only grow them), so snapshot-sum > bound
+// proves the exact pass would reject too. opt/level select the quality
+// demand to test (nil opt = rigid).
+func (c *Controller) gateRejects(raw, opt []float64, level int) bool {
+	if !c.gateArmed.Load() {
+		return false
+	}
+	g := c.freedGen.Load()
+	if c.gateFreedGen.Load() != g {
+		c.gateArmed.Store(false) // stale: stop taxing release paths
+		return false
+	}
+	now := c.nowNano()
+	for _, s := range c.shards {
+		if s.nextExp.Load() <= now {
+			return false // a purge is due: capacity may free
+		}
+	}
+	seq := c.gateSeq.Load()
+	if seq&1 != 0 {
+		return false
+	}
+	sum := 0.0
+	for j := range raw {
+		u := math.Float64frombits(c.gateBits[j].Load())
+		d := raw[j]
+		if opt != nil {
+			d = rawAt(raw, opt, j, level)
+		}
+		sum += core.StageDelayFactor(u + d*c.stageScale(j))
+	}
+	if c.gateSeq.Load() != seq || c.freedGen.Load() != g {
+		return false
+	}
+	return sum > c.boundNow()
+}
+
+// Release drops the request's contribution on all stages immediately.
+// The wheel entry is left to be discarded lazily at its flush (the
+// table no longer matches it). Matches online.Controller.Release: no
+// purge, waiters woken only when a contribution was removed.
+func (c *Controller) Release(id uint64) {
+	s := c.shardOf(id)
+	s.mu.Lock()
+	removed := s.releaseLocked(c, id)
+	s.mu.Unlock()
+	if removed {
+		c.hook()
+	}
+}
+
+// releaseLocked removes one row; reports whether any stage still
+// charged it. Callers hold s.mu.
+func (s *shard) releaseLocked(c *Controller, id uint64) bool {
+	slot, ok := s.tbl.lookup(id)
+	if !ok {
+		return false
+	}
+	removed := s.tbl.liveN[slot] > 0
+	for j := 0; j < s.tbl.stages; j++ {
+		s.addSum(j, -s.tbl.contribs[slot*s.tbl.stages+j])
+	}
+	s.tbl.delete(slot)
+	if removed {
+		s.releasedTraffic++
+		s.rebaselineLocked()
+		s.noteHintOpLocked()
+		c.noteFreed()
+	}
+	return removed
+}
+
+// ReleaseAll drops a burst of contributions, one lock acquisition and
+// one purge per shard, with a single coalesced waiter wake at the end.
+// Returns how many IDs still had a live contribution.
+func (c *Controller) ReleaseAll(ids []uint64) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	now := c.nowNano()
+	released := 0
+	expired := 0
+	for si, s := range c.shards {
+		locked := false
+		for _, id := range ids {
+			if c.shardIdx(id) != si {
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+				expired += s.purgeLocked(c, s.monotoneLocked(now))
+			}
+			if s.releaseLocked(c, id) {
+				released++
+			}
+		}
+		if locked {
+			s.mu.Unlock()
+		}
+	}
+	if released > 0 || expired > 0 {
+		c.hook()
+	}
+	return released
+}
+
+// MarkDeparted records that the request finished its work at the stage,
+// making its contribution eligible for the stage's idle reset.
+func (c *Controller) MarkDeparted(stage int, id uint64) {
+	s := c.shardOf(id)
+	s.mu.Lock()
+	if slot, ok := s.tbl.lookup(id); ok && s.tbl.presentAt(slot, stage) && s.tbl.liveN[slot] > 0 {
+		s.tbl.markDeparted(slot, stage)
+	}
+	s.mu.Unlock()
+}
+
+// MarkDepartedAll is the batch mirror of MarkDeparted: one lock and one
+// purge per shard.
+func (c *Controller) MarkDepartedAll(stage int, ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	now := c.nowNano()
+	expired := 0
+	for si, s := range c.shards {
+		locked := false
+		for _, id := range ids {
+			if c.shardIdx(id) != si {
+				continue
+			}
+			if !locked {
+				s.mu.Lock()
+				locked = true
+				expired += s.purgeLocked(c, s.monotoneLocked(now))
+			}
+			if slot, ok := s.tbl.lookup(id); ok && s.tbl.presentAt(slot, stage) && s.tbl.liveN[slot] > 0 {
+				s.tbl.markDeparted(slot, stage)
+			}
+		}
+		if locked {
+			s.mu.Unlock()
+		}
+	}
+	if expired > 0 {
+		c.hook()
+	}
+}
+
+// StageIdle performs the idle reset for a stage on every shard: rows
+// that departed the stage stop charging it. Cleared rows linger until
+// their deadline expiry (deleting mid-scan would corrupt the probe
+// clusters), which only delays slot reuse, never capacity release.
+func (c *Controller) StageIdle(stage int) {
+	now := c.nowNano()
+	freed := 0
+	expired := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		expired += s.purgeLocked(c, s.monotoneLocked(now))
+		shardFreed := 0
+		for slot := range s.tbl.keys {
+			if s.tbl.keys[slot] == 0 {
+				continue
+			}
+			if s.tbl.departedAt(slot, stage) && s.tbl.presentAt(slot, stage) {
+				s.addSum(stage, -s.tbl.contribs[slot*s.tbl.stages+stage])
+				s.tbl.clearStage(slot, stage)
+				shardFreed++
+			}
+		}
+		if shardFreed > 0 {
+			s.releasedTraffic += uint64(shardFreed)
+			s.updateHintLocked()
+			c.noteFreed()
+			freed += shardFreed
+		}
+		s.mu.Unlock()
+	}
+	if freed > 0 {
+		c.idleResets.Add(1)
+		c.hook()
+	} else if expired > 0 {
+		c.hook()
+	}
+}
+
+// NextExpiry returns a lower bound (UnixNano) on the earliest pending
+// expiry across all shards, math.MaxInt64 when none — the AdmitWithin
+// sleep gate.
+func (c *Controller) NextExpiry() int64 {
+	min := int64(math.MaxInt64)
+	for _, s := range c.shards {
+		if at := s.nextExp.Load(); at < min {
+			min = at
+		}
+	}
+	return min
+}
+
+// StageUtilization returns stage j's current global synthetic
+// utilization (sum across shards, each purged first).
+func (c *Controller) StageUtilization(j int) float64 {
+	now := c.nowNano()
+	sum := 0.0
+	expired := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		expired += s.purgeLocked(c, s.monotoneLocked(now))
+		sum += s.util(j)
+		s.mu.Unlock()
+	}
+	if expired > 0 {
+		c.hook()
+	}
+	return sum
+}
+
+// Utilizations returns the current per-stage global synthetic
+// utilizations. Shards are read in sequence (not one atomic cut): a
+// concurrent admit or release may land between shard reads, skewing a
+// stage by one contribution — the same freshness contract as a metrics
+// scrape. At quiesce the vector is exact.
+func (c *Controller) Utilizations() []float64 {
+	us := make([]float64, c.stages)
+	now := c.nowNano()
+	expired := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		expired += s.purgeLocked(c, s.monotoneLocked(now))
+		for j := range us {
+			us[j] += s.util(j)
+		}
+		s.mu.Unlock()
+	}
+	if expired > 0 {
+		c.hook()
+	}
+	return us
+}
+
+// ShardStageUtilization returns shard k's local utilization at stage j
+// (metrics gauge; no purge).
+func (c *Controller) ShardStageUtilization(k, j int) float64 {
+	s := c.shards[k]
+	s.mu.Lock()
+	u := s.util(j)
+	s.mu.Unlock()
+	return u
+}
+
+// ShardStageCap returns shard k's current cap at stage j (metrics
+// gauge).
+func (c *Controller) ShardStageCap(k, j int) float64 {
+	s := c.shards[k]
+	s.mu.Lock()
+	v := s.caps[j]
+	s.mu.Unlock()
+	return v
+}
+
+// StageScale returns stage j's demand multiplier without locking.
+func (c *Controller) StageScale(j int) float64 { return c.stageScale(j) }
+
+// Bound returns the current admission bound α·(1−Σβ) without locking.
+func (c *Controller) Bound() float64 { return c.boundNow() }
+
+// Region returns a copy of the controller's current feasible region.
+func (c *Controller) Region() core.Region {
+	c.gmu.Lock()
+	defer c.gmu.Unlock()
+	r := c.region
+	if r.Betas != nil {
+		r.Betas = append([]float64(nil), r.Betas...)
+	}
+	return r
+}
+
+// Stats returns a snapshot of the counters (shard counters are summed
+// under each shard's lock in turn; the snapshot is not one atomic cut).
+func (c *Controller) Stats() Stats {
+	st := Stats{
+		Rejected:        c.rejectedInvalid.Load() + c.rejectedGate.Load(),
+		Steals:          c.steals.Load(),
+		GlobalFallbacks: c.globalFallbacks.Load(),
+		Rebalances:      c.rebalances.Load(),
+		Reconciles:      c.reconciles.Load(),
+		IdleResets:      c.idleResets.Load(),
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Admitted += s.admitted
+		st.Rejected += s.rejected
+		st.Expired += s.expired
+		st.ClockRegressions += s.clockRegressions
+		st.Degraded += s.degraded
+		st.Trimmed += s.trimmed
+		st.Restored += s.restored
+		st.Cancelled += s.cancelled
+		s.mu.Unlock()
+	}
+	return st
+}
