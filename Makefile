@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-race test-short bench bench-json bench-admit bench-degrade docs-check experiments experiments-quick examples fuzz verify clean
+.PHONY: all build vet test race test-race test-short bench bench-json bench-admit bench-degrade bench-cluster docs-check experiments experiments-quick examples fuzz verify clean
 
 all: build vet test
 
@@ -46,6 +46,12 @@ bench-admit:
 bench-degrade:
 	$(GO) test -run '^$$' -bench '^BenchmarkDegrade' -benchmem -count 3 -json . > BENCH_degrade.json
 
+# Cluster routing hot-path benchmarks (Route + release for all three
+# policies at 1/16/64 goroutines over an 8-replica fleet) as go-test
+# JSON; the routing path must stay at 0 allocs/op.
+bench-cluster:
+	$(GO) test -run '^$$' -bench '^BenchmarkClusterRoute' -benchmem -count 3 -json . > BENCH_cluster.json
+
 # Documentation invariants: every package documented, every exported
 # identifier of the public API documented, every relative markdown link
 # resolving — plus go vet's doc-adjacent analyzers.
@@ -67,6 +73,7 @@ examples:
 	$(GO) run ./examples/taskgraph
 	$(GO) run ./examples/overload
 	$(GO) run ./examples/httpserver
+	$(GO) run ./examples/cluster
 
 # Short fuzzing passes over the robustness-sensitive parsers and math.
 fuzz:

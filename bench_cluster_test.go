@@ -1,0 +1,84 @@
+package feasregion_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"feasregion/internal/cluster"
+	"feasregion/internal/core"
+	"feasregion/internal/online"
+)
+
+// Cluster routing hot-path benchmarks: one full Route — policy pick
+// over the seqlock-published headroom snapshots, admission on the
+// chosen replica, rollback to the runner-up on refusal — followed by
+// the release, so the fleet's occupancy stays in steady state and
+// every iteration measures the same work. The acceptance floor is
+// 0 allocs/op for every policy at every fan-out.
+//
+// BenchmarkClusterRoute/<policy>-<g> splits b.N over exactly g
+// goroutines on an 8-replica fleet; `make bench-cluster` emits the set
+// as BENCH_cluster.json.
+
+// benchFleet builds an 8-replica fleet with a frozen clock so no
+// iteration pays (or dodges) expiry-purge work.
+func benchFleet(pol cluster.Policy) *cluster.Cluster {
+	t0 := time.Now()
+	return cluster.New(cluster.Options{
+		Region: core.NewRegion(3),
+		Online: online.Config{Clock: func() time.Time { return t0 }},
+		Policy: pol,
+		Seed:   42,
+		Scaler: cluster.AutoscalerConfig{Min: 8, Max: 8},
+	})
+}
+
+func BenchmarkClusterRoute(b *testing.B) {
+	for _, pol := range cluster.Policies {
+		for _, g := range []int{1, 16, 64} {
+			b.Run(fmt.Sprintf("%s-%d", pol, g), func(b *testing.B) {
+				benchRouteN(b, pol, g)
+			})
+		}
+	}
+}
+
+// benchRouteN splits b.N over exactly g goroutines (RunParallel's
+// worker count floats with GOMAXPROCS, which would blur the fan-out
+// axis). Each worker routes, then releases on the replica that
+// admitted, keeping the fleet in steady state.
+func benchRouteN(b *testing.B, pol cluster.Policy, g int) {
+	c := benchFleet(pol)
+	var nextID atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan struct{})
+	per := b.N / g
+	extra := b.N % g
+	for w := 0; w < g; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		go func(n int) {
+			demands := []time.Duration{time.Millisecond, time.Millisecond, time.Millisecond}
+			for i := 0; i < n; i++ {
+				req := online.Request{
+					ID:       nextID.Add(1),
+					Deadline: time.Second,
+					Demands:  demands,
+				}
+				rep, ok := c.Route(req)
+				if ok {
+					rep.Release(req.ID)
+				}
+			}
+			done <- struct{}{}
+		}(n)
+	}
+	for w := 0; w < g; w++ {
+		<-done
+	}
+}

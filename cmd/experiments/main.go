@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos|health|adapt|degrade] [-quick] [-csv dir]
+//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos|health|adapt|degrade|cluster] [-quick] [-csv dir]
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health, adapt, degrade")
+	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health, adapt, degrade, cluster")
 	quick := flag.Bool("quick", false, "reduced scale (shorter horizons, one replication)")
 	plot := flag.Bool("plot", false, "render Figures 4-7 as ASCII charts in addition to tables")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
@@ -194,6 +194,16 @@ func main() {
 			dc.Loads = []float64{0.75, 1.0, 1.5, 2.0}
 		}
 		tables = append(tables, experiments.Degrade(dc).Table())
+	}
+
+	if want("cluster") {
+		cl := experiments.DefaultCluster()
+		if *quick {
+			cl.Seeds, cl.Horizon, cl.Warmup = 1, 300, 40
+			cl.SlowStart, cl.SlowLen = 60, 220
+			cl.ScaleHorizon, cl.ScaleWarmup, cl.StepAt = 600, 30, 150
+		}
+		tables = append(tables, experiments.Cluster(cl).Tables()...)
 	}
 
 	if want("soundness") {

@@ -1,0 +1,96 @@
+// Cluster: a replica fleet that routes on admission headroom and
+// scales on admission pressure.
+//
+// One feasible-region controller guards one pipeline. A fleet wraps a
+// controller per replica, and two signals fall out of the region for
+// free: each replica publishes its *headroom* (region bound minus
+// current region value — how much more work it could promise deadlines
+// for), and the fleet aggregates headroom plus router reject rate into
+// an autoscaling signal. Routing and scaling both run on admission
+// capacity, not CPU counters.
+//
+// This example starts a 3-replica fleet under a light steady load,
+// then hits it with a flash crowd at several times the fleet's
+// admissible capacity for 200 simulated seconds. Power-of-two-choices placement
+// spreads the surge by probing two published snapshots per arrival;
+// the autoscaler sees headroom collapse and rejects appear, grows the
+// fleet replica by replica (fast up), and after the crowd passes
+// drains the extras back out one slow step at a time (drain, finish
+// admitted work, remove). The output prints every scaler transition as
+// it happens and the per-replica headroom/placement picture at the
+// end.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	feasregion "feasregion"
+)
+
+func main() {
+	sim := feasregion.NewSimulator()
+	cp := feasregion.NewClusterPipeline(sim, feasregion.ClusterPipelineOptions{
+		Stages:   3,
+		Replicas: 3,
+		Policy:   feasregion.RoutePowerOfTwo,
+		Seed:     7,
+		Scaler: feasregion.AutoscalerConfig{
+			Min: 2, Max: 8,
+			UpHeadroomFrac: 0.2, UpRejectRate: 0.05, UpAfter: 2,
+			DownHeadroomFrac: 0.7, DownAfter: 8, Cooldown: 4,
+		},
+	})
+
+	const (
+		horizon    = 900.0
+		crowdStart = 200.0
+		crowdLen   = 200.0
+		interval   = 5.0
+	)
+
+	cp.Cluster().Autoscaler().OnTransition(func(tr feasregion.AutoscalerTransition) {
+		fmt.Printf("t=%-5.0f %-9s replica %d  (active %d, headroom frac %.2f, reject rate %.2f)\n",
+			float64(tr.Tick)*interval, tr.Action, tr.Replica, tr.Active, tr.HeadroomFrac, tr.RejectRate)
+	})
+
+	base := feasregion.WorkloadSpec{Stages: 3, Load: 0.8, MeanDemand: 1, Resolution: 15}
+	crowd := feasregion.WorkloadSpec{Stages: 3, Load: 6.0, MeanDemand: 1, Resolution: 15}
+	offer := func(t *feasregion.Task) { cp.Offer(t) }
+	steady := feasregion.NewSource(sim, base, 1, horizon, offer)
+	flash := feasregion.NewSource(sim, crowd, 2, crowdStart+crowdLen, offer)
+	flash.SetFirstID(1 << 32)
+
+	sim.At(crowdStart, func() {
+		fmt.Printf("t=%-5.0f flash crowd begins (%.1fx fleet steady load)\n", crowdStart, crowd.Load/base.Load)
+		flash.Start()
+	})
+	sim.At(crowdStart+crowdLen, func() {
+		fmt.Printf("t=%-5.0f flash crowd ends\n", crowdStart+crowdLen)
+	})
+	sim.At(0, func() { cp.BeginMeasurement() })
+	cp.ScheduleScaler(interval, horizon)
+
+	fmt.Println("scaler transitions:")
+	steady.Start()
+	sim.Run()
+
+	m := cp.Snapshot()
+	fmt.Printf("\nfleet over %d offered tasks: admitted %d (%.0f%%), completed %d, deadline misses %d\n",
+		m.Offered, m.Admitted, 100*float64(m.Admitted)/float64(m.Offered), m.Completed, m.Missed)
+	fmt.Printf("router: %d placed (%d rollbacks), %d rejected\n\n",
+		m.Router.Placed, m.Router.Rollbacks, m.Router.Rejected)
+
+	ids := make([]int, 0, len(m.Replicas))
+	for id := range m.Replicas {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fmt.Println("replica  state     placed  headroom")
+	for _, id := range ids {
+		rm := m.Replicas[id]
+		fmt.Printf("%-8d %-9s %-7d %.3f\n", id, rm.State, rm.Placed, rm.Headroom)
+	}
+}

@@ -2,6 +2,7 @@ package feasregion
 
 import (
 	"feasregion/internal/adapt"
+	"feasregion/internal/cluster"
 	"feasregion/internal/core"
 	"feasregion/internal/degrade"
 	"feasregion/internal/curve"
@@ -226,6 +227,99 @@ type OnlineConfig = online.Config
 // nil reserved floors and the system clock.
 func NewOnlineControllerWithConfig(region Region, cfg OnlineConfig) *OnlineController {
 	return online.NewWithConfig(region, cfg)
+}
+
+// ---- Cluster (replicas, headroom routing, autoscaling) ----
+
+// ClusterReplica wraps one OnlineController as a routable cluster
+// member: it publishes a lock-free headroom snapshot (the region bound
+// minus the current region value) after every admission event, and
+// carries the Active → Draining → Stopped lifecycle the autoscaler
+// drives.
+type ClusterReplica = cluster.Replica
+
+// NewClusterReplica wraps an OnlineController as a replica with the
+// given identity.
+func NewClusterReplica(id int, ctrl *OnlineController) *ClusterReplica {
+	return cluster.NewReplica(id, ctrl)
+}
+
+// ReplicaState is a replica's lifecycle state.
+type ReplicaState = cluster.State
+
+// Replica lifecycle states.
+const (
+	// ReplicaActive: routable, accepting admissions.
+	ReplicaActive = cluster.Active
+	// ReplicaDraining: hidden from the router, finishing admitted work.
+	ReplicaDraining = cluster.Draining
+	// ReplicaStopped: removed from the fleet.
+	ReplicaStopped = cluster.Stopped
+)
+
+// RoutingPolicy selects how the cluster router places admissions over
+// the replicas' published headroom snapshots.
+type RoutingPolicy = cluster.Policy
+
+// Routing policies.
+const (
+	// RouteRoundRobin rotates blindly over the active replicas.
+	RouteRoundRobin = cluster.RoundRobin
+	// RouteHeadroomGreedy scans every snapshot and picks the roomiest.
+	RouteHeadroomGreedy = cluster.HeadroomGreedy
+	// RoutePowerOfTwo probes two random replicas and keeps the roomier —
+	// near-greedy balance at O(1) cost, with the runner-up as rollback.
+	RoutePowerOfTwo = cluster.PowerOfTwo
+)
+
+// ClusterRouter is the lock-free routing hot path; RouterStats its
+// lifetime counters.
+type ClusterRouter = cluster.Router
+
+// RouterStats counts placements, rollbacks, and rejections.
+type RouterStats = cluster.RouterStats
+
+// Autoscaler watches aggregate region headroom and router reject rate
+// and grows or drains the fleet with hysteresis: scale-up is fast (a
+// short streak of low headroom or visible rejects), scale-down is slow
+// and routes through a drain state so admitted work finishes first.
+type Autoscaler = cluster.Autoscaler
+
+// AutoscalerConfig tunes the autoscaler's thresholds; the zero value
+// selects the defaults.
+type AutoscalerConfig = cluster.AutoscalerConfig
+
+// AutoscalerTransition is one logged scaling action.
+type AutoscalerTransition = cluster.Transition
+
+// ScalingAction enumerates what an AutoscalerTransition did.
+type ScalingAction = cluster.Action
+
+// Cluster is the control plane tying replicas, router, and autoscaler
+// together.
+type Cluster = cluster.Cluster
+
+// ClusterOptions configures NewCluster.
+type ClusterOptions = cluster.Options
+
+// NewCluster builds a cluster control plane; see cluster.Options for
+// the replica factory and scaler wiring.
+func NewCluster(opts ClusterOptions) *Cluster { return cluster.New(opts) }
+
+// ClusterPipeline drives a fleet of simulated stage pipelines — one per
+// replica — behind the cluster router and autoscaler, for experiments
+// and capacity planning on the deterministic simulator.
+type ClusterPipeline = pipeline.ClusterPipeline
+
+// ClusterPipelineOptions configures NewClusterPipeline.
+type ClusterPipelineOptions = pipeline.ClusterOptions
+
+// ClusterPipelineMetrics is the fleet-level measurement snapshot.
+type ClusterPipelineMetrics = pipeline.ClusterMetrics
+
+// NewClusterPipeline builds the simulated fleet on the simulator.
+func NewClusterPipeline(sim *Simulator, opts ClusterPipelineOptions) *ClusterPipeline {
+	return pipeline.NewCluster(sim, opts)
 }
 
 // ---- Observability (metrics & stage-health feedback) ----

@@ -1,0 +1,30 @@
+// Package cluster lifts the feasible-region admission model from one
+// pipeline to a fleet of replicas, using regional headroom — admission
+// capacity under the paper's delay bound, not CPU — as the routing and
+// scaling signal.
+//
+// The package is a control-plane/data-plane split:
+//
+//   - Replica wraps a per-replica online.Controller (a full admission
+//     data plane, shards and all) behind a placement lifecycle
+//     (Active → Draining → Stopped) and publishes a seqlock-mirrored
+//     (headroom, value) snapshot that the router reads lock-free.
+//   - Router places each arriving request on a replica chosen by
+//     pluggable policy: round-robin, headroom-greedy, or
+//     power-of-two-choices over the published snapshots. The hot path
+//     takes no locks and performs no allocations; when a
+//     headroom-aware policy's first choice races a concurrent admit
+//     and rejects, the placement rolls back to the second choice.
+//   - Autoscaler watches the fleet's aggregate headroom fraction and
+//     the router's reject rate and adds or drains replicas with
+//     hysteresis: scale-up is fast, scale-down is slow and goes
+//     through a drain state that stops new placements while admitted
+//     tasks depart.
+//   - Cluster is the control plane tying them together: it owns the
+//     replica set, publishes the active subset to the router
+//     copy-on-write, and exports per-replica metrics under the
+//     replica label.
+//
+// The simulated counterpart — a fleet of stage pipelines driven by
+// one event loop — lives in internal/pipeline as ClusterPipeline.
+package cluster

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+
+	"feasregion/internal/core"
+	"feasregion/internal/online"
+)
+
+// State is a replica's position in the placement lifecycle.
+type State int32
+
+// Replica lifecycle states. Active replicas receive placements;
+// Draining replicas stop receiving new work but keep serving what they
+// already admitted; Stopped replicas have drained and left the fleet.
+const (
+	Active State = iota
+	Draining
+	Stopped
+)
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Draining:
+		return "draining"
+	case Stopped:
+		return "stopped"
+	default:
+		return "unknown"
+	}
+}
+
+// Replica wraps one feasible-region admission controller — a full
+// per-replica data plane, shards and all — behind the cluster's
+// placement lifecycle, and publishes a seqlock-mirrored headroom
+// snapshot the router reads lock-free.
+//
+// The snapshot (region headroom and region value, mutually consistent)
+// is republished after every state-changing operation through the
+// replica and on every Refresh; reads never block and never allocate.
+// Staleness between publishes is tolerated by design: routing policies
+// treat the snapshot as a hint and roll back to their second choice
+// when a placement races a reject.
+type Replica struct {
+	id     int
+	ctrl   *online.Controller
+	stages int
+	state  atomic.Int32
+
+	// Seqlock mirror of (headroom, value): seq is even when consistent;
+	// Refresh makes it odd, stores both float bit patterns, and makes it
+	// even again. Readers retry torn reads.
+	seq          atomic.Uint64
+	headroomBits atomic.Uint64
+	valueBits    atomic.Uint64
+
+	// placed counts successful admissions routed through this replica
+	// over its lifetime — the router's balance evidence.
+	placed atomic.Uint64
+}
+
+// NewReplica wraps an admission controller as a cluster replica. The
+// replica starts Active with a freshly published snapshot.
+func NewReplica(id int, ctrl *online.Controller) *Replica {
+	if ctrl == nil {
+		panic("cluster: replica needs a controller")
+	}
+	r := &Replica{id: id, ctrl: ctrl, stages: ctrl.Region().Stages}
+	r.Refresh()
+	return r
+}
+
+// ID returns the replica's fleet-unique identifier.
+func (r *Replica) ID() int { return r.id }
+
+// Controller returns the wrapped admission controller.
+func (r *Replica) Controller() *online.Controller { return r.ctrl }
+
+// State returns the replica's current lifecycle state.
+func (r *Replica) State() State { return State(r.state.Load()) }
+
+// setState transitions the lifecycle; Cluster and Autoscaler own the
+// legal transition order (Active ↔ Draining → Stopped).
+func (r *Replica) setState(s State) { r.state.Store(int32(s)) }
+
+// TryAdmit tests the request against this replica's feasible region and
+// commits it on success, then republishes the headroom snapshot. A
+// replica that is not Active refuses every request (placement has been
+// stopped), which is what lets a routing policy's rollback observe a
+// drain that raced its probe.
+func (r *Replica) TryAdmit(req online.Request) bool {
+	if State(r.state.Load()) != Active {
+		return false
+	}
+	if !r.ctrl.TryAdmit(req) {
+		return false
+	}
+	r.placed.Add(1)
+	r.Refresh()
+	return true
+}
+
+// Release drops the request's contribution on all stages immediately
+// and republishes the snapshot.
+func (r *Replica) Release(id uint64) {
+	r.ctrl.Release(id)
+	r.Refresh()
+}
+
+// ReleaseAll drops a burst of contributions under one republish and
+// returns how many were still live.
+func (r *Replica) ReleaseAll(ids []uint64) int {
+	n := r.ctrl.ReleaseAll(ids)
+	r.Refresh()
+	return n
+}
+
+// MarkDeparted records that the request finished its work at the stage.
+func (r *Replica) MarkDeparted(stage int, id uint64) {
+	r.ctrl.MarkDeparted(stage, id)
+}
+
+// StageIdle performs the stage's idle reset and republishes the
+// snapshot (the reset may have freed capacity the router should see).
+func (r *Replica) StageIdle(stage int) {
+	r.ctrl.StageIdle(stage)
+	r.Refresh()
+}
+
+// Refresh recomputes the replica's region headroom and value from the
+// controller and publishes them through the seqlock. It is called
+// automatically after admissions, releases, and idle resets; the
+// autoscaler calls it on every tick so deadline expiries (which free
+// capacity inside the controller without a callback) become visible to
+// routing within one tick.
+func (r *Replica) Refresh() {
+	value := 0.0
+	for j := 0; j < r.stages; j++ {
+		value += core.StageDelayFactor(r.ctrl.StageUtilization(j))
+	}
+	headroom := r.ctrl.Bound() - value
+	r.seq.Add(1) // odd: snapshot inconsistent
+	r.headroomBits.Store(math.Float64bits(headroom))
+	r.valueBits.Store(math.Float64bits(value))
+	r.seq.Add(1) // even: consistent again
+}
+
+// Snapshot returns the last published (headroom, value) pair without
+// locking or allocating. Torn reads are retried; after a few collisions
+// with a concurrent Refresh it returns the freshly stored values, which
+// are at most one publish behind.
+func (r *Replica) Snapshot() (headroom, value float64) {
+	for attempt := 0; attempt < 3; attempt++ {
+		s := r.seq.Load()
+		if s&1 != 0 {
+			continue
+		}
+		h := math.Float64frombits(r.headroomBits.Load())
+		v := math.Float64frombits(r.valueBits.Load())
+		if r.seq.Load() == s {
+			return h, v
+		}
+	}
+	return math.Float64frombits(r.headroomBits.Load()), math.Float64frombits(r.valueBits.Load())
+}
+
+// Headroom returns the last published region headroom (bound minus
+// value): how much more admission mass this replica can absorb.
+func (r *Replica) Headroom() float64 {
+	h, _ := r.Snapshot()
+	return h
+}
+
+// Placed returns how many admissions were routed through this replica.
+func (r *Replica) Placed() uint64 { return r.placed.Load() }
+
+// Drained reports whether a draining replica has emptied: every
+// admitted contribution has departed or expired, so the replica can be
+// removed without abandoning work. eps guards float dust in the region
+// value.
+func (r *Replica) Drained(eps float64) bool {
+	if State(r.state.Load()) != Draining {
+		return false
+	}
+	r.Refresh()
+	_, v := r.Snapshot()
+	return v <= eps
+}

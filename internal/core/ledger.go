@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"feasregion/internal/task"
 )
 
@@ -25,6 +27,7 @@ type Ledger struct {
 	departed map[task.ID]struct{}
 	resets   uint64
 	peak     float64
+	scratch  []task.ID // reusable ResetIdle drain buffer
 }
 
 // NewLedger returns a ledger with the given reserved utilization floor.
@@ -194,8 +197,17 @@ func (l *Ledger) ResetIdle() int {
 	if len(l.departed) == 0 {
 		return 0
 	}
-	n := 0
+	// Drain in sorted ID order: the compensated sum is order-sensitive
+	// at the ULP level, so map order would make identically-seeded
+	// simulations diverge bit-for-bit.
+	ids := l.scratch[:0]
 	for id := range l.departed {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	l.scratch = ids[:0]
+	n := 0
+	for _, id := range ids {
 		if c, ok := l.contrib[id]; ok {
 			delete(l.contrib, id)
 			l.add(-c)

@@ -43,6 +43,10 @@ type Label struct {
 // Stage returns the conventional per-stage label.
 func Stage(j int) Label { return Label{Name: "stage", Value: fmt.Sprintf("%d", j)} }
 
+// Replica returns the conventional per-replica label used by the
+// cluster layer to split one metric family across fleet members.
+func Replica(i int) Label { return Label{Name: "replica", Value: fmt.Sprintf("%d", i)} }
+
 // series is the common identity of one registered instrument.
 type series struct {
 	labels string // rendered {a="b",...} suffix, "" when unlabeled

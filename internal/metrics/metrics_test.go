@@ -225,3 +225,57 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(float64(i%1000) * 1e-5)
 	}
 }
+
+func TestLabelEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{"all\\\"\n", `all\\\"\n`},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	// End to end: a hostile label value survives the text exposition.
+	r := NewRegistry()
+	r.Gauge("g", "", Label{Name: "path", Value: "a\\b\"c\nd"}).Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("exposition %q missing %q", sb.String(), want)
+	}
+}
+
+func TestReplicaAndStageLabelsCompose(t *testing.T) {
+	r := NewRegistry()
+	// The same family split by (replica, stage): four distinct series.
+	for rep := 0; rep < 2; rep++ {
+		for j := 0; j < 2; j++ {
+			r.Gauge("headroom", "per-replica per-stage", Replica(rep), Stage(j)).Set(float64(rep*10 + j))
+		}
+	}
+	if got := Replica(3); got.Name != "replica" || got.Value != "3" {
+		t.Fatalf("Replica(3) = %+v", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`headroom{replica="0",stage="0"} 0`,
+		`headroom{replica="0",stage="1"} 1`,
+		`headroom{replica="1",stage="0"} 10`,
+		`headroom{replica="1",stage="1"} 11`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -94,97 +94,164 @@ type StageHealth struct {
 	Degraded bool
 }
 
-// Monitor tracks per-stage service-time inflation and drives a Scaler.
+// replicaHealth is the monitor's per-replica state: a health table for
+// each stage and the scaler owning that replica's controller. Each
+// replica's EWMAs and applied scales are independent — a fault on one
+// replica must throttle that replica only.
+type replicaHealth struct {
+	scaler  Scaler
+	ratio   []float64
+	samples []uint64
+	scale   []float64
+
+	metRatio []*metrics.Gauge
+	metScale []*metrics.Gauge
+}
+
+// Monitor tracks per-stage service-time inflation and drives the owning
+// replica's Scaler. A single-pipeline deployment uses the replica-less
+// methods (SetScaler, Observe, Health), which address replica 0; the
+// cluster layer registers one scaler per replica with SetReplicaScaler
+// and feeds observations through ObserveReplica, so stage-scale
+// actuation lands on the controller that produced the observation
+// rather than on whichever controller was registered first.
 type Monitor struct {
 	cfg Config
 
 	mu       sync.Mutex
-	scaler   Scaler
-	ratio    []float64
-	samples  []uint64
-	scale    []float64
+	replicas map[int]*replicaHealth
 	changes  uint64
-	maxScale float64 // high-water mark of applied scales
+	maxScale float64 // high-water mark of applied scales, all replicas
 
-	metRatio   []*metrics.Gauge
-	metScale   []*metrics.Gauge
+	reg        *metrics.Registry
 	metChanges *metrics.Counter
 }
 
-// NewMonitor builds a monitor over cfg driving scaler. scaler may be nil
-// at construction (the pipeline is usually built in between) and wired
-// later with SetScaler; observations before that only update the EWMAs.
+// NewMonitor builds a monitor over cfg driving scaler (as replica 0).
+// scaler may be nil at construction (the pipeline is usually built in
+// between) and wired later with SetScaler; observations before that
+// only update the EWMAs.
 func NewMonitor(cfg Config, scaler Scaler) *Monitor {
 	cfg = cfg.withDefaults()
 	m := &Monitor{
 		cfg:      cfg,
-		scaler:   scaler,
-		ratio:    make([]float64, cfg.Stages),
-		samples:  make([]uint64, cfg.Stages),
-		scale:    make([]float64, cfg.Stages),
+		replicas: map[int]*replicaHealth{},
 		maxScale: 1,
 	}
-	for j := range m.scale {
-		m.scale[j] = 1
-	}
+	m.replicaLocked(0).scaler = scaler
 	return m
 }
 
-// SetScaler wires (or replaces) the actuator.
-func (m *Monitor) SetScaler(s Scaler) {
+// replicaLocked returns the replica's health table, creating it (scales
+// at nominal, metrics registered when a registry is set) on first use.
+func (m *Monitor) replicaLocked(replica int) *replicaHealth {
+	if replica < 0 {
+		panic(fmt.Sprintf("obs: negative replica %d", replica))
+	}
+	rh, ok := m.replicas[replica]
+	if !ok {
+		rh = &replicaHealth{
+			ratio:   make([]float64, m.cfg.Stages),
+			samples: make([]uint64, m.cfg.Stages),
+			scale:   make([]float64, m.cfg.Stages),
+		}
+		for j := range rh.scale {
+			rh.scale[j] = 1
+		}
+		m.replicas[replica] = rh
+		m.registerReplicaLocked(replica, rh)
+	}
+	return rh
+}
+
+// SetScaler wires (or replaces) replica 0's actuator — the
+// single-pipeline path.
+func (m *Monitor) SetScaler(s Scaler) { m.SetReplicaScaler(0, s) }
+
+// SetReplicaScaler wires (or replaces) the actuator owning the
+// replica's controller. Observations tagged with this replica index
+// actuate this scaler and no other.
+func (m *Monitor) SetReplicaScaler(replica int, s Scaler) {
 	m.mu.Lock()
-	m.scaler = s
+	m.replicaLocked(replica).scaler = s
 	m.mu.Unlock()
 }
 
 // SetMetrics registers the monitor's gauges and counters with the
-// registry: per-stage health ratio and applied scale, and the cumulative
-// scale-change count. A nil registry is a no-op.
+// registry: per-stage health ratio and applied scale (per replica;
+// replica 0 keeps the original unlabeled series, replicas ≥ 1 carry the
+// replica label), and the cumulative scale-change count. A nil registry
+// is a no-op.
 func (m *Monitor) SetMetrics(r *metrics.Registry) {
 	if r == nil {
 		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.metRatio = make([]*metrics.Gauge, m.cfg.Stages)
-	m.metScale = make([]*metrics.Gauge, m.cfg.Stages)
-	for j := 0; j < m.cfg.Stages; j++ {
-		m.metRatio[j] = r.Gauge("feasregion_stage_health_ratio", "EWMA of actual/declared service time per stage", metrics.Stage(j))
-		m.metScale[j] = r.Gauge("feasregion_stage_health_scale", "admission demand multiplier applied by the health monitor", metrics.Stage(j))
-		m.metScale[j].Set(m.scale[j])
-	}
+	m.reg = r
 	m.metChanges = r.Counter("feasregion_stage_health_scale_changes_total", "scale changes applied by the health monitor")
+	for replica, rh := range m.replicas {
+		m.registerReplicaLocked(replica, rh)
+	}
 }
 
-// Observe folds one completed job's service time at the stage into the
-// health EWMA and, past the warmup, drives the scaler through the
-// hysteresis logic. declared is the admission-time estimate C_ij; actual
-// is the computation time the stage really spent. Non-positive declared
-// or negative/NaN actual observations are ignored.
+// registerReplicaLocked creates the replica's per-stage gauge series.
+// Replica 0 keeps the pre-cluster series identity (stage label only)
+// so existing dashboards survive; later replicas add the replica label.
+func (m *Monitor) registerReplicaLocked(replica int, rh *replicaHealth) {
+	if m.reg == nil {
+		return
+	}
+	rh.metRatio = make([]*metrics.Gauge, m.cfg.Stages)
+	rh.metScale = make([]*metrics.Gauge, m.cfg.Stages)
+	for j := 0; j < m.cfg.Stages; j++ {
+		labels := []metrics.Label{metrics.Stage(j)}
+		if replica > 0 {
+			labels = append(labels, metrics.Replica(replica))
+		}
+		rh.metRatio[j] = m.reg.Gauge("feasregion_stage_health_ratio", "EWMA of actual/declared service time per stage", labels...)
+		rh.metScale[j] = m.reg.Gauge("feasregion_stage_health_scale", "admission demand multiplier applied by the health monitor", labels...)
+		rh.metScale[j].Set(rh.scale[j])
+	}
+}
+
+// Observe folds one completed job's service time on replica 0 — the
+// single-pipeline path.
 func (m *Monitor) Observe(stage int, declared, actual float64) {
-	if stage < 0 || stage >= m.cfg.Stages || declared <= 0 || actual < 0 || math.IsNaN(actual) || math.IsNaN(declared) {
+	m.ObserveReplica(0, stage, declared, actual)
+}
+
+// ObserveReplica folds one completed job's service time at the
+// replica's stage into that replica's health EWMA and, past the warmup,
+// drives that replica's scaler through the hysteresis logic. declared
+// is the admission-time estimate C_ij; actual is the computation time
+// the stage really spent. Non-positive declared or negative/NaN actual
+// observations are ignored.
+func (m *Monitor) ObserveReplica(replica, stage int, declared, actual float64) {
+	if replica < 0 || stage < 0 || stage >= m.cfg.Stages || declared <= 0 || actual < 0 || math.IsNaN(actual) || math.IsNaN(declared) {
 		return
 	}
 	ratio := actual / declared
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.samples[stage] == 0 {
-		m.ratio[stage] = ratio
+	rh := m.replicaLocked(replica)
+	if rh.samples[stage] == 0 {
+		rh.ratio[stage] = ratio
 	} else {
-		m.ratio[stage] = m.cfg.Alpha*ratio + (1-m.cfg.Alpha)*m.ratio[stage]
+		rh.ratio[stage] = m.cfg.Alpha*ratio + (1-m.cfg.Alpha)*rh.ratio[stage]
 	}
-	m.samples[stage]++
-	if m.metRatio != nil {
-		m.metRatio[stage].Set(m.ratio[stage])
+	rh.samples[stage]++
+	if rh.metRatio != nil {
+		rh.metRatio[stage].Set(rh.ratio[stage])
 	}
-	if m.samples[stage] < uint64(m.cfg.MinSamples) {
+	if rh.samples[stage] < uint64(m.cfg.MinSamples) {
 		return
 	}
 
-	cur := m.scale[stage]
+	cur := rh.scale[stage]
 	target := cur
-	switch ewma := m.ratio[stage]; {
+	switch ewma := rh.ratio[stage]; {
 	case ewma >= m.cfg.DegradeThreshold:
 		target = math.Min(ewma, m.cfg.MaxScale)
 	case ewma <= m.cfg.RecoverThreshold:
@@ -198,41 +265,48 @@ func (m *Monitor) Observe(stage int, declared, actual float64) {
 	if cur != 1 && target != 1 && math.Abs(target-cur)/cur <= m.cfg.Deadband {
 		return
 	}
-	m.scale[stage] = target
+	rh.scale[stage] = target
 	m.changes++
 	if target > m.maxScale {
 		m.maxScale = target
 	}
-	if m.metScale != nil {
-		m.metScale[stage].Set(target)
+	if rh.metScale != nil {
+		rh.metScale[stage].Set(target)
 	}
 	m.metChanges.Inc()
-	if m.scaler != nil {
-		m.scaler.SetStageScale(stage, target)
+	if rh.scaler != nil {
+		rh.scaler.SetStageScale(stage, target)
 	}
 }
 
-// Health returns the stage's current monitored state.
-func (m *Monitor) Health(stage int) StageHealth {
+// Health returns replica 0's monitored state at the stage — the
+// single-pipeline path.
+func (m *Monitor) Health(stage int) StageHealth { return m.HealthReplica(0, stage) }
+
+// HealthReplica returns the replica's current monitored state at the
+// stage.
+func (m *Monitor) HealthReplica(replica, stage int) StageHealth {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	rh := m.replicaLocked(replica)
 	return StageHealth{
-		Ratio:    m.ratio[stage],
-		Samples:  m.samples[stage],
-		Scale:    m.scale[stage],
-		Degraded: m.scale[stage] != 1,
+		Ratio:    rh.ratio[stage],
+		Samples:  rh.samples[stage],
+		Scale:    rh.scale[stage],
+		Degraded: rh.scale[stage] != 1,
 	}
 }
 
-// ScaleChanges returns how many scale changes the monitor has applied.
+// ScaleChanges returns how many scale changes the monitor has applied
+// across all replicas.
 func (m *Monitor) ScaleChanges() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.changes
 }
 
-// MaxScaleApplied returns the largest multiplier ever applied (1 when
-// the monitor never acted).
+// MaxScaleApplied returns the largest multiplier ever applied on any
+// replica (1 when the monitor never acted).
 func (m *Monitor) MaxScaleApplied() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -176,3 +176,65 @@ func TestConfigValidation(t *testing.T) {
 		}()
 	}
 }
+
+// TestMonitorTargetsOwningReplica is the two-replica regression from
+// the cluster work: observations from a slow replica must throttle that
+// replica's scaler only — before the per-replica wiring, every
+// observation actuated the single registered scaler regardless of which
+// controller produced it.
+func TestMonitorTargetsOwningReplica(t *testing.T) {
+	fast, slow := &fakeScaler{}, &fakeScaler{}
+	m := NewMonitor(Config{Stages: 2, Alpha: 1, MinSamples: 3}, nil)
+	m.SetReplicaScaler(0, fast)
+	m.SetReplicaScaler(1, slow)
+
+	// Replica 0 runs exactly as declared; replica 1 runs 2× slow on
+	// stage 1.
+	for i := 0; i < 5; i++ {
+		m.ObserveReplica(0, 1, 1.0, 1.0)
+		m.ObserveReplica(1, 1, 1.0, 2.0)
+	}
+	if len(fast.calls) != 0 {
+		t.Fatalf("healthy replica's scaler was actuated: %+v", fast.calls)
+	}
+	stage, scale, ok := slow.last()
+	if !ok || stage != 1 || scale != 2.0 {
+		t.Fatalf("slow replica scaler last = (%d, %v, %v), want stage 1 scale 2", stage, scale, ok)
+	}
+	// Health tables are independent per replica.
+	if h := m.HealthReplica(0, 1); h.Degraded {
+		t.Fatalf("replica 0 reported degraded: %+v", h)
+	}
+	if h := m.HealthReplica(1, 1); !h.Degraded || h.Scale != 2.0 {
+		t.Fatalf("replica 1 health = %+v, want degraded at scale 2", h)
+	}
+	// The replica-less accessors keep addressing replica 0.
+	if h := m.Health(1); h.Samples != 5 || h.Degraded {
+		t.Fatalf("Health(1) = %+v, want replica 0's clean stage", h)
+	}
+}
+
+// TestMonitorReplicaMetricsLabeled checks the metric series split:
+// replica 0 keeps the original stage-only identity, later replicas add
+// the replica label.
+func TestMonitorReplicaMetricsLabeled(t *testing.T) {
+	m := NewMonitor(Config{Stages: 1, Alpha: 1, MinSamples: 1}, nil)
+	reg := metrics.NewRegistry()
+	m.SetMetrics(reg)
+	m.ObserveReplica(0, 0, 1.0, 1.0)
+	m.ObserveReplica(1, 0, 1.0, 3.0)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`feasregion_stage_health_ratio{stage="0"} 1`,
+		`feasregion_stage_health_ratio{replica="1",stage="0"} 3`,
+		`feasregion_stage_health_scale{replica="1",stage="0"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -159,6 +159,12 @@ type Options struct {
 	// controller (obs.Monitor.SetScaler) to close the loop.
 	Health *obs.Monitor
 
+	// HealthReplica tags this pipeline's health observations with a
+	// replica index when several pipelines share one obs.Monitor (the
+	// cluster layer), so stage-scale actuation lands on the owning
+	// replica's controller. Default 0, the single-pipeline identity.
+	HealthReplica int
+
 	// Adapt, when non-nil, builds an adaptive estimation loop over the
 	// pipeline's telemetry: the β/α estimators read the per-stage
 	// sojourn/service histograms (Metrics is therefore required), the
@@ -186,9 +192,10 @@ type Pipeline struct {
 	guard       *core.Guard
 	faults      *faults.Injector
 	inflight map[task.ID]*inflight
-	tracer   *trace.Recorder
-	health   *obs.Monitor
-	loop     *adapt.Loop
+	tracer        *trace.Recorder
+	health        *obs.Monitor
+	healthReplica int
+	loop          *adapt.Loop
 
 	// classEntered counts started tasks per class over the pipeline's
 	// whole lifetime (unlike the measurement-window ClassMetrics) — the
@@ -306,6 +313,7 @@ func New(sim *des.Simulator, opts Options) *Pipeline {
 		}
 	}
 	p.health = opts.Health
+	p.healthReplica = opts.HealthReplica
 	if opts.Metrics != nil {
 		if p.ctrl != nil {
 			p.ctrl.SetMetrics(opts.Metrics)
@@ -804,7 +812,7 @@ func (p *Pipeline) advance(f *inflight, now des.Time) {
 				// f.job is still this stage's completed job here; advance
 				// replaces it only after the observation. Degraded jobs
 				// declare their degraded demand, not the full one.
-				p.health.Observe(j, t.StageDemandAt(j, f.level), f.job.Consumed())
+				p.health.ObserveReplica(p.healthReplica, j, t.StageDemandAt(j, f.level), f.job.Consumed())
 			}
 			if p.adm != nil {
 				p.adm.MarkDeparted(j, t.ID)
