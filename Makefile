@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-race test-short bench bench-json bench-admit bench-degrade bench-cluster docs-check experiments experiments-quick examples fuzz verify clean
+.PHONY: all build vet test race test-race test-short bench bench-json bench-admit bench-degrade bench-cluster bench-des profile-des docs-check experiments experiments-quick examples fuzz verify clean
 
 all: build vet test
 
@@ -52,6 +52,18 @@ bench-degrade:
 bench-cluster:
 	$(GO) test -run '^$$' -bench '^BenchmarkClusterRoute' -benchmem -count 3 -json . > BENCH_cluster.json
 
+# Event-core benchmarks (frozen container/heap calendar vs the ladder
+# queue: self-clocking timer streams, schedule/drain, cancel-heavy) as
+# go-test JSON. The ladder rows must report 0 allocs/op; the rebuild's
+# acceptance floor is ≥ 3× the heap's self-clocking event throughput.
+bench-des:
+	$(GO) test -run '^$$' -bench '^BenchmarkDes' -benchmem -count 3 -json . > BENCH_des.json
+
+# CPU-profile the full-scale trace replay (10M+ records through region
+# admission, twice); inspect with `go tool pprof cpu_replay.prof`.
+profile-des:
+	$(GO) run ./cmd/experiments -run replay -cpuprofile cpu_replay.prof -memprofile mem_replay.prof
+
 # Documentation invariants: every package documented, every exported
 # identifier of the public API documented, every relative markdown link
 # resolving — plus go vet's doc-adjacent analyzers.
@@ -78,6 +90,7 @@ examples:
 # Short fuzzing passes over the robustness-sensitive parsers and math.
 fuzz:
 	$(GO) test -fuzz FuzzParseReplay -fuzztime 30s ./internal/workload/
+	$(GO) test -fuzz FuzzTraceReader -fuzztime 30s ./internal/workload/
 	$(GO) test -fuzz FuzzStageDelayFactor -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzAlphaBounds -fuzztime 30s ./internal/core/
 	$(GO) test -fuzz FuzzQualitySearch -fuzztime 30s ./internal/core/

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"feasregion/internal/core"
@@ -23,13 +25,51 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health, adapt, degrade, cluster")
+	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health, adapt, degrade, cluster, replay")
 	quick := flag.Bool("quick", false, "reduced scale (shorter horizons, one replication)")
 	plot := flag.Bool("plot", false, "render Figures 4-7 as ASCII charts in addition to tables")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	mdPath := flag.String("md", "", "also write all tables as one markdown document")
 	htmlPath := flag.String("html", "", "also write a self-contained HTML report with SVG charts")
+	traceFile := flag.String("trace", "", "for -run replay: replay this binary trace instead of generating one")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// Registered before the profile defers so they flush first (LIFO).
+	exitCode := 0
+	defer func() {
+		if exitCode != 0 {
+			os.Exit(exitCode)
+		}
+	}()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "creating heap profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+			}
+		}()
+	}
 
 	scale := experiments.Full
 	if *quick {
@@ -204,6 +244,25 @@ func main() {
 			cl.ScaleHorizon, cl.ScaleWarmup, cl.StepAt = 600, 30, 150
 		}
 		tables = append(tables, experiments.Cluster(cl).Tables()...)
+	}
+
+	// The replay throughput run is explicit-only: at full scale it
+	// generates a ten-million-record trace, which has no place in "all".
+	if *run == "replay" {
+		rc := experiments.DefaultReplay()
+		rc.TraceFile = *traceFile
+		if *quick {
+			rc.Arrivals = 200_000
+		}
+		res, err := experiments.Replay(rc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replay: %v\n", err)
+			os.Exit(1)
+		}
+		tables = append(tables, res.Table())
+		if !res.Deterministic {
+			exitCode = 1
+		}
 	}
 
 	if want("soundness") {

@@ -1,6 +1,8 @@
 package feasregion
 
 import (
+	"io"
+
 	"feasregion/internal/adapt"
 	"feasregion/internal/cluster"
 	"feasregion/internal/core"
@@ -548,3 +550,67 @@ type TSCE = workload.TSCE
 
 // NewTSCE returns the paper's Table 1 parameters.
 func NewTSCE() TSCE { return workload.NewTSCE() }
+
+// ---- Trace recording and replay ----
+
+// Replay is a recorded workload of explicit arrivals.
+type Replay = workload.Replay
+
+// ParseReplay reads a CSV workload trace (arrival,deadline,demands...).
+func ParseReplay(r io.Reader) (*Replay, error) { return workload.ParseReplay(r) }
+
+// TraceWriter streams workload records into the binary trace format.
+type TraceWriter = workload.TraceWriter
+
+// NewTraceWriter writes a binary trace header and returns the record
+// writer; classes may be nil for an unclassed trace.
+func NewTraceWriter(w io.Writer, stages int, classes []string) (*TraceWriter, error) {
+	return workload.NewTraceWriter(w, stages, classes)
+}
+
+// TraceReader streams records from a binary trace with O(1) memory.
+type TraceReader = workload.TraceReader
+
+// WorkloadTraceRecord is one decoded binary workload-trace record
+// (named apart from TraceRecord, the execution-trace event).
+type WorkloadTraceRecord = workload.TraceRecord
+
+// OpenTrace validates a binary trace header and positions the reader at
+// the first record.
+func OpenTrace(r io.Reader) (*TraceReader, error) { return workload.OpenTrace(r) }
+
+// ImportTraceCSV converts a CSV trace to the binary format, streaming
+// row by row; rows must already be ordered by arrival.
+func ImportTraceCSV(r io.Reader, w io.Writer) (uint64, error) { return workload.ImportCSV(r, w) }
+
+// ReplayOptions are the stress knobs of a trace replay (time
+// compression, rate multiplication, limits, task reuse).
+type ReplayOptions = workload.ReplayOptions
+
+// Replayer streams a binary trace through a simulator with one pending
+// arrival event at a time.
+type Replayer = workload.Replayer
+
+// NewReplayer wraps an open trace reader for streaming replay into
+// offer.
+func NewReplayer(sim *Simulator, tr *TraceReader, opts ReplayOptions, offer func(*Task)) (*Replayer, error) {
+	return workload.NewReplayer(sim, tr, opts, offer)
+}
+
+// Scenario is a declarative workload specification: a diurnal rate
+// curve, user-class cohorts, and flash crowds, compiled into a live
+// generator or recorded straight into a binary trace.
+type Scenario = workload.Scenario
+
+// RatePoint is one breakpoint of a scenario's piecewise-linear rate
+// curve.
+type RatePoint = workload.RatePoint
+
+// Cohort is one user class inside a scenario.
+type Cohort = workload.Cohort
+
+// FlashCrowd is a temporary rate surge layered on a scenario's curve.
+type FlashCrowd = workload.FlashCrowd
+
+// ScenarioSource generates a scenario's arrivals inside a simulator.
+type ScenarioSource = workload.ScenarioSource

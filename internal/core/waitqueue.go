@@ -42,7 +42,7 @@ type WaitQueue struct {
 
 type waiter struct {
 	t       *task.Task
-	timeout *des.Event
+	timeout des.Event
 	done    bool
 }
 

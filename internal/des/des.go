@@ -1,7 +1,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -12,63 +11,101 @@ import (
 // integer nanoseconds would.
 type Time = float64
 
-// Event is a handle to a scheduled callback. The zero value is invalid;
-// events are created by Simulator.At and Simulator.After.
+// Timer is the allocation-free dispatch target: a value scheduled with
+// AtTimer or AfterTimer has its Fire method invoked when the event
+// matures. Recurring processes (arrival generators, per-job completion
+// events) implement Timer once and reschedule themselves from inside
+// Fire, so steady-state scheduling allocates nothing — unlike the func()
+// path, where each capturing closure is a fresh heap object.
+type Timer interface {
+	// Fire runs the event's action at its scheduled instant.
+	Fire(now Time)
+}
+
+// Event is a handle to a scheduled callback, returned by At, After,
+// AtTimer, and AfterTimer. It is a value (an index plus a generation
+// check into the simulator's pooled event records), so handles can be
+// stored, copied, and dropped freely without keeping event memory
+// alive. The zero Event is invalid and safe to Cancel or query: it
+// belongs to no simulator.
 type Event struct {
-	time      Time
-	seq       uint64
-	index     int // heap index; -1 once removed
-	fn        func()
-	cancelled bool
+	slot int32
+	gen  uint32
 }
 
-// Time returns the instant the event is scheduled to fire.
-func (e *Event) Time() Time { return e.time }
+// Valid reports whether the handle was issued by a simulator (the zero
+// Event is not). A valid handle's event may still have fired or been
+// cancelled; see Simulator.State.
+func (e Event) Valid() bool { return e.gen != 0 }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// EventState is the lifecycle position of a scheduled event as reported
+// by Simulator.State.
+type EventState uint8
 
-// eventQueue orders events by (time, seq).
-type eventQueue []*Event
+const (
+	// StateUnknown means the handle is zero, from another simulator, or
+	// its pooled record has been recycled by a later event. A recycled
+	// record implies the event is long over (it fired or was cancelled
+	// before the slot could be reused), but the outcome is no longer
+	// tracked.
+	StateUnknown EventState = iota
+	// StatePending means the event is scheduled and will fire.
+	StatePending
+	// StateFired means the event's callback ran.
+	StateFired
+	// StateCancelled means Cancel withdrew the event before it fired.
+	StateCancelled
+)
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+// String returns the state's label.
+func (s EventState) String() string {
+	switch s {
+	case StatePending:
+		return "pending"
+	case StateFired:
+		return "fired"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return "unknown"
 	}
-	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
+// record states; see EventState for the caller-visible mapping.
+const (
+	statePending uint8 = iota
+	stateFired
+	stateCancelled
+)
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// record is one pooled, pointer-free event. Records live in the
+// simulator's recs arena and are addressed by slot index; the ladder
+// queue stores bare slot numbers, so growing or draining the calendar
+// never moves or reallocates per-event state. gen increments each time
+// the slot is reissued, which is what lets an Event handle detect — in
+// O(1), without unscheduling anything — that its record now belongs to
+// a different event (lazy cancellation).
+type record struct {
+	time  Time
+	seq   uint64
+	fn    func()
+	tm    Timer
+	gen   uint32
+	state uint8
 }
 
 // Simulator is a discrete-event simulation clock and calendar.
 // The zero value is a simulator at time 0 with an empty calendar.
 type Simulator struct {
-	queue eventQueue
+	recs []record
+	free []int32
+
 	now   Time
 	seq   uint64
 	steps uint64
+	live  int // scheduled events that have neither fired nor been cancelled
+
+	q ladder
 }
 
 // New returns an empty simulator at time zero.
@@ -80,76 +117,179 @@ func (s *Simulator) Now() Time { return s.now }
 // Steps returns the number of events executed so far.
 func (s *Simulator) Steps() uint64 { return s.steps }
 
-// Pending returns the number of events currently scheduled (including
-// cancelled events not yet drained from the calendar).
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of events currently scheduled: neither
+// fired nor cancelled. (Cancelled events are withdrawn lazily, so they
+// may still occupy calendar memory, but they are not counted here.)
+func (s *Simulator) Pending() int { return s.live }
 
-// At schedules fn to run at absolute time t and returns a cancellable
-// handle. Scheduling in the past is a simulation bug, so it panics.
-func (s *Simulator) At(t Time, fn func()) *Event {
+// schedule validates, allocates a pooled record, and files it in the
+// calendar. Exactly one of fn and tm must be non-nil.
+func (s *Simulator) schedule(t Time, fn func(), tm Timer) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
 	}
 	if math.IsNaN(t) {
 		panic("des: scheduling event at NaN time")
 	}
+	if fn == nil && tm == nil {
+		panic("des: scheduling nil callback")
+	}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.recs = append(s.recs, record{})
+		slot = int32(len(s.recs) - 1)
+	}
+	r := &s.recs[slot]
+	r.time, r.seq, r.fn, r.tm = t, s.seq, fn, tm
+	r.gen++
+	if r.gen == 0 { // skip the invalid generation on wraparound
+		r.gen = 1
+	}
+	r.state = statePending
+	s.seq++
+	s.live++
+	s.q.insert(s, slot, t)
+	return Event{slot: slot, gen: r.gen}
+}
+
+// At schedules fn to run at absolute time t and returns a cancellable
+// handle. Scheduling in the past is a simulation bug, so it panics.
+func (s *Simulator) At(t Time, fn func()) Event {
 	if fn == nil {
 		panic("des: scheduling nil callback")
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	return s.schedule(t, fn, nil)
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
-func (s *Simulator) After(d Time, fn func()) *Event {
+func (s *Simulator) After(d Time, fn func()) Event {
 	return s.At(s.now+d, fn)
 }
 
-// Cancel withdraws a scheduled event. Cancelling an event that already
-// fired or was already cancelled is a no-op, so callers can cancel
-// unconditionally during teardown.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.cancelled || e.index < 0 {
-		if e != nil {
-			e.cancelled = true
-		}
-		return
+// AtTimer schedules tm.Fire to run at absolute time t. It is the
+// allocation-free twin of At: the simulator stores the interface value
+// in a pooled record, so a caller that reuses one Timer (typically a
+// pointer to a field of an object it already owns) schedules recurring
+// events with zero allocations.
+func (s *Simulator) AtTimer(t Time, tm Timer) Event {
+	if tm == nil {
+		panic("des: scheduling nil timer")
 	}
-	e.cancelled = true
-	heap.Remove(&s.queue, e.index)
-	e.index = -1
+	return s.schedule(t, nil, tm)
+}
+
+// AfterTimer schedules tm.Fire to run d seconds from now. Negative
+// delays panic.
+func (s *Simulator) AfterTimer(d Time, tm Timer) Event {
+	return s.AtTimer(s.now+d, tm)
+}
+
+// rec resolves a handle to its record, or nil if the handle is zero,
+// foreign, or its slot has been reissued to a later event.
+func (s *Simulator) rec(e Event) *record {
+	if e.gen == 0 || e.slot < 0 || int(e.slot) >= len(s.recs) {
+		return nil
+	}
+	r := &s.recs[e.slot]
+	if r.gen != e.gen {
+		return nil
+	}
+	return r
+}
+
+// Cancel withdraws a scheduled event and reports whether it did: true
+// means the event was pending and will now never fire. Cancelling an
+// event that already fired, was already cancelled, or is a zero/stale
+// handle is a no-op returning false — in particular, an event that has
+// fired stays StateFired; Cancel never rewrites history. Cancellation
+// is O(1) and lazy: the record is marked and reclaimed when the
+// calendar drains past it.
+func (s *Simulator) Cancel(e Event) bool {
+	r := s.rec(e)
+	if r == nil || r.state != statePending {
+		return false
+	}
+	r.state = stateCancelled
+	r.fn, r.tm = nil, nil // release the callback now; the slot drains later
+	s.live--
+	return true
+}
+
+// State reports the event's lifecycle position: pending, fired, or
+// cancelled. It returns StateUnknown for the zero Event, handles from
+// other simulators, and handles whose pooled record has since been
+// reissued (possible only after the event ended).
+func (s *Simulator) State(e Event) EventState {
+	r := s.rec(e)
+	if r == nil {
+		return StateUnknown
+	}
+	switch r.state {
+	case statePending:
+		return StatePending
+	case stateFired:
+		return StateFired
+	default:
+		return StateCancelled
+	}
+}
+
+// EventTime returns the instant the event is (or was) scheduled to fire.
+// The second result is false when the handle no longer resolves (see
+// State).
+func (s *Simulator) EventTime(e Event) (Time, bool) {
+	r := s.rec(e)
+	if r == nil {
+		return 0, false
+	}
+	return r.time, true
+}
+
+// freeSlot returns a drained record to the pool. The generation is
+// bumped at reissue, not here, so post-fire State queries stay accurate
+// until the slot is actually reused.
+func (s *Simulator) freeSlot(slot int32) {
+	r := &s.recs[slot]
+	r.fn, r.tm = nil, nil
+	s.free = append(s.free, slot)
 }
 
 // Step executes the earliest pending event. It returns false when the
 // calendar is empty.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.cancelled {
-			continue
-		}
-		s.now = e.time
-		s.steps++
-		e.fn()
-		return true
+	slot, ok := s.q.pop(s)
+	if !ok {
+		return false
 	}
-	return false
+	r := &s.recs[slot]
+	t, fn, tm := r.time, r.fn, r.tm
+	r.state = stateFired
+	s.now = t
+	s.steps++
+	s.live--
+	// The callback may schedule events, growing recs and invalidating r;
+	// everything needed was copied out above. The slot is recycled after
+	// the callback so reentrant State queries see StateFired.
+	if tm != nil {
+		tm.Fire(t)
+	} else {
+		fn()
+	}
+	s.freeSlot(slot)
+	return true
 }
 
-// RunUntil executes events in order until the calendar is exhausted or the
-// next event is strictly after horizon. The clock is left at the time of
-// the last executed event (or horizon if at least one event remained).
+// RunUntil executes events in order until the calendar is exhausted or
+// the next event is strictly after horizon, then advances the clock to
+// horizon.
 func (s *Simulator) RunUntil(horizon Time) {
-	for len(s.queue) > 0 {
-		if s.queue[0].cancelled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if s.queue[0].time > horizon {
-			s.now = horizon
-			return
+	for {
+		t, ok := s.q.peek(s)
+		if !ok || t > horizon {
+			break
 		}
 		s.Step()
 	}

@@ -53,22 +53,30 @@ func TestCancelPreventsExecution(t *testing.T) {
 	s := New()
 	ran := false
 	e := s.At(3, func() { ran = true })
-	s.Cancel(e)
+	if !s.Cancel(e) {
+		t.Fatal("Cancel of a pending event returned false")
+	}
 	s.Run()
 	if ran {
 		t.Fatal("cancelled event executed")
 	}
-	if !e.Cancelled() {
-		t.Fatal("event not marked cancelled")
+	if got := s.State(e); got != StateCancelled {
+		t.Fatalf("State = %v, want cancelled", got)
 	}
 }
 
 func TestCancelIsIdempotent(t *testing.T) {
 	s := New()
 	e := s.At(3, func() {})
-	s.Cancel(e)
-	s.Cancel(e) // must not panic or corrupt the heap
-	s.Cancel(nil)
+	if !s.Cancel(e) {
+		t.Fatal("first Cancel returned false")
+	}
+	if s.Cancel(e) {
+		t.Fatal("second Cancel returned true") // must not double-count or corrupt
+	}
+	if s.Cancel(Event{}) {
+		t.Fatal("Cancel of the zero Event returned true")
+	}
 	s.At(1, func() {})
 	s.Run()
 	if s.Now() != 1 {
@@ -76,17 +84,67 @@ func TestCancelIsIdempotent(t *testing.T) {
 	}
 }
 
+// TestCancelAfterFireIsNoOp pins the repaired footgun: cancelling an event
+// that already ran must report false and leave the event's state as fired —
+// the old core silently flipped it to cancelled, rewriting history.
 func TestCancelAfterFireIsNoOp(t *testing.T) {
 	s := New()
 	e := s.At(1, func() {})
 	s.Run()
-	s.Cancel(e) // already fired
+	if s.Cancel(e) {
+		t.Fatal("Cancel after fire returned true")
+	}
+	if got := s.State(e); got != StateFired {
+		t.Fatalf("State after fire+Cancel = %v, want fired", got)
+	}
 }
 
-func TestCancelMiddleOfHeap(t *testing.T) {
+func TestEventStateLifecycle(t *testing.T) {
+	s := New()
+	if got := s.State(Event{}); got != StateUnknown {
+		t.Fatalf("State(zero) = %v, want unknown", got)
+	}
+	e := s.At(2, func() {})
+	if got := s.State(e); got != StatePending {
+		t.Fatalf("State = %v, want pending", got)
+	}
+	if at, ok := s.EventTime(e); !ok || at != 2 {
+		t.Fatalf("EventTime = %v,%v, want 2,true", at, ok)
+	}
+	if !e.Valid() || (Event{}).Valid() {
+		t.Fatal("Valid() wrong for issued/zero handles")
+	}
+	s.Run()
+	if got := s.State(e); got != StateFired {
+		t.Fatalf("State after run = %v, want fired", got)
+	}
+	// Reusing the slot for a new event invalidates the old handle.
+	e2 := s.At(5, func() {})
+	if got := s.State(e); got != StateUnknown {
+		t.Fatalf("State of recycled handle = %v, want unknown", got)
+	}
+	if got := s.State(e2); got != StatePending {
+		t.Fatalf("State of new handle = %v, want pending", got)
+	}
+}
+
+// TestStateVisibleInsideCallback: while the callback runs, its own event
+// reads as fired, not pending or unknown.
+func TestStateVisibleInsideCallback(t *testing.T) {
+	s := New()
+	var e Event
+	var during EventState
+	e = s.At(1, func() { during = s.State(e) })
+	s.Run()
+	if during != StateFired {
+		t.Fatalf("State inside callback = %v, want fired", during)
+	}
+}
+
+func TestCancelMiddleOfCalendar(t *testing.T) {
 	s := New()
 	var fired []Time
-	var events []*Event
+	var events []Event
 	for _, at := range []Time{1, 2, 3, 4, 5, 6, 7, 8} {
 		at := at
 		events = append(events, s.At(at, func() { fired = append(fired, at) }))
@@ -155,6 +213,16 @@ func TestNilCallbackPanics(t *testing.T) {
 	s.At(1, nil)
 }
 
+func TestNilTimerPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil timer")
+		}
+	}()
+	s.AtTimer(1, nil)
+}
+
 func TestStepReturnsFalseWhenDrained(t *testing.T) {
 	s := New()
 	if s.Step() {
@@ -189,6 +257,77 @@ func TestEventsScheduledDuringRunExecute(t *testing.T) {
 	}
 }
 
+// ticker drives the Timer dispatch path: a self-rescheduling arrival
+// process implemented without closures.
+type ticker struct {
+	s     *Simulator
+	every Time
+	until Time
+	count int
+	last  Time
+}
+
+func (tk *ticker) Fire(now Time) {
+	tk.count++
+	tk.last = now
+	if now+tk.every <= tk.until {
+		tk.s.AfterTimer(tk.every, tk)
+	}
+}
+
+func TestTimerDispatchPath(t *testing.T) {
+	s := New()
+	tk := &ticker{s: s, every: 1, until: 100}
+	s.AtTimer(1, tk)
+	s.Run()
+	if tk.count != 100 {
+		t.Fatalf("timer fired %d times, want 100", tk.count)
+	}
+	if tk.last != 100 || s.Now() != 100 {
+		t.Fatalf("last fire at %v (clock %v), want 100", tk.last, s.Now())
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	s := New()
+	e1 := s.At(1, func() {})
+	s.At(2, func() {})
+	s.At(3, func() {})
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", s.Pending())
+	}
+	s.Cancel(e1)
+	if s.Pending() != 2 {
+		t.Fatalf("Pending after cancel = %d, want 2", s.Pending())
+	}
+	s.Step()
+	if s.Pending() != 1 {
+		t.Fatalf("Pending after step = %d, want 1", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", s.Pending())
+	}
+}
+
+// TestSlotReuseDoesNotCrossCancel: a handle kept across its event's
+// completion must not be able to cancel the slot's next tenant.
+func TestSlotReuseDoesNotCrossCancel(t *testing.T) {
+	s := New()
+	old := s.At(1, func() {})
+	s.Run() // fires; slot returns to the pool
+	ran := false
+	fresh := s.At(2, func() { ran = true })
+	if s.Cancel(old) {
+		t.Fatal("stale handle cancelled the slot's new event")
+	}
+	s.Run()
+	if !ran {
+		t.Fatal("new event did not run")
+	}
+	_ = fresh
+}
+
 // TestOrderingQuick property: for any set of schedule times, execution
 // order is a non-decreasing sequence of times.
 func TestOrderingQuick(t *testing.T) {
@@ -216,7 +355,7 @@ func TestCancellationQuick(t *testing.T) {
 	f := func(raw []uint16, mask []bool) bool {
 		s := New()
 		fired := map[int]bool{}
-		events := make([]*Event, len(raw))
+		events := make([]Event, len(raw))
 		for i, r := range raw {
 			i := i
 			events[i] = s.At(Time(r), func() { fired[i] = true })

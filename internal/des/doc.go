@@ -1,8 +1,17 @@
 // Package des implements a deterministic discrete-event simulation engine.
 //
-// The engine is a binary-heap event calendar with a monotone sequence
-// counter: two events scheduled for the same instant fire in the order they
-// were scheduled, which makes simulations reproducible bit-for-bit. Events
-// are cancellable, which the preemptive schedulers rely on to withdraw a
-// subtask's completion event when a higher-priority subtask arrives.
+// The calendar is a ladder queue — bucketed near-future rungs with
+// occupancy bitmaps over a fully sorted drain list, with an unsorted
+// far-future overflow — holding pooled, pointer-free event records
+// addressed by generation-checked index handles. Scheduling, cancelling,
+// and firing are all amortized O(1) (versus O(log n) for the binary heap
+// it replaced) and the steady state allocates nothing when callers use the
+// Timer dispatch path. A monotone sequence counter breaks ties: two events
+// scheduled for the same instant fire in the order they were scheduled,
+// which makes simulations reproducible bit-for-bit — the ladder preserves
+// exactly the (time, seq) pop order of the original heap, a property pinned
+// by a differential test against a reference heap. Events are cancellable
+// in O(1) (lazily, at the drain point), which the preemptive schedulers
+// rely on to withdraw a subtask's completion event when a higher-priority
+// subtask arrives.
 package des

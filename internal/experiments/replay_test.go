@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReplayDeterministicSmall(t *testing.T) {
+	cfg := ReplayConfig{Arrivals: 30_000, Stages: 3, Seed: 1}
+	res, err := Replay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatalf("replay passes diverged: digests %016x vs %016x",
+			res.Runs[0].Digest, res.Runs[1].Digest)
+	}
+	if res.Runs[0].Replayed == 0 {
+		t.Fatal("replay offered no tasks")
+	}
+	if res.Runs[0].Admitted == 0 || res.Runs[0].Admitted == res.Runs[0].Replayed {
+		t.Fatalf("admission made no decisions: %d/%d admitted (want a mix under a diurnal curve with a flash crowd)",
+			res.Runs[0].Admitted, res.Runs[0].Replayed)
+	}
+	// Every arrival fires one event; admitted tasks add an expiry.
+	if res.Runs[0].Events < res.Runs[0].Replayed {
+		t.Fatalf("only %d events for %d arrivals", res.Runs[0].Events, res.Runs[0].Replayed)
+	}
+	if res.Table() == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestReplayFromExistingTrace(t *testing.T) {
+	sc := replayScenario(ReplayConfig{Arrivals: 5_000, Stages: 2, Seed: 9})
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sc.RecordTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Replay(ReplayConfig{TraceFile: path, Stages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GenSeconds != 0 {
+		t.Fatal("generate phase must be skipped for an existing trace")
+	}
+	if res.Runs[0].Replayed != n {
+		t.Fatalf("replayed %d of %d records", res.Runs[0].Replayed, n)
+	}
+	if !res.Deterministic {
+		t.Fatal("existing-trace replay diverged between passes")
+	}
+}
+
+func TestReplayScenarioIsValid(t *testing.T) {
+	for _, arrivals := range []uint64{1000, 10_000_000} {
+		sc := replayScenario(ReplayConfig{Arrivals: arrivals, Stages: 3, Seed: 42})
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("arrivals=%d: %v", arrivals, err)
+		}
+		if load, at := sc.PeakLoad(); load >= 1 {
+			t.Fatalf("arrivals=%d: peak load %v at %v", arrivals, load, at)
+		}
+	}
+	// Stage count must flow through to the trace header.
+	sc := replayScenario(ReplayConfig{Arrivals: 1000, Stages: 5, Seed: 1})
+	if sc.Stages != 5 {
+		t.Fatalf("scenario stages = %d", sc.Stages)
+	}
+}

@@ -24,9 +24,16 @@ type Job struct {
 	heldLock  *lock
 	blockedOn *lock
 
-	completion *des.Event
+	completion des.Event
 	segStart   des.Time
 	submitted  des.Time
+
+	// doneT and watchT are the job's embedded des.Timer targets for the
+	// segment-completion and budget-watchdog events: scheduling through a
+	// pointer to a field the job already owns keeps dispatch at zero
+	// allocations (a capturing closure per dispatch would be a heap object).
+	doneT  segmentDone
+	watchT watchdog
 
 	// Budget accounting for the overrun guard: consumed accumulates the
 	// computation time actually executed; budget is the admitted demand
@@ -35,7 +42,7 @@ type Job struct {
 	// guard at most once.
 	consumed     float64
 	budget       float64
-	watch        *des.Event
+	watch        des.Event
 	overrunFired bool
 
 	onComplete func(now des.Time)

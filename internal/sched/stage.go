@@ -10,6 +10,25 @@ import (
 	"feasregion/internal/task"
 )
 
+// segmentDone is the des.Timer for a job's segment-completion event; one
+// lives inside each Job so dispatch schedules without allocating.
+type segmentDone struct {
+	s *Stage
+	j *Job
+}
+
+// Fire completes the job's current segment.
+func (t *segmentDone) Fire(des.Time) { t.s.onSegmentDone(t.j) }
+
+// watchdog is the des.Timer for a job's budget-exhaustion event.
+type watchdog struct {
+	s *Stage
+	j *Job
+}
+
+// Fire trips the overrun guard.
+func (t *watchdog) Fire(des.Time) { t.s.onWatch(t.j) }
+
 // lock is a stage-local single-unit resource managed under the priority
 // ceiling protocol.
 type lock struct {
@@ -266,6 +285,8 @@ func (s *Stage) SubmitBudgeted(id task.ID, priority float64, sub task.Subtask, b
 		onComplete: onComplete,
 		heapIdx:    -1,
 	}
+	j.doneT = segmentDone{s: s, j: j}
+	j.watchT = watchdog{s: s, j: j}
 	s.seq++
 	if len(segs) > 0 {
 		j.segRemaining = segs[0].Duration
@@ -392,7 +413,7 @@ func (s *Stage) block(j *Job, l *lock) {
 func (s *Stage) start(j *Job) {
 	s.running = j
 	j.segStart = s.sim.Now()
-	j.completion = s.sim.After(j.segRemaining, func() { s.onSegmentDone(j) })
+	j.completion = s.sim.AfterTimer(j.segRemaining, &j.doneT)
 	s.armWatch(j)
 	s.emit(EventStart, j.TaskID)
 }
@@ -412,23 +433,26 @@ func (s *Stage) armWatch(j *Job) {
 	if slack < 0 {
 		slack = 0
 	}
-	j.watch = s.sim.After(slack, func() {
-		j.watch = nil
-		j.overrunFired = true
-		s.ins.Overruns.Inc()
-		consumed := j.consumed + (s.sim.Now() - j.segStart)
-		// j.consumed excludes the in-flight dispatch and j.Remaining()
-		// still counts the whole current segment, so their sum is the
-		// job's total actual work.
-		s.onOverrun(j, consumed, j.consumed+j.Remaining())
-	})
+	j.watch = s.sim.AfterTimer(slack, &j.watchT)
+}
+
+// onWatch is the budget-exhaustion event body (watchdog.Fire).
+func (s *Stage) onWatch(j *Job) {
+	j.watch = des.Event{}
+	j.overrunFired = true
+	s.ins.Overruns.Inc()
+	consumed := j.consumed + (s.sim.Now() - j.segStart)
+	// j.consumed excludes the in-flight dispatch and j.Remaining()
+	// still counts the whole current segment, so their sum is the
+	// job's total actual work.
+	s.onOverrun(j, consumed, j.consumed+j.Remaining())
 }
 
 // disarmWatch withdraws a pending budget-exhaustion event.
 func (s *Stage) disarmWatch(j *Job) {
-	if j.watch != nil {
+	if j.watch.Valid() {
 		s.sim.Cancel(j.watch)
-		j.watch = nil
+		j.watch = des.Event{}
 	}
 }
 
@@ -445,7 +469,7 @@ func (s *Stage) preempt() {
 	}
 	j.segRemaining += s.preemptionOverhead
 	s.sim.Cancel(j.completion)
-	j.completion = nil
+	j.completion = des.Event{}
 	s.disarmWatch(j)
 	heap.Push(&s.ready, j)
 	s.stats.Preemptions++
@@ -456,7 +480,7 @@ func (s *Stage) preempt() {
 func (s *Stage) onSegmentDone(j *Job) {
 	now := s.sim.Now()
 	s.running = nil
-	j.completion = nil
+	j.completion = des.Event{}
 	j.consumed += now - j.segStart
 	j.segRemaining = 0
 	s.disarmWatch(j)
@@ -518,7 +542,7 @@ func (s *Stage) Cancel(j *Job) bool {
 	switch {
 	case s.running == j:
 		s.sim.Cancel(j.completion)
-		j.completion = nil
+		j.completion = des.Event{}
 		s.disarmWatch(j)
 		s.running = nil
 		if j.heldLock != nil {
@@ -609,7 +633,7 @@ func (s *Stage) TrimTo(j *Job, newDemand, newBudget float64) bool {
 		j.segStart = now
 		j.segRemaining = newRem
 		s.sim.Cancel(j.completion)
-		j.completion = s.sim.After(newRem, func() { s.onSegmentDone(j) })
+		j.completion = s.sim.AfterTimer(newRem, &j.doneT)
 		j.budget = newBudget
 		s.disarmWatch(j)
 		s.armWatch(j)

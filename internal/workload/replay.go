@@ -25,47 +25,19 @@ type Replay struct {
 // A header row is permitted (detected by a non-numeric first field).
 // Every row must carry the same number of demand columns. Tasks are
 // sorted by arrival time; IDs are assigned by position.
+//
+// Rows are streamed one at a time (the reader never materializes the
+// file), so parsing memory is O(row) plus the tasks themselves; to avoid
+// even that, convert large CSVs to the binary trace format with
+// ImportCSV and replay them with a Replayer.
 func ParseReplay(r io.Reader) (*Replay, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = -1 // validated manually for better errors
-	rows, err := cr.ReadAll()
-	if err != nil {
-		return nil, fmt.Errorf("workload: reading trace: %w", err)
-	}
 	rep := &Replay{}
-	stages := -1
-	for i, row := range rows {
-		if len(row) == 0 {
-			continue
-		}
-		if _, err := strconv.ParseFloat(row[0], 64); err != nil && i == 0 {
-			continue // header
-		}
-		if len(row) < 3 {
-			return nil, fmt.Errorf("workload: trace row %d has %d fields, need arrival,deadline,demands...", i+1, len(row))
-		}
-		if stages == -1 {
-			stages = len(row) - 2
-		} else if len(row)-2 != stages {
-			return nil, fmt.Errorf("workload: trace row %d has %d demand columns, want %d", i+1, len(row)-2, stages)
-		}
-		vals := make([]float64, len(row))
-		for k, cell := range row {
-			v, err := strconv.ParseFloat(cell, 64)
-			if err != nil {
-				return nil, fmt.Errorf("workload: trace row %d field %d: %w", i+1, k+1, err)
-			}
-			vals[k] = v
-		}
-		if vals[1] <= 0 {
-			return nil, fmt.Errorf("workload: trace row %d: deadline %v must be positive", i+1, vals[1])
-		}
-		for _, c := range vals[2:] {
-			if c < 0 {
-				return nil, fmt.Errorf("workload: trace row %d: negative demand", i+1)
-			}
-		}
-		rep.Tasks = append(rep.Tasks, task.Chain(0, vals[0], vals[1], vals[2:]...))
+	err := streamCSVRows(r, func(_ int, arrival, deadline float64, demands []float64) error {
+		rep.Tasks = append(rep.Tasks, task.Chain(0, arrival, deadline, demands...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(rep.Tasks) == 0 {
 		return nil, fmt.Errorf("workload: empty trace")
@@ -75,6 +47,68 @@ func ParseReplay(r io.Reader) (*Replay, error) {
 		t.ID = task.ID(i)
 	}
 	return rep, nil
+}
+
+// streamCSVRows parses the CSV trace format row by row, reusing the
+// record and demand buffers, and hands each validated data row to fn.
+// fn must not retain demands across calls. The row index passed to fn
+// counts all CSV rows including any header.
+func streamCSVRows(r io.Reader, fn func(row int, arrival, deadline float64, demands []float64) error) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for better errors
+	cr.ReuseRecord = true
+	stages := -1
+	var demands []float64
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("workload: reading trace: %w", err)
+		}
+		if len(row) == 0 {
+			continue
+		}
+		if _, err := strconv.ParseFloat(row[0], 64); err != nil && i == 0 {
+			continue // header
+		}
+		if len(row) < 3 {
+			return fmt.Errorf("workload: trace row %d has %d fields, need arrival,deadline,demands...", i+1, len(row))
+		}
+		if stages == -1 {
+			stages = len(row) - 2
+		} else if len(row)-2 != stages {
+			return fmt.Errorf("workload: trace row %d has %d demand columns, want %d", i+1, len(row)-2, stages)
+		}
+		arrival, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return fmt.Errorf("workload: trace row %d field 1: %w", i+1, err)
+		}
+		deadline, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			return fmt.Errorf("workload: trace row %d field 2: %w", i+1, err)
+		}
+		demands = demands[:0]
+		for k, cell := range row[2:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return fmt.Errorf("workload: trace row %d field %d: %w", i+1, k+3, err)
+			}
+			demands = append(demands, v)
+		}
+		if deadline <= 0 {
+			return fmt.Errorf("workload: trace row %d: deadline %v must be positive", i+1, deadline)
+		}
+		for _, c := range demands {
+			if c < 0 {
+				return fmt.Errorf("workload: trace row %d: negative demand", i+1)
+			}
+		}
+		if err := fn(i, arrival, deadline, demands); err != nil {
+			return err
+		}
+	}
 }
 
 // Stages returns the number of demand columns in the trace.

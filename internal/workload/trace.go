@@ -1,0 +1,426 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"feasregion/internal/task"
+)
+
+// Binary trace format v1 ("FRTRACE"), little-endian throughout:
+//
+//	offset  size  field
+//	0       7     magic "FRTRACE"
+//	7       1     version (1)
+//	8       2     stages     uint16 (≥ 1)
+//	10      2     classCount uint16
+//	12      4     reserved (zero)
+//	16      8     count      uint64 (0 = unknown; backpatched when the
+//	              writer's sink is seekable)
+//	24      —     class table: classCount × (uint16 length + UTF-8 bytes)
+//
+// followed by count fixed-size records:
+//
+//	arrival  float64   absolute arrival time, nondecreasing across records
+//	deadline float64   relative end-to-end deadline, positive and finite
+//	class    uint8     index into the class table; 0xFF = unclassed
+//	demands  stages × float64   per-stage computation times, ≥ 0, finite
+//
+// The fixed record size (17 + 8·stages bytes) makes the format streamable
+// in both directions with O(1) memory and makes the record count of an
+// unlabelled trace recoverable from the file size.
+
+// TraceMagic is the v1 binary trace file magic.
+const TraceMagic = "FRTRACE"
+
+// TraceVersion is the format version this package reads and writes.
+const TraceVersion = 1
+
+// TraceNoClass is the record class byte meaning "no class".
+const TraceNoClass = 0xFF
+
+const traceHeaderSize = 24
+
+// maxTraceClasses is the densest class table the record's uint8 class
+// field can address (0xFF is reserved).
+const maxTraceClasses = 255
+
+// TraceWriter streams workload records into the v1 binary format. It
+// buffers internally; Close flushes and, when the underlying writer is
+// an io.WriteSeeker (e.g. *os.File), backpatches the record count into
+// the header.
+type TraceWriter struct {
+	w       *bufio.Writer
+	raw     io.Writer
+	stages  int
+	classes map[string]int
+	count   uint64
+	lastAt  float64
+	rec     []byte
+	err     error
+}
+
+// NewTraceWriter writes a v1 header for the given stage count and class
+// table and returns a writer for the records. classes may be nil for an
+// unclassed trace; at most 255 classes are addressable.
+func NewTraceWriter(w io.Writer, stages int, classes []string) (*TraceWriter, error) {
+	if stages < 1 || stages > math.MaxUint16 {
+		return nil, fmt.Errorf("workload: trace stages %d out of range [1, %d]", stages, math.MaxUint16)
+	}
+	if len(classes) > maxTraceClasses {
+		return nil, fmt.Errorf("workload: %d trace classes exceed the format's %d", len(classes), maxTraceClasses)
+	}
+	tw := &TraceWriter{
+		w:       bufio.NewWriterSize(w, 1<<16),
+		raw:     w,
+		stages:  stages,
+		classes: make(map[string]int, len(classes)),
+		lastAt:  math.Inf(-1),
+		rec:     make([]byte, 17+8*stages),
+	}
+	var hdr [traceHeaderSize]byte
+	copy(hdr[:7], TraceMagic)
+	hdr[7] = TraceVersion
+	binary.LittleEndian.PutUint16(hdr[8:10], uint16(stages))
+	binary.LittleEndian.PutUint16(hdr[10:12], uint16(len(classes)))
+	// hdr[12:16] reserved; hdr[16:24] count, backpatched at Close.
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("workload: writing trace header: %w", err)
+	}
+	var lb [2]byte
+	for i, c := range classes {
+		if _, dup := tw.classes[c]; dup {
+			return nil, fmt.Errorf("workload: duplicate trace class %q", c)
+		}
+		if len(c) > math.MaxUint16 {
+			return nil, fmt.Errorf("workload: trace class name %d bytes long", len(c))
+		}
+		tw.classes[c] = i
+		binary.LittleEndian.PutUint16(lb[:], uint16(len(c)))
+		if _, err := tw.w.Write(lb[:]); err != nil {
+			return nil, err
+		}
+		if _, err := tw.w.WriteString(c); err != nil {
+			return nil, err
+		}
+	}
+	return tw, nil
+}
+
+// Stages returns the per-record demand column count.
+func (tw *TraceWriter) Stages() int { return tw.stages }
+
+// Count returns the number of records written so far.
+func (tw *TraceWriter) Count() uint64 { return tw.count }
+
+// Write appends one record. class is an index into the writer's class
+// table, or -1 for unclassed. Arrivals must be nondecreasing, deadlines
+// positive and finite, demands non-negative and finite, with exactly the
+// header's stage count.
+func (tw *TraceWriter) Write(arrival, deadline float64, class int, demands []float64) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if len(demands) != tw.stages {
+		return tw.fail(fmt.Errorf("workload: trace record %d has %d demands, want %d", tw.count, len(demands), tw.stages))
+	}
+	if math.IsNaN(arrival) || math.IsInf(arrival, 0) {
+		return tw.fail(fmt.Errorf("workload: trace record %d: non-finite arrival %v", tw.count, arrival))
+	}
+	if arrival < tw.lastAt {
+		return tw.fail(fmt.Errorf("workload: trace record %d: arrival %v before previous %v (records must be time-ordered)", tw.count, arrival, tw.lastAt))
+	}
+	if !(deadline > 0) || math.IsInf(deadline, 0) {
+		return tw.fail(fmt.Errorf("workload: trace record %d: deadline %v must be positive and finite", tw.count, deadline))
+	}
+	if class != -1 && (class < 0 || class >= len(tw.classes)) {
+		return tw.fail(fmt.Errorf("workload: trace record %d: class %d outside table of %d", tw.count, class, len(tw.classes)))
+	}
+	b := tw.rec
+	binary.LittleEndian.PutUint64(b[0:8], math.Float64bits(arrival))
+	binary.LittleEndian.PutUint64(b[8:16], math.Float64bits(deadline))
+	if class == -1 {
+		b[16] = TraceNoClass
+	} else {
+		b[16] = byte(class)
+	}
+	for j, c := range demands {
+		if !(c >= 0) || math.IsInf(c, 0) {
+			return tw.fail(fmt.Errorf("workload: trace record %d: demand[%d] = %v must be non-negative and finite", tw.count, j, c))
+		}
+		binary.LittleEndian.PutUint64(b[17+8*j:], math.Float64bits(c))
+	}
+	if _, err := tw.w.Write(b); err != nil {
+		return tw.fail(fmt.Errorf("workload: writing trace record: %w", err))
+	}
+	tw.lastAt = arrival
+	tw.count++
+	return nil
+}
+
+// WriteTask appends a chain task as a record, resolving its Class via
+// the writer's class table (unknown or empty class → unclassed).
+func (tw *TraceWriter) WriteTask(t *task.Task) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	class := -1
+	if t.Class != "" {
+		if i, ok := tw.classes[t.Class]; ok {
+			class = i
+		}
+	}
+	demands := make([]float64, 0, 8)
+	for _, s := range t.Subtasks {
+		demands = append(demands, s.Demand)
+	}
+	return tw.Write(t.Arrival, t.Deadline, class, demands)
+}
+
+func (tw *TraceWriter) fail(err error) error {
+	tw.err = err
+	return err
+}
+
+// Close flushes buffered records and backpatches the header's record
+// count when the sink supports seeking. It does not close the sink.
+func (tw *TraceWriter) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if err := tw.w.Flush(); err != nil {
+		return tw.fail(fmt.Errorf("workload: flushing trace: %w", err))
+	}
+	ws, ok := tw.raw.(io.WriteSeeker)
+	if !ok {
+		return nil // count stays 0 in the header; readers fall back to EOF
+	}
+	var cb [8]byte
+	binary.LittleEndian.PutUint64(cb[:], tw.count)
+	if _, err := ws.Seek(16, io.SeekStart); err != nil {
+		return tw.fail(err)
+	}
+	if _, err := ws.Write(cb[:]); err != nil {
+		return tw.fail(err)
+	}
+	if _, err := ws.Seek(0, io.SeekEnd); err != nil {
+		return tw.fail(err)
+	}
+	return nil
+}
+
+// TraceRecord is one decoded trace record. Demands is reused across
+// Next calls; copy it to retain.
+type TraceRecord struct {
+	Arrival  float64
+	Deadline float64
+	Class    int // index into Classes(), or -1
+	Demands  []float64
+}
+
+// TraceReader streams records from a v1 binary trace with O(1) memory.
+type TraceReader struct {
+	r       *bufio.Reader
+	stages  int
+	classes []string
+	count   uint64 // header count; 0 when unknown
+	read    uint64
+	lastAt  float64
+	rec     []byte
+}
+
+// OpenTrace validates the header and class table of a v1 binary trace
+// and positions the reader at the first record.
+func OpenTrace(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [traceHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace header: %w", err)
+	}
+	if string(hdr[:7]) != TraceMagic {
+		return nil, fmt.Errorf("workload: not a trace file (magic %q)", hdr[:7])
+	}
+	if hdr[7] != TraceVersion {
+		return nil, fmt.Errorf("workload: trace version %d, this build reads %d", hdr[7], TraceVersion)
+	}
+	stages := int(binary.LittleEndian.Uint16(hdr[8:10]))
+	if stages < 1 {
+		return nil, fmt.Errorf("workload: trace declares %d stages", stages)
+	}
+	nclasses := int(binary.LittleEndian.Uint16(hdr[10:12]))
+	if nclasses > maxTraceClasses {
+		return nil, fmt.Errorf("workload: trace declares %d classes, format max %d", nclasses, maxTraceClasses)
+	}
+	count := binary.LittleEndian.Uint64(hdr[16:24])
+	tr := &TraceReader{
+		r:      br,
+		stages: stages,
+		count:  count,
+		lastAt: math.Inf(-1),
+		rec:    make([]byte, 17+8*stages),
+	}
+	var lb [2]byte
+	for i := 0; i < nclasses; i++ {
+		if _, err := io.ReadFull(br, lb[:]); err != nil {
+			return nil, fmt.Errorf("workload: reading trace class table: %w", err)
+		}
+		name := make([]byte, binary.LittleEndian.Uint16(lb[:]))
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, fmt.Errorf("workload: reading trace class table: %w", err)
+		}
+		tr.classes = append(tr.classes, string(name))
+	}
+	return tr, nil
+}
+
+// Stages returns the per-record demand column count.
+func (tr *TraceReader) Stages() int { return tr.stages }
+
+// Classes returns the trace's class table (aliased; do not mutate).
+func (tr *TraceReader) Classes() []string { return tr.classes }
+
+// Count returns the header's record count, or 0 when the trace was
+// written to a non-seekable sink and the count is unknown.
+func (tr *TraceReader) Count() uint64 { return tr.count }
+
+// Records returns the number of records decoded so far.
+func (tr *TraceReader) Records() uint64 { return tr.read }
+
+// Next decodes the next record into rec, reusing rec.Demands. It returns
+// io.EOF (and leaves rec unchanged) at a clean end of trace, and a
+// descriptive error on truncation or corruption: class out of range,
+// non-positive deadline, negative demand, or time-travelling arrivals.
+func (tr *TraceReader) Next(rec *TraceRecord) error {
+	if _, err := io.ReadFull(tr.r, tr.rec); err != nil {
+		if err == io.EOF {
+			if tr.count != 0 && tr.read != tr.count {
+				return fmt.Errorf("workload: trace truncated: header declares %d records, found %d", tr.count, tr.read)
+			}
+			return io.EOF
+		}
+		return fmt.Errorf("workload: trace record %d truncated: %w", tr.read, err)
+	}
+	arrival := math.Float64frombits(binary.LittleEndian.Uint64(tr.rec[0:8]))
+	deadline := math.Float64frombits(binary.LittleEndian.Uint64(tr.rec[8:16]))
+	classByte := tr.rec[16]
+	if math.IsNaN(arrival) || math.IsInf(arrival, 0) {
+		return fmt.Errorf("workload: trace record %d: non-finite arrival", tr.read)
+	}
+	if arrival < tr.lastAt {
+		return fmt.Errorf("workload: trace record %d: arrival %v before previous %v", tr.read, arrival, tr.lastAt)
+	}
+	if !(deadline > 0) || math.IsInf(deadline, 0) {
+		return fmt.Errorf("workload: trace record %d: invalid deadline %v", tr.read, deadline)
+	}
+	class := -1
+	if classByte != TraceNoClass {
+		if int(classByte) >= len(tr.classes) {
+			return fmt.Errorf("workload: trace record %d: class %d outside table of %d", tr.read, classByte, len(tr.classes))
+		}
+		class = int(classByte)
+	}
+	if cap(rec.Demands) < tr.stages {
+		rec.Demands = make([]float64, tr.stages)
+	}
+	rec.Demands = rec.Demands[:tr.stages]
+	for j := 0; j < tr.stages; j++ {
+		c := math.Float64frombits(binary.LittleEndian.Uint64(tr.rec[17+8*j:]))
+		if !(c >= 0) || math.IsInf(c, 0) {
+			return fmt.Errorf("workload: trace record %d: invalid demand[%d] %v", tr.read, j, c)
+		}
+		rec.Demands[j] = c
+	}
+	rec.Arrival, rec.Deadline, rec.Class = arrival, deadline, class
+	tr.lastAt = arrival
+	tr.read++
+	return nil
+}
+
+// ImportCSV streams a CSV trace (the ParseReplay format) into the binary
+// format with O(row) memory. Rows must already be ordered by arrival —
+// unlike ParseReplay, the importer never buffers the file to sort it.
+// It returns the record count written.
+func ImportCSV(r io.Reader, w io.Writer) (uint64, error) {
+	var tw *TraceWriter
+	err := streamCSVRows(r, func(_ int, arrival, deadline float64, demands []float64) error {
+		if tw == nil {
+			var err error
+			if tw, err = NewTraceWriter(w, len(demands), nil); err != nil {
+				return err
+			}
+		}
+		return tw.Write(arrival, deadline, -1, demands)
+	})
+	if err != nil {
+		return 0, err
+	}
+	if tw == nil {
+		return 0, fmt.Errorf("workload: empty trace")
+	}
+	if err := tw.Close(); err != nil {
+		return 0, err
+	}
+	return tw.Count(), nil
+}
+
+// WriteTrace saves the replay in the binary trace format, deriving the
+// class table from the tasks' Class labels in first-seen order. It
+// returns the record count written.
+func (r *Replay) WriteTrace(w io.Writer) (uint64, error) {
+	if len(r.Tasks) == 0 {
+		return 0, fmt.Errorf("workload: empty replay")
+	}
+	var classes []string
+	seen := map[string]bool{}
+	for _, t := range r.Tasks {
+		if t.Class != "" && !seen[t.Class] {
+			seen[t.Class] = true
+			classes = append(classes, t.Class)
+		}
+	}
+	tw, err := NewTraceWriter(w, r.Stages(), classes)
+	if err != nil {
+		return 0, err
+	}
+	for _, t := range r.Tasks {
+		if err := tw.WriteTask(t); err != nil {
+			return 0, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return 0, err
+	}
+	return tw.Count(), nil
+}
+
+// ReadTrace materializes a binary trace as a Replay (task IDs assigned
+// by position, classes resolved from the table). Intended for small
+// traces; for tens of millions of records drive a Replayer instead.
+func ReadTrace(r io.Reader) (*Replay, error) {
+	tr, err := OpenTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replay{}
+	var rec TraceRecord
+	for {
+		if err := tr.Next(&rec); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		t := task.Chain(task.ID(len(rep.Tasks)), rec.Arrival, rec.Deadline, rec.Demands...)
+		if rec.Class >= 0 {
+			t.Class = tr.classes[rec.Class]
+		}
+		rep.Tasks = append(rep.Tasks, t)
+	}
+	if len(rep.Tasks) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return rep, nil
+}

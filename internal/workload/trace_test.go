@@ -1,0 +1,391 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/task"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rep, err := ParseReplay(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Tasks[0].Class = "gold"
+	rep.Tasks[1].Class = "bronze"
+
+	var buf bytes.Buffer
+	n, err := rep.WriteTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(rep.Tasks)) {
+		t.Fatalf("wrote %d records for %d tasks", n, len(rep.Tasks))
+	}
+
+	back, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tasks) != len(rep.Tasks) {
+		t.Fatalf("round trip changed task count %d -> %d", len(rep.Tasks), len(back.Tasks))
+	}
+	for i, want := range rep.Tasks {
+		got := back.Tasks[i]
+		if got.Arrival != want.Arrival || got.Deadline != want.Deadline || got.Class != want.Class {
+			t.Fatalf("task %d: got (%v, %v, %q), want (%v, %v, %q)",
+				i, got.Arrival, got.Deadline, got.Class, want.Arrival, want.Deadline, want.Class)
+		}
+		for j := range want.Subtasks {
+			if got.StageDemand(j) != want.StageDemand(j) {
+				t.Fatalf("task %d stage %d demand %v != %v", i, j, got.StageDemand(j), want.StageDemand(j))
+			}
+		}
+	}
+}
+
+func TestTraceWriterValidation(t *testing.T) {
+	mk := func() *TraceWriter {
+		tw, err := NewTraceWriter(io.Discard, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tw
+	}
+	cases := []struct {
+		name string
+		fn   func(tw *TraceWriter) error
+	}{
+		{"wrong demand count", func(tw *TraceWriter) error { return tw.Write(0, 1, -1, []float64{1}) }},
+		{"NaN arrival", func(tw *TraceWriter) error { return tw.Write(math.NaN(), 1, -1, []float64{1, 1}) }},
+		{"zero deadline", func(tw *TraceWriter) error { return tw.Write(0, 0, -1, []float64{1, 1}) }},
+		{"infinite deadline", func(tw *TraceWriter) error { return tw.Write(0, math.Inf(1), -1, []float64{1, 1}) }},
+		{"negative demand", func(tw *TraceWriter) error { return tw.Write(0, 1, -1, []float64{1, -1}) }},
+		{"class outside table", func(tw *TraceWriter) error { return tw.Write(0, 1, 0, []float64{1, 1}) }},
+		{"time travel", func(tw *TraceWriter) error {
+			if err := tw.Write(5, 1, -1, []float64{1, 1}); err != nil {
+				return err
+			}
+			return tw.Write(4, 1, -1, []float64{1, 1})
+		}},
+	}
+	for _, tc := range cases {
+		tw := mk()
+		if err := tc.fn(tw); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		} else if tw.Close() == nil {
+			t.Errorf("%s: error must stick through Close", tc.name)
+		}
+	}
+	if _, err := NewTraceWriter(io.Discard, 0, nil); err == nil {
+		t.Error("zero stages: want error")
+	}
+	if _, err := NewTraceWriter(io.Discard, 1, []string{"a", "a"}); err == nil {
+		t.Error("duplicate classes: want error")
+	}
+	if _, err := NewTraceWriter(io.Discard, 1, make([]string, 256)); err == nil {
+		t.Error("256 classes: want error")
+	}
+}
+
+func TestTraceCountBackpatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := NewTraceWriter(f, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if err := tw.Write(float64(i), 10, -1, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	tr, err := OpenTrace(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 7 {
+		t.Fatalf("backpatched count = %d, want 7", tr.Count())
+	}
+	var rec TraceRecord
+	for {
+		if err := tr.Next(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Records() != 7 {
+		t.Fatalf("decoded %d records, want 7", tr.Records())
+	}
+}
+
+func TestTraceTruncationDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, _ := NewTraceWriter(f, 1, nil)
+	for i := 0; i < 3; i++ {
+		if err := tw.Write(float64(i), 10, -1, []float64{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop the last record: header still declares 3.
+	tr, err := OpenTrace(bytes.NewReader(data[:len(data)-25]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec TraceRecord
+	var last error
+	for {
+		if last = tr.Next(&rec); last != nil {
+			break
+		}
+	}
+	if last == io.EOF || !strings.Contains(last.Error(), "truncated") {
+		t.Fatalf("want truncation error, got %v", last)
+	}
+}
+
+func TestOpenTraceRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "FRTRACE", "not a trace at all........", "FRTRACE\x02" + strings.Repeat("\x00", 16)} {
+		if _, err := OpenTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("OpenTrace(%q): want error", in)
+		}
+	}
+}
+
+func TestImportCSVMatchesParseReplay(t *testing.T) {
+	// ImportCSV never buffers the file, so rows must arrive sorted.
+	const sorted = "arrival,deadline,c1,c2\n0.1,8,0.5,0.5\n0.5,10,1,2\n2.0,12,3,1\n"
+	var buf bytes.Buffer
+	n, err := ImportCSV(strings.NewReader(sorted), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ParseReplay(strings.NewReader(sorted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(rep.Tasks)) {
+		t.Fatalf("imported %d records, ParseReplay found %d", n, len(rep.Tasks))
+	}
+	back, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range rep.Tasks {
+		got := back.Tasks[i]
+		if got.Arrival != want.Arrival || got.Deadline != want.Deadline {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestImportCSVRejectsUnordered(t *testing.T) {
+	if _, err := ImportCSV(strings.NewReader("5,10,1\n1,10,1\n"), io.Discard); err == nil {
+		t.Fatal("out-of-order CSV import must fail")
+	}
+}
+
+// collectReplayed drives a replayer to completion and returns copies of
+// the offered tasks.
+func collectReplayed(t *testing.T, data []byte, opts ReplayOptions) []task.Task {
+	t.Helper()
+	tr, err := OpenTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	var got []task.Task
+	rp, err := NewReplayer(sim, tr, opts, func(tk *task.Task) { got = append(got, *tk) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if rp.Err() != nil {
+		t.Fatal(rp.Err())
+	}
+	return got
+}
+
+func traceBytes(t *testing.T) []byte {
+	t.Helper()
+	rep, err := ParseReplay(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReplayerPlaysRecordedTimes(t *testing.T) {
+	data := traceBytes(t)
+	rep, _ := ParseReplay(strings.NewReader(sampleTrace))
+	got := collectReplayed(t, data, ReplayOptions{})
+	if len(got) != len(rep.Tasks) {
+		t.Fatalf("replayed %d tasks, want %d", len(got), len(rep.Tasks))
+	}
+	for i, want := range rep.Tasks {
+		if got[i].Arrival != want.Arrival || got[i].Deadline != want.Deadline {
+			t.Fatalf("task %d: got (%v, %v), want (%v, %v)",
+				i, got[i].Arrival, got[i].Deadline, want.Arrival, want.Deadline)
+		}
+		if got[i].ID != task.ID(i) {
+			t.Fatalf("task %d has ID %d", i, got[i].ID)
+		}
+	}
+}
+
+func TestReplayerTimeCompress(t *testing.T) {
+	data := traceBytes(t)
+	base := collectReplayed(t, data, ReplayOptions{})
+	fast := collectReplayed(t, data, ReplayOptions{TimeCompress: 2})
+	for i := range base {
+		if want := base[i].Arrival / 2; math.Abs(fast[i].Arrival-want) > 1e-12 {
+			t.Fatalf("task %d arrival %v, want %v", i, fast[i].Arrival, want)
+		}
+		if want := base[i].Deadline / 2; math.Abs(fast[i].Deadline-want) > 1e-12 {
+			t.Fatalf("task %d deadline %v, want %v (compression must tighten deadlines)", i, fast[i].Deadline, want)
+		}
+	}
+}
+
+func TestReplayerRateMultiplier(t *testing.T) {
+	data := traceBytes(t)
+	base := collectReplayed(t, data, ReplayOptions{})
+	dense := collectReplayed(t, data, ReplayOptions{RateMultiplier: 4})
+	for i := range base {
+		if want := base[i].Arrival / 4; math.Abs(dense[i].Arrival-want) > 1e-12 {
+			t.Fatalf("task %d arrival %v, want %v", i, dense[i].Arrival, want)
+		}
+		if dense[i].Deadline != base[i].Deadline {
+			t.Fatalf("task %d deadline changed: rate multiplier must not touch deadlines", i)
+		}
+	}
+}
+
+func TestReplayerLimitAndFirstID(t *testing.T) {
+	data := traceBytes(t)
+	got := collectReplayed(t, data, ReplayOptions{Limit: 2, FirstID: 100})
+	if len(got) != 2 {
+		t.Fatalf("replayed %d tasks, want 2", len(got))
+	}
+	if got[0].ID != 100 || got[1].ID != 101 {
+		t.Fatalf("IDs %d, %d, want 100, 101", got[0].ID, got[1].ID)
+	}
+}
+
+func TestReplayerReuseTask(t *testing.T) {
+	data := traceBytes(t)
+	rep, _ := ParseReplay(strings.NewReader(sampleTrace))
+	tr, err := OpenTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	var seen []*task.Task
+	var arrivals []float64
+	rp, err := NewReplayer(sim, tr, ReplayOptions{ReuseTask: true}, func(tk *task.Task) {
+		seen = append(seen, tk)
+		arrivals = append(arrivals, tk.Arrival)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	if rp.Replayed() != uint64(len(rep.Tasks)) {
+		t.Fatalf("replayed %d, want %d", rp.Replayed(), len(rep.Tasks))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] != seen[0] {
+			t.Fatal("ReuseTask must offer one task value")
+		}
+	}
+	for i, want := range rep.Tasks {
+		if arrivals[i] != want.Arrival {
+			t.Fatalf("arrival %d: %v != %v", i, arrivals[i], want.Arrival)
+		}
+	}
+}
+
+func TestReplayerKnobValidation(t *testing.T) {
+	data := traceBytes(t)
+	for _, opts := range []ReplayOptions{
+		{TimeCompress: -1},
+		{RateMultiplier: math.Inf(1)},
+		{TimeCompress: math.NaN()},
+	} {
+		tr, err := OpenTrace(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewReplayer(des.New(), tr, opts, func(*task.Task) {}); err == nil {
+			t.Errorf("opts %+v: want error", opts)
+		}
+	}
+}
+
+func TestReplayerEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tw, err := NewTraceWriter(&buf, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := OpenTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer(des.New(), tr, ReplayOptions{}, func(*task.Task) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Start(); err != io.EOF {
+		t.Fatalf("Start on empty trace = %v, want io.EOF", err)
+	}
+}

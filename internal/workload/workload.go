@@ -160,10 +160,15 @@ func (s *Source) scheduleNext() {
 	if at > s.horiz {
 		return
 	}
-	s.sim.At(at, func() {
-		s.emit()
-		s.scheduleNext()
-	})
+	s.sim.AtTimer(at, s)
+}
+
+// Fire delivers the pending arrival and schedules the next one. It makes
+// Source a des.Timer, so the steady-state arrival loop allocates nothing
+// beyond the task itself (the closure-per-arrival of the old func path).
+func (s *Source) Fire(des.Time) {
+	s.emit()
+	s.scheduleNext()
 }
 
 func (s *Source) emit() {
