@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race test-race test-short bench bench-json bench-admit bench-degrade bench-cluster bench-des profile-des docs-check experiments experiments-quick examples fuzz verify clean
+.PHONY: all build vet test race test-race test-short bench bench-json bench-admit bench-degrade bench-cluster bench-des bench-priority profile-des docs-check experiments experiments-quick examples fuzz verify clean
 
 all: build vet test
 
@@ -59,6 +59,12 @@ bench-cluster:
 bench-des:
 	$(GO) test -run '^$$' -bench '^BenchmarkDes' -benchmem -count 3 -json . > BENCH_des.json
 
+# Priority-assignment benchmarks (offline OPA search cost at 8/32/128
+# tasks, online admitter steady-state TryAdmit) as go-test JSON; the
+# admit path must stay at 0 allocs/op.
+bench-priority:
+	$(GO) test -run '^$$' -bench '^BenchmarkPriority' -benchmem -count 3 -json . > BENCH_priority.json
+
 # CPU-profile the full-scale trace replay (10M+ records through region
 # admission, twice); inspect with `go tool pprof cpu_replay.prof`.
 profile-des:
@@ -66,7 +72,9 @@ profile-des:
 
 # Documentation invariants: every package documented, every exported
 # identifier of the public API documented, every relative markdown link
-# resolving — plus go vet's doc-adjacent analyzers.
+# resolving, and every `pkg.Ident` named in README/DESIGN/THEORY/
+# EXPERIMENTS code spans existing in that package — plus go vet's
+# doc-adjacent analyzers.
 docs-check:
 	$(GO) vet ./...
 	$(GO) run ./cmd/docscheck

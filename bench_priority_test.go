@@ -1,0 +1,86 @@
+package feasregion_test
+
+import (
+	"testing"
+
+	"feasregion/internal/dist"
+	"feasregion/internal/priority"
+	"feasregion/internal/task"
+)
+
+// Priority-assignment benchmarks: the offline Audsley search cost as
+// the task set grows (O(n²) test invocations, each O(N·n)), and the
+// online admitter's steady-state admit path, which must stay at
+// 0 allocs/op (the scratch slices are retained between calls).
+//
+// `make bench-priority` emits these as BENCH_priority.json.
+
+// benchCandidates builds a seeded full-span candidate set that is
+// feasible but loaded — the search runs all n levels with non-trivial
+// interference sets rather than bailing at level 0.
+func benchCandidates(n, stages int, seed int64) []priority.Candidate {
+	g := dist.NewRNG(seed)
+	cands := make([]priority.Candidate, n)
+	for i := range cands {
+		d := make([]float64, stages)
+		for j := range d {
+			// Total per-stage utilization across n tasks ≈ 0.15.
+			d[j] = 0.45 / float64(n) * g.ExpFloat64()
+		}
+		cands[i] = priority.Candidate{
+			ID:       task.ID(i + 1),
+			Deadline: 1 + 4*g.Float64(),
+			Demands:  d,
+		}
+	}
+	return cands
+}
+
+func benchAssign(b *testing.B, n int) {
+	cands := benchCandidates(n, 3, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := priority.Assign(cands, 3, priority.RegionExact{}); err != nil {
+			b.Fatalf("assign: %v", err)
+		}
+	}
+}
+
+func BenchmarkPriorityAssign8(b *testing.B)   { benchAssign(b, 8) }
+func BenchmarkPriorityAssign32(b *testing.B)  { benchAssign(b, 32) }
+func BenchmarkPriorityAssign128(b *testing.B) { benchAssign(b, 128) }
+
+// BenchmarkPriorityAdmit measures the online admitter's steady-state
+// TryAdmit on a churning mixed-deadline stream (admissions, rejections,
+// and lazy expiries all on the measured path). Acceptance floor:
+// 0 allocs/op once the retained scratch buffers are warm.
+func BenchmarkPriorityAdmit(b *testing.B) {
+	const stages = 3
+	a := priority.NewAdmitter(stages, priority.ModeOPA, nil, nil)
+	g := dist.NewRNG(7)
+	now := 0.0
+	// One reused task value: the admitter never retains the *Task, so
+	// mutating it in place keeps the harness itself allocation-free.
+	tk := task.Chain(0, 0, 1, make([]float64, stages)...)
+	next := func(id int) {
+		now += g.ExpFloat64() * 0.3
+		tk.ID = task.ID(id)
+		tk.Arrival = now
+		tk.Deadline = 2 + 6*g.Float64()
+		for j := range tk.Subtasks {
+			tk.Subtasks[j].Demand = 0.3 * g.ExpFloat64()
+		}
+	}
+	// Warm the retained buffers past the steady-state population.
+	for i := 0; i < 4096; i++ {
+		next(i + 1)
+		a.TryAdmit(tk)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next(4097 + i)
+		a.TryAdmit(tk)
+	}
+}

@@ -4,7 +4,11 @@
 //  2. every exported identifier of the public API (the root feasregion
 //     package) has a doc comment;
 //  3. every relative link in the markdown files resolves to a file or
-//     directory that exists.
+//     directory that exists;
+//  4. every qualified identifier (`pkg.Ident`, and `pkg.Type.Member`
+//     where resolvable) named in README.md, DESIGN.md, THEORY.md, and
+//     EXPERIMENTS.md code spans exists in the named package — the
+//     mechanical guard against documentation rot when APIs are renamed.
 //
 // It prints one line per violation and exits non-zero if any were
 // found. Run via `make docs-check`; CI runs it on every push.
@@ -35,6 +39,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkMarkdownLinks(root)...)
 	problems = append(problems, checkGoDocs(root)...)
+	problems = append(problems, checkDocIdentifiers(root)...)
 	for _, p := range problems {
 		fmt.Println(p)
 	}
@@ -146,6 +151,224 @@ func checkGoDocs(root string) []string {
 		return nil
 	})
 	return problems
+}
+
+// docIdentFiles are the markdown files whose code spans name public
+// API identifiers and therefore rot silently when the API moves.
+var docIdentFiles = []string{"README.md", "DESIGN.md", "THEORY.md", "EXPERIMENTS.md"}
+
+// qualifiedIdent matches pkg.Ident and pkg.Type.Member inside a code
+// span. The qualifier must be a lower-case word so file names
+// (`core.go`) and prose abbreviations never match; the identifier must
+// be exported, since that is all the docs may legitimately name.
+var qualifiedIdent = regexp.MustCompile(`\b([a-z][a-z0-9]*)\.([A-Z][A-Za-z0-9_]*)(?:\.([A-Za-z][A-Za-z0-9_]*))?`)
+
+// inlineSpan extracts `code` spans from a markdown line.
+var inlineSpan = regexp.MustCompile("`([^`]+)`")
+
+// docIdent records one exported declaration of a package: whether it
+// is a type, and — when the full member set is statically knowable
+// (no alias, no embedding) — its exported methods and fields.
+type docIdent struct {
+	isType   bool
+	complete bool
+	members  map[string]bool
+}
+
+// checkDocIdentifiers verifies that every qualified identifier named in
+// the tracked markdown files' code spans exists in the named package.
+// Inline spans and fenced `go` blocks are checked; other fenced blocks
+// (shell transcripts, rendered tables) are not code and are skipped.
+// Qualifiers that are not package names in this repository are ignored,
+// so local variables (`p.Offer`) and standard-library mentions never
+// produce false positives.
+func checkDocIdentifiers(root string) []string {
+	syms := collectDocSymbols(root)
+	var problems []string
+	for _, name := range docIdentFiles {
+		path := filepath.Join(root, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // the file set is aspirational; absent files are fine
+		}
+		inFence, goFence := false, false
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "```") {
+				goFence = !inFence && strings.TrimPrefix(trimmed, "```") == "go"
+				inFence = !inFence
+				continue
+			}
+			var spans []string
+			switch {
+			case inFence && goFence:
+				spans = []string{line}
+			case !inFence:
+				for _, m := range inlineSpan.FindAllStringSubmatch(line, -1) {
+					spans = append(spans, m[1])
+				}
+			}
+			for _, span := range spans {
+				problems = append(problems, checkSpan(syms, path, lineNo+1, span)...)
+			}
+		}
+	}
+	return problems
+}
+
+// checkSpan flags qualified identifiers in one code span that name a
+// known package but an unknown exported declaration, or a known type
+// but an unknown member when the member set is statically complete.
+func checkSpan(syms map[string]map[string]*docIdent, path string, lineNo int, span string) []string {
+	var problems []string
+	for _, m := range qualifiedIdent.FindAllStringSubmatch(span, -1) {
+		pkg, ident, member := m[1], m[2], m[3]
+		tbl, ok := syms[pkg]
+		if !ok {
+			continue
+		}
+		e, ok := tbl[ident]
+		if !ok {
+			problems = append(problems,
+				fmt.Sprintf("%s:%d: code span names %s.%s, which does not exist", path, lineNo, pkg, ident))
+			continue
+		}
+		if member != "" && ast.IsExported(member) && e.isType && e.complete && !e.members[member] {
+			problems = append(problems,
+				fmt.Sprintf("%s:%d: code span names %s.%s.%s, but %s.%s has no such member", path, lineNo, pkg, ident, member, pkg, ident))
+		}
+	}
+	return problems
+}
+
+// collectDocSymbols parses every non-main package under root and builds
+// the package-name → exported-declaration table that checkSpan resolves
+// against. Aliased types and types with embedded fields keep
+// complete=false so member lookups on them are skipped rather than
+// guessed.
+func collectDocSymbols(root string) map[string]map[string]*docIdent {
+	syms := map[string]map[string]*docIdent{}
+	ensure := func(tbl map[string]*docIdent, name string) *docIdent {
+		e, ok := tbl[name]
+		if !ok {
+			e = &docIdent{members: map[string]bool{}}
+			tbl[name] = e
+		}
+		return e
+	}
+	filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			return nil // checkGoDocs already reports parse failures
+		}
+		for name, pkg := range pkgs {
+			if name == "main" || strings.HasSuffix(name, "_test") {
+				continue
+			}
+			tbl := syms[name]
+			if tbl == nil {
+				tbl = map[string]*docIdent{}
+				syms[name] = tbl
+			}
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					collectDecl(tbl, ensure, decl)
+				}
+			}
+		}
+		return nil
+	})
+	return syms
+}
+
+// collectDecl adds one top-level declaration to the package table.
+func collectDecl(tbl map[string]*docIdent, ensure func(map[string]*docIdent, string) *docIdent, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Recv != nil {
+			if len(d.Recv.List) == 1 && ast.IsExported(d.Name.Name) {
+				if tn := recvTypeName(d.Recv.List[0].Type); tn != "" && ast.IsExported(tn) {
+					e := ensure(tbl, tn)
+					e.isType = true
+					e.members[d.Name.Name] = true
+				}
+			}
+		} else if ast.IsExported(d.Name.Name) {
+			ensure(tbl, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !ast.IsExported(s.Name.Name) {
+					continue
+				}
+				e := ensure(tbl, s.Name.Name)
+				e.isType = true
+				e.complete = !s.Assign.IsValid()
+				switch t := s.Type.(type) {
+				case *ast.StructType:
+					collectFields(e, t.Fields)
+				case *ast.InterfaceType:
+					collectFields(e, t.Methods)
+				}
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if ast.IsExported(n.Name) {
+						ensure(tbl, n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectFields records a struct's fields or an interface's methods on
+// e; an embedded entry (no names) makes the member set incomplete, as
+// promoted members live in another declaration.
+func collectFields(e *docIdent, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		if len(f.Names) == 0 {
+			e.complete = false
+			continue
+		}
+		for _, n := range f.Names {
+			if ast.IsExported(n.Name) {
+				e.members[n.Name] = true
+			}
+		}
+	}
+}
+
+// recvTypeName resolves a method receiver expression to its type name,
+// unwrapping pointers and generic instantiations.
+func recvTypeName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
 }
 
 // undocumentedExported lists exported identifiers of a parsed package

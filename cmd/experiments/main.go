@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos|health|adapt|degrade|cluster] [-quick] [-csv dir]
+//	experiments [-run all|fig4|fig5|fig6|fig7|table1|surface|ablations|baselines|extensions|soundness|chaos|health|adapt|degrade|cluster|priority] [-quick] [-csv dir]
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health, adapt, degrade, cluster, replay")
+	run := flag.String("run", "all", "which experiment to run: all, fig4, fig5, fig6, fig7, table1, surface, ablations, baselines, extensions, soundness, chaos, health, adapt, degrade, cluster, priority, replay")
 	quick := flag.Bool("quick", false, "reduced scale (shorter horizons, one replication)")
 	plot := flag.Bool("plot", false, "render Figures 4-7 as ASCII charts in addition to tables")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
@@ -244,6 +244,21 @@ func main() {
 			cl.ScaleHorizon, cl.ScaleWarmup, cl.StepAt = 600, 30, 150
 		}
 		tables = append(tables, experiments.Cluster(cl).Tables()...)
+	}
+
+	if want("priority") {
+		pc := experiments.DefaultPriority()
+		pc.Scale = scale
+		if *quick {
+			pc.Arrivals = 1200
+		}
+		out, err := experiments.PriorityAdmission(pc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "priority: %v\n", err)
+			os.Exit(1)
+		}
+		tables = append(tables, experiments.PriorityAdmissionTable(out))
+		tables = append(tables, experiments.PriorityTightness())
 	}
 
 	// The replay throughput run is explicit-only: at full scale it

@@ -14,6 +14,7 @@ import (
 	"feasregion/internal/obs"
 	"feasregion/internal/online"
 	"feasregion/internal/pipeline"
+	"feasregion/internal/priority"
 	"feasregion/internal/task"
 	"feasregion/internal/trace"
 	"feasregion/internal/workload"
@@ -111,6 +112,114 @@ type RandomPriority = task.Random
 // SemanticImportance prioritizes by importance (generally α < 1).
 type SemanticImportance = task.SemanticImportance
 
+// EDFApprox freezes each task's EDF priority (absolute deadline) at
+// arrival — fixed-priority, so the region applies with the α the
+// concurrent population earns.
+type EDFApprox = task.EDFApprox
+
+// ---- Optimal priority assignment (THEORY.md §9) ----
+
+// PriorityCandidate is one task as the OPA search sees it: identity,
+// relative end-to-end deadline, and per-stage demands.
+type PriorityCandidate = priority.Candidate
+
+// PriorityTest is a pluggable per-task schedulability test driving the
+// OPA search: set-dependent only and monotone under set shrinking.
+type PriorityTest = priority.Test
+
+// RegionExactTest is the Theorem 1 delay composition restricted to each
+// task's equal-or-higher-priority interference set with a per-stage
+// maximum deadline — the tightest sound test and the admission default.
+type RegionExactTest = priority.RegionExact
+
+// AlphaPenalizedTest is the scalar α form of Eq. 15 applied per task
+// (one global maximum deadline) — the test the closed-form region
+// implies, coarser than RegionExactTest.
+type AlphaPenalizedTest = priority.AlphaPenalized
+
+// ResponseTimeTest is the additive per-stage interference bound. It
+// ranks priority orders beyond their deadlines but is NOT sound under
+// aperiodic churn — offline comparison and tightness studies only.
+type ResponseTimeTest = priority.ResponseTime
+
+// PriorityAssignment is the result of an OPA search: a strict total
+// order with per-task levels, its α, and a replayable Policy.
+type PriorityAssignment = priority.Assignment
+
+// PriorityInfeasibleError reports an OPA search that found no feasible
+// order, with the level reached and the unassigned tasks.
+type PriorityInfeasibleError = priority.InfeasibleError
+
+// AssignPriorities runs the Audsley-style OPA search over the
+// candidates: levels are filled lowest-first and any candidate that
+// remains schedulable with all still-unassigned candidates above it
+// takes the level (deterministic largest-deadline-first tie-break). For
+// the monotone tests this is optimal for the tested class: it succeeds
+// whenever any total order passes. test nil selects RegionExactTest.
+func AssignPriorities(cands []PriorityCandidate, stages int, test PriorityTest) (*PriorityAssignment, error) {
+	return priority.Assign(cands, stages, test)
+}
+
+// AssignTaskPriorities runs the OPA search over tasks and writes the
+// searched levels into each Task.Priority.
+func AssignTaskPriorities(tasks []*Task, stages int, test PriorityTest) (*PriorityAssignment, error) {
+	return priority.AssignTasks(tasks, stages, test)
+}
+
+// TaskCandidates converts tasks into OPA search candidates.
+func TaskCandidates(tasks []*Task, stages int) []PriorityCandidate {
+	return priority.Candidates(tasks, stages)
+}
+
+// NewExplicitOrderPolicy replays a recorded priority order (e.g. an
+// offline OPA result) as a task.Policy; tasks outside the order fall
+// back to the given policy (nil: deadline-monotonic).
+func NewExplicitOrderPolicy(ids []TaskID, prios []float64, fallback Policy) Policy {
+	return priority.NewExplicitOrder(ids, prios, fallback)
+}
+
+// PriorityAdmitter is the online OPA admission controller: it keeps
+// per-task interference sets, places each arrival at its deadline slot
+// with a strict frozen priority, and admits iff the per-task test holds
+// for the newcomer and everything below it. It implements Admitter for
+// PipelineOptions.Admitter (or use PriorityOPA declaratively).
+type PriorityAdmitter = priority.Admitter
+
+// PriorityAdmitterStats is a PriorityAdmitter decision snapshot.
+type PriorityAdmitterStats = priority.Stats
+
+// PriorityMode selects the PriorityAdmitter's placement rule.
+type PriorityMode = priority.Mode
+
+// PriorityAdmitter placement modes.
+const (
+	// PriorityModeOPA places arrivals at their deadline slot with
+	// strict levels (the provably optimal slot for the monotone tests).
+	PriorityModeOPA = priority.ModeOPA
+	// PriorityModeDM places arrivals by relative deadline, equal
+	// deadlines at equal priority.
+	PriorityModeDM = priority.ModeDM
+	// PriorityModeRandom draws a uniform priority per arrival.
+	PriorityModeRandom = priority.ModeRandom
+)
+
+// NewPriorityAdmitter builds a per-task priority-aware admitter for an
+// N-stage pipeline. test nil selects RegionExactTest; rng seeds
+// PriorityModeRandom draws (nil: fixed internal seed).
+func NewPriorityAdmitter(stages int, mode PriorityMode, test PriorityTest, rng *RNG) *PriorityAdmitter {
+	return priority.NewAdmitter(stages, mode, test, rng)
+}
+
+// DMCompatible reports whether a priority order never inverts urgency
+// (α ≥ 1), i.e. Eq. 15 applies un-penalized.
+func DMCompatible(params []TaskParams) bool { return core.DMCompatible(params) }
+
+// RegionForOrder builds the feasible region a given priority order
+// earns: the DM region shrunk by the order's α (Eq. 12).
+func RegionForOrder(stages int, params []TaskParams, betas []float64) Region {
+	return core.RegionForOrder(stages, params, betas)
+}
+
 // ---- Admission control ----
 
 // Estimator supplies admission-time demand estimates.
@@ -170,6 +279,26 @@ type PipelineMetrics = pipeline.Metrics
 
 // Admitter is the pluggable admission-policy interface a Pipeline drives.
 type Admitter = pipeline.Admitter
+
+// PipelinePriorityPolicy declaratively selects a priority-assignment
+// policy in PipelineOptions (DM, EDF-approx, online OPA, explicit
+// order); the zero value defers to PipelineOptions.Policy.
+type PipelinePriorityPolicy = pipeline.PriorityPolicy
+
+// PipelinePriorityPolicy values for PipelineOptions.PriorityPolicy.
+const (
+	// PriorityDefault defers to PipelineOptions.Policy.
+	PriorityDefault = pipeline.PriorityDefault
+	// PriorityDM selects deadline-monotonic assignment (α = 1).
+	PriorityDM = pipeline.PriorityDM
+	// PriorityEDFApprox freezes EDF priorities at arrival.
+	PriorityEDFApprox = pipeline.PriorityEDFApprox
+	// PriorityOPA replaces the admission controller with the online
+	// Audsley search (PriorityAdmitter, RegionExactTest).
+	PriorityOPA = pipeline.PriorityOPA
+	// PriorityExplicit replays PipelineOptions.ExplicitOrder.
+	PriorityExplicit = pipeline.PriorityExplicit
+)
 
 // NewPipeline builds a pipeline simulator.
 func NewPipeline(sim *Simulator, opts PipelineOptions) *Pipeline { return pipeline.New(sim, opts) }

@@ -66,6 +66,32 @@ func Alpha(params []TaskParams) float64 {
 	return alpha
 }
 
+// DMCompatible reports whether the priority assignment never places a
+// longer relative deadline at equal-or-higher priority than a shorter
+// one — the condition under which the assignment exhibits no urgency
+// inversion and earns α = 1. Equal priorities count both ways, so a
+// compatible assignment must give equal-deadline tasks in one priority
+// group equal deadlines (strict levels over ties always qualify).
+func DMCompatible(params []TaskParams) bool { return Alpha(params) >= 1 }
+
+// RegionForOrder builds the feasible region a concrete priority order
+// earns: α is recomputed from the order's (priority, deadline) pairs —
+// exactly 1 when the order is DM-compatible — and betas, when non-nil,
+// supply the per-stage blocking terms. Degenerate orders (a
+// non-positive deadline drives α to 0) are clamped to the smallest
+// positive α, which admits nothing but keeps the region well-formed.
+func RegionForOrder(stages int, params []TaskParams, betas []float64) Region {
+	alpha := Alpha(params)
+	if alpha <= 0 {
+		alpha = math.SmallestNonzeroFloat64
+	}
+	r := NewRegion(stages).WithAlpha(alpha)
+	if betas != nil {
+		r = r.WithBetas(betas)
+	}
+	return r
+}
+
 // AlphaForPolicy estimates a policy's urgency-inversion parameter over a
 // representative task sample by assigning priorities and running Alpha.
 // Randomized policies should be estimated over a sample at least as large

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"feasregion/internal/core"
+)
+
+// TestPriorityAdmissionDominance is the PR's acceptance assertion, run
+// on the exact default configuration (all seeds pinned): on every
+// workload/load cell the per-task OPA admitter's admitted ratio is at
+// least the DM global-region baseline's, strictly greater on at least
+// one workload (in fact on every mixed-span and replay cell), the
+// random order never beats DM, and no mode ever misses a deadline
+// among admitted tasks.
+func TestPriorityAdmissionDominance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	out, err := PriorityAdmission(DefaultPriority())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		wl   string
+		load float64
+	}
+	cells := map[key]map[string]PriorityOutcome{}
+	for _, o := range out {
+		if o.Missed != 0 {
+			t.Errorf("%s load=%v %s: %d admitted tasks missed deadlines (all modes must stay sound)",
+				o.Workload, o.Load, o.Mode, o.Missed)
+		}
+		if o.Offered == 0 || o.Admitted == 0 {
+			t.Errorf("%s load=%v %s: empty outcome %+v", o.Workload, o.Load, o.Mode, o)
+		}
+		k := key{o.Workload, o.Load}
+		if cells[k] == nil {
+			cells[k] = map[string]PriorityOutcome{}
+		}
+		cells[k][o.Mode] = o
+	}
+	strict := 0
+	for k, modes := range cells {
+		opa, dm, rnd := modes["opa"], modes["dm"], modes["random"]
+		if opa.Admitted < dm.Admitted {
+			t.Errorf("%s load=%v: OPA admitted %d < DM %d", k.wl, k.load, opa.Admitted, dm.Admitted)
+		}
+		if opa.Admitted > dm.Admitted {
+			strict++
+		}
+		if rnd.Admitted > dm.Admitted {
+			t.Errorf("%s load=%v: random order admitted %d > DM %d despite the α penalty",
+				k.wl, k.load, rnd.Admitted, dm.Admitted)
+		}
+		// The widening is a partial-span phenomenon: every mixed-span
+		// cell (live and replayed) must show a strict win.
+		if (k.wl == "mixed" || k.wl == "replay") && opa.Admitted <= dm.Admitted {
+			t.Errorf("%s load=%v: expected strict OPA > DM on a mixed-span workload, got %d vs %d",
+				k.wl, k.load, opa.Admitted, dm.Admitted)
+		}
+	}
+	if strict == 0 {
+		t.Error("OPA never strictly beat DM on any workload cell")
+	}
+}
+
+// TestPriorityAdmissionDeterministic: the full comparison is bit-stable
+// across runs — same seeds, same decision streams, same counters.
+func TestPriorityAdmissionDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	cfg := DefaultPriority()
+	cfg.Scale = Quick
+	cfg.Arrivals = 1200
+	a, err := PriorityAdmission(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PriorityAdmission(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Workload != b[i].Workload || a[i].Load != b[i].Load || a[i].Mode != b[i].Mode ||
+			a[i].Offered != b[i].Offered || a[i].Admitted != b[i].Admitted || a[i].Missed != b[i].Missed {
+			t.Fatalf("outcome %d diverged across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if tbl := PriorityAdmissionTable(a); len(tbl.Rows) != len(a) {
+		t.Fatalf("table has %d rows for %d outcomes", len(tbl.Rows), len(a))
+	}
+}
+
+// TestPriorityTightnessTable: the sharp-threshold sweep is anchored at
+// f⁻¹(1) = 2−√2 for N=1, α=1, shrinks monotonically with both more
+// stages and smaller α, and reports a zero reclaimable gap at α = 1.
+func TestPriorityTightnessTable(t *testing.T) {
+	tbl := PriorityTightness()
+	if len(tbl.Rows) != 16 {
+		t.Fatalf("want 4 stages × 4 alphas = 16 rows, got %d", len(tbl.Rows))
+	}
+	u11 := core.NewRegion(1).BalancedStageBound()
+	if math.Abs(u11-core.UniprocessorBound) > 1e-12 {
+		t.Fatalf("U*(1,1) = %v, want the sharp threshold 2−√2 = %v", u11, core.UniprocessorBound)
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		prev := 0.0
+		for _, alpha := range []float64{0.25, 0.5, 0.75, 1.0} {
+			u := core.NewRegion(n).WithAlpha(alpha).BalancedStageBound()
+			if u <= prev {
+				t.Fatalf("U*(%d, %v) = %v not increasing in α (prev %v)", n, alpha, u, prev)
+			}
+			prev = u
+			if n > 1 {
+				wider := core.NewRegion(n / 2).WithAlpha(alpha).BalancedStageBound()
+				if u >= wider {
+					t.Fatalf("U*(%d, %v) = %v should be below U*(%d, %v) = %v", n, alpha, u, n/2, alpha, wider)
+				}
+			}
+		}
+	}
+}

@@ -1141,6 +1141,27 @@ func (c *Controller) SetRegionInputs(alpha float64, betas []float64) {
 	}
 }
 
+// Reprioritize recomputes the urgency-inversion parameter α from a new
+// priority order's (priority, deadline) pairs and republishes the
+// region bound through SetRegionInputs — the online actuator of a
+// priority-policy change (for example, installing a searched OPA order
+// over the live request classes). Admitted work is never dropped: every
+// admitted request keeps its reservation, and if the new order shrinks
+// the bound below the current utilization point the controller simply
+// stops admitting until enough contributions expire or depart. A
+// DM-compatible order restores α = 1 and, when that relaxes the bound,
+// wakes a waiting arrival. Degenerate orders (α ≤ 0 from a
+// non-positive deadline) are clamped to the smallest positive α, which
+// admits nothing further but stays well-formed. Returns the α applied.
+func (c *Controller) Reprioritize(params []core.TaskParams) float64 {
+	alpha := core.Alpha(params)
+	if alpha <= 0 {
+		alpha = math.SmallestNonzeroFloat64
+	}
+	c.SetRegionInputs(alpha, nil)
+	return alpha
+}
+
 // Stats returns a snapshot of the counters without taking the lock
 // (sharded mode sums per-shard counters under each shard's lock in
 // turn).

@@ -1,0 +1,134 @@
+package online
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"feasregion/internal/core"
+)
+
+// TestReprioritizeKeepsReservations: republishing the α a new priority
+// order earns reconfigures the region WITHOUT dropping admitted work —
+// the committed contributions survive the tightening, new admissions
+// are gated by the tightened bound, and restoring a DM-compatible
+// order (α = 1) resumes admission.
+func TestReprioritizeKeepsReservations(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	// Contribution 0.25 → f(0.25) ≈ 0.29.
+	if !c.TryAdmit(req(1, 4*time.Second, time.Second)) {
+		t.Fatal("seed request rejected under the DM region")
+	}
+	before := c.Utilizations()
+
+	// An urgency-inverted order: the D=1s task sits below the D=4s task,
+	// so α = 1/4 and the bound shrinks to 0.25 < f(0.25).
+	inverted := []core.TaskParams{
+		{Priority: 0, Deadline: 4},
+		{Priority: 1, Deadline: 1},
+	}
+	if got := c.Reprioritize(inverted); got != 0.25 {
+		t.Fatalf("Reprioritize(inverted) = %v, want α = 0.25", got)
+	}
+	if got := c.Bound(); got != 0.25 {
+		t.Fatalf("Bound = %v, want 0.25", got)
+	}
+	after := c.Utilizations()
+	if len(after) != len(before) || after[0] != before[0] {
+		t.Fatalf("admitted utilization changed across Reprioritize: %v -> %v", before, after)
+	}
+	// The live point already exceeds the shrunken bound, so nothing new
+	// fits — but the existing reservation is honored, not evicted.
+	if c.TryAdmit(req(2, 40*time.Second, 100*time.Millisecond)) {
+		t.Fatal("admission should be blocked while committed work exceeds the tightened bound")
+	}
+	if c.Stats().Admitted != 1 {
+		t.Fatalf("Admitted = %d, want the original reservation only", c.Stats().Admitted)
+	}
+
+	// Back to a DM-compatible order: α = 1, admission resumes.
+	dm := []core.TaskParams{
+		{Priority: 0, Deadline: 1},
+		{Priority: 1, Deadline: 4},
+	}
+	if got := c.Reprioritize(dm); got != 1 {
+		t.Fatalf("Reprioritize(dm) = %v, want α = 1", got)
+	}
+	if !c.TryAdmit(req(3, 4*time.Second, time.Second)) {
+		t.Fatal("admission should resume once α is restored")
+	}
+}
+
+// TestReprioritizeDegenerateAlpha: a non-positive α (possible only from
+// degenerate params) must not zero the region permanently — the bound
+// stays positive-definite semantics-wise (no panic, no NaN) and a later
+// valid order recovers it.
+func TestReprioritizeDegenerateAlpha(t *testing.T) {
+	clk := newFakeClock()
+	c := New(core.NewRegion(1), nil, clk.Now)
+	c.Reprioritize([]core.TaskParams{{Priority: 1, Deadline: 0}, {Priority: 0, Deadline: 5}})
+	if got := c.Bound(); got < 0 || got != got {
+		t.Fatalf("degenerate α produced bound %v", got)
+	}
+	if got := c.Reprioritize(nil); got != 1 {
+		t.Fatalf("empty order should restore α = 1, got %v", got)
+	}
+}
+
+// TestReprioritizeConcurrentSoak: Reprioritize racing TryAdmit and
+// Release must stay data-race-free (run under -race) and keep the
+// controller consistent — every admit that succeeded is releasable and
+// the final utilization returns to zero.
+func TestReprioritizeConcurrentSoak(t *testing.T) {
+	c := New(core.NewRegion(2), nil, nil)
+	const workers = 4
+	const opsPerWorker = 800
+
+	var wg sync.WaitGroup
+	var nextID atomic.Uint64
+	orders := [][]core.TaskParams{
+		nil, // α = 1
+		{{Priority: 0, Deadline: 2}, {Priority: 1, Deadline: 1}},   // α = 1/2
+		{{Priority: 0, Deadline: 10}, {Priority: 1, Deadline: 4}},  // α = 2/5
+		{{Priority: 0, Deadline: 1}, {Priority: 1, Deadline: 100}}, // DM, α = 1
+	}
+
+	wg.Add(workers + 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < opsPerWorker; i++ {
+			c.Reprioritize(orders[i%len(orders)])
+		}
+	}()
+	admitted := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsPerWorker; i++ {
+				id := nextID.Add(1)
+				if c.TryAdmit(req(id, time.Hour, 10*time.Millisecond, 10*time.Millisecond)) {
+					admitted[w] = append(admitted[w], id)
+				}
+				if n := len(admitted[w]); n > 4 {
+					c.Release(admitted[w][0])
+					admitted[w] = admitted[w][1:]
+					_ = n
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w := range admitted {
+		for _, id := range admitted[w] {
+			c.Release(id)
+		}
+	}
+	for j, u := range c.Utilizations() {
+		if u > 1e-12 {
+			t.Fatalf("stage %d utilization %v after releasing everything", j, u)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"feasregion/internal/faults"
 	"feasregion/internal/metrics"
 	"feasregion/internal/obs"
+	"feasregion/internal/priority"
 	"feasregion/internal/sched"
 	"feasregion/internal/stats"
 	"feasregion/internal/task"
@@ -31,6 +32,38 @@ type Admitter interface {
 	HandleStageIdle(stage int)
 }
 
+// PriorityPolicy names a priority-assignment policy for
+// Options.PriorityPolicy — the declarative alternative to constructing
+// an Options.Policy value.
+type PriorityPolicy int
+
+const (
+	// PriorityDefault defers to Options.Policy (deadline-monotonic when
+	// that is nil too).
+	PriorityDefault PriorityPolicy = iota
+	// PriorityDM selects deadline-monotonic assignment (α = 1).
+	PriorityDM
+	// PriorityEDFApprox freezes each task's EDF priority at arrival
+	// (task.EDFApprox): fixed-priority, so the region applies with the
+	// α the concurrent population earns.
+	PriorityEDFApprox
+	// PriorityOPA replaces the admission controller with the online
+	// Audsley search (priority.Admitter, RegionExact test): each
+	// arrival is placed at its deadline slot with a strict priority
+	// level — provably the slot the search settles on under the
+	// monotone per-task tests — admitted iff it and every task below it
+	// pass the Theorem 1 per-task composition, and the searched level
+	// overrides the policy-assigned priority. Plain configuration only
+	// — incompatible with Policy,
+	// Admitter, NoAdmission, Shards, Region, Reserved, Estimator,
+	// MaxWait, shedding, degradation, governor, overrun guard, and
+	// Adapt; Pipeline.Controller() returns nil.
+	PriorityOPA
+	// PriorityExplicit replays Options.ExplicitOrder (most urgent
+	// first); tasks outside the order fall back to deadline-monotonic.
+	PriorityExplicit
+)
+
 // Options configures a Pipeline. Zero values select the paper's defaults:
 // deadline-monotonic scheduling with exact admission control.
 type Options struct {
@@ -39,6 +72,15 @@ type Options struct {
 
 	// Policy assigns task priorities; nil selects deadline-monotonic.
 	Policy task.Policy
+
+	// PriorityPolicy selects a named assignment policy (DM, EDF-approx,
+	// OPA, explicit order) declaratively; the zero value defers to
+	// Policy. Setting both panics.
+	PriorityPolicy PriorityPolicy
+
+	// ExplicitOrder is the task order replayed by PriorityExplicit,
+	// most urgent first; it is ignored by every other PriorityPolicy.
+	ExplicitOrder []task.ID
 
 	// NoAdmission disables admission control entirely (baseline: every
 	// offered task enters the pipeline).
@@ -269,6 +311,33 @@ func New(sim *des.Simulator, opts Options) *Pipeline {
 		policy:      opts.Policy,
 		prng:        opts.PriorityRNG,
 		stageDelays: make([]stats.Welford, opts.Stages),
+	}
+	if opts.PriorityPolicy != PriorityDefault && opts.Policy != nil {
+		panic("pipeline: PriorityPolicy and Policy are mutually exclusive")
+	}
+	switch opts.PriorityPolicy {
+	case PriorityDefault:
+	case PriorityDM:
+		p.policy = task.DeadlineMonotonic{}
+	case PriorityEDFApprox:
+		p.policy = task.EDFApprox{}
+	case PriorityOPA:
+		if opts.Admitter != nil || opts.NoAdmission || opts.Shards > 1 ||
+			opts.Region != nil || opts.Reserved != nil || opts.Estimator != nil ||
+			opts.MaxWait > 0 || opts.EnableShedding || opts.EnableDegradation ||
+			opts.Governor != nil || opts.OverrunPolicy != core.OverrunIgnore ||
+			opts.Adapt != nil {
+			panic("pipeline: PriorityOPA requires the plain configuration (it replaces the admission controller)")
+		}
+		opts.Admitter = priority.NewAdmitter(opts.Stages, priority.ModeOPA, nil, opts.PriorityRNG)
+	case PriorityExplicit:
+		prios := make([]float64, len(opts.ExplicitOrder))
+		for i := range prios {
+			prios[i] = float64(i)
+		}
+		p.policy = priority.NewExplicitOrder(opts.ExplicitOrder, prios, nil)
+	default:
+		panic(fmt.Sprintf("pipeline: unknown PriorityPolicy %d", opts.PriorityPolicy))
 	}
 	if p.policy == nil {
 		p.policy = task.DeadlineMonotonic{}

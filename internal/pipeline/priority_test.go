@@ -1,0 +1,175 @@
+package pipeline
+
+import (
+	"testing"
+
+	"feasregion/internal/des"
+	"feasregion/internal/dist"
+	"feasregion/internal/priority"
+	"feasregion/internal/task"
+	"feasregion/internal/workload"
+)
+
+// offerMixedSpan drives a seeded mixed-span aperiodic stream into the
+// pipeline: an interactive class touching only stage 0 under a tight
+// deadline and a batch class touching the remaining stages under a
+// loose one. Partial spans plus heterogeneous deadlines are exactly the
+// workloads where the per-task OPA test widens past the global region
+// (THEORY.md §9), and zero-demand stages exercise the advance-skip
+// path under the priority admitter.
+func offerMixedSpan(sim *des.Simulator, p *Pipeline, seed int64, n int, rate float64) {
+	g := dist.NewRNG(seed)
+	now := 0.0
+	for i := 0; i < n; i++ {
+		now += g.ExpFloat64() / rate
+		demands := make([]float64, p.Stages())
+		var dl float64
+		if g.Float64() < 0.5 {
+			demands[0] = 0.25 * g.ExpFloat64()
+			dl = 0.8 + 0.4*g.Float64()
+		} else {
+			for j := 1; j < len(demands); j++ {
+				demands[j] = 0.6 * g.ExpFloat64()
+			}
+			dl = 8 * (0.75 + 0.5*g.Float64())
+		}
+		tk := task.Chain(task.ID(i+1), now, dl, demands...)
+		sim.At(des.Time(now), func() { p.Offer(tk) })
+	}
+}
+
+// TestPriorityOPAZeroMisses is the soundness half of the widening
+// claim: under PriorityOPA every admitted task still meets its
+// end-to-end deadline — on full-span suite workloads and on the
+// mixed-span streams where OPA admits beyond the global region.
+func TestPriorityOPAZeroMisses(t *testing.T) {
+	t.Run("full-span-suite", func(t *testing.T) {
+		for _, tc := range []struct {
+			stages     int
+			load       float64
+			resolution float64
+			seed       int64
+		}{
+			{1, 1.5, 10, 21},
+			{2, 1.0, 50, 22},
+			{3, 1.6, 8, 23},
+			{5, 2.0, 20, 24},
+		} {
+			spec := workload.PipelineSpec{
+				Stages:     tc.stages,
+				Load:       tc.load,
+				MeanDemand: 1,
+				Resolution: tc.resolution,
+			}
+			sim := des.New()
+			p := New(sim, Options{Stages: tc.stages, PriorityPolicy: PriorityOPA})
+			src := workload.NewSource(sim, spec, tc.seed, 1500, func(tk *task.Task) { p.Offer(tk) })
+			sim.At(0, func() { p.BeginMeasurement() })
+			src.Start()
+			sim.Run()
+			m := p.Snapshot()
+			if m.Completed == 0 {
+				t.Fatalf("stages=%d load=%v: no tasks completed (offered %d)", tc.stages, tc.load, m.Offered)
+			}
+			if m.Missed != 0 {
+				t.Fatalf("stages=%d load=%v res=%v: %d of %d admitted tasks missed deadlines under OPA",
+					tc.stages, tc.load, tc.resolution, m.Missed, m.Completed)
+			}
+		}
+	})
+	t.Run("mixed-span", func(t *testing.T) {
+		for _, seed := range []int64{3, 17, 99} {
+			for _, rate := range []float64{1.0, 2.0, 4.0} {
+				sim := des.New()
+				p := New(sim, Options{Stages: 3, PriorityPolicy: PriorityOPA})
+				sim.At(0, func() { p.BeginMeasurement() })
+				offerMixedSpan(sim, p, seed, 1200, rate)
+				sim.Run()
+				m := p.Snapshot()
+				if m.Completed == 0 {
+					t.Fatalf("seed=%d rate=%v: no tasks completed", seed, rate)
+				}
+				if m.Missed != 0 {
+					t.Fatalf("seed=%d rate=%v: %d of %d admitted mixed-span tasks missed deadlines",
+						seed, rate, m.Missed, m.Completed)
+				}
+			}
+		}
+	})
+}
+
+// TestPriorityOPAWidensOverDefault: on a shared mixed-span arrival
+// sequence, the OPA pipeline serves strictly more tasks to completion
+// than the default global-region pipeline — and both stay at zero
+// misses, so the extra admissions are free, not bought with deadline
+// debt. Deterministic: seeded stream, seeded simulators.
+func TestPriorityOPAWidensOverDefault(t *testing.T) {
+	run := func(opts Options) Metrics {
+		sim := des.New()
+		opts.Stages = 3
+		p := New(sim, opts)
+		sim.At(0, func() { p.BeginMeasurement() })
+		offerMixedSpan(sim, p, 7, 1500, 2.0)
+		sim.Run()
+		return p.Snapshot()
+	}
+	dm := run(Options{})
+	opa := run(Options{PriorityPolicy: PriorityOPA})
+	if dm.Missed != 0 || opa.Missed != 0 {
+		t.Fatalf("soundness violated: dm missed %d, opa missed %d", dm.Missed, opa.Missed)
+	}
+	if opa.EnteredService <= dm.EnteredService {
+		t.Fatalf("OPA admitted %d, default global region admitted %d; expected strict widening on a mixed-span stream",
+			opa.EnteredService, dm.EnteredService)
+	}
+}
+
+// TestPriorityPolicyWiring: each declarative PriorityPolicy value
+// installs the policy (or admitter) it documents.
+func TestPriorityPolicyWiring(t *testing.T) {
+	sim := des.New()
+	if p := New(sim, Options{Stages: 1, PriorityPolicy: PriorityDM}); p.policy.Name() != "deadline-monotonic" {
+		t.Fatalf("PriorityDM installed %q", p.policy.Name())
+	}
+	if p := New(sim, Options{Stages: 1, PriorityPolicy: PriorityEDFApprox}); p.policy.Name() != "edf-approx" {
+		t.Fatalf("PriorityEDFApprox installed %q", p.policy.Name())
+	}
+	p := New(sim, Options{Stages: 1, PriorityPolicy: PriorityOPA})
+	if _, ok := p.adm.(*priority.Admitter); !ok {
+		t.Fatalf("PriorityOPA installed admitter %T", p.adm)
+	}
+	if p.Controller() != nil {
+		t.Fatal("PriorityOPA should replace the core controller")
+	}
+
+	p = New(sim, Options{Stages: 1, PriorityPolicy: PriorityExplicit, ExplicitOrder: []task.ID{9, 4}})
+	if p.policy.Name() != "explicit-order" {
+		t.Fatalf("PriorityExplicit installed %q", p.policy.Name())
+	}
+	g := dist.NewRNG(1)
+	if got := p.policy.Assign(task.Chain(4, 0, 5, 0.1), g); got != 1 {
+		t.Fatalf("explicit order: task 4 priority = %v, want 1", got)
+	}
+	if got := p.policy.Assign(task.Chain(77, 0, 2.5, 0.1), g); got != 2.5 {
+		t.Fatalf("explicit order fallback: priority = %v, want deadline 2.5", got)
+	}
+}
+
+// TestPriorityPolicyConflictsPanic: the declarative selector refuses
+// ambiguous configurations loudly.
+func TestPriorityPolicyConflictsPanic(t *testing.T) {
+	mustPanic := func(name string, opts Options) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		New(des.New(), opts)
+	}
+	mustPanic("policy+prioritypolicy", Options{Stages: 1, PriorityPolicy: PriorityDM, Policy: task.Random{}})
+	mustPanic("opa+shards", Options{Stages: 1, PriorityPolicy: PriorityOPA, Shards: 2})
+	mustPanic("opa+noadmission", Options{Stages: 1, PriorityPolicy: PriorityOPA, NoAdmission: true})
+	mustPanic("opa+maxwait", Options{Stages: 1, PriorityPolicy: PriorityOPA, MaxWait: 0.2})
+	mustPanic("unknown", Options{Stages: 1, PriorityPolicy: PriorityPolicy(99)})
+}

@@ -1,0 +1,361 @@
+package priority
+
+import (
+	"fmt"
+
+	"feasregion/internal/core"
+	"feasregion/internal/dist"
+	"feasregion/internal/task"
+)
+
+// Mode selects how the Admitter places an arrival in the priority order.
+type Mode int
+
+const (
+	// ModeOPA gives each arrival a strict priority level at its
+	// deadline slot — for the monotone deadline-scaled tests, the slot
+	// the Audsley search provably settles on (exchange lemma, THEORY.md
+	// §9) — and admits iff the test passes for it and for every current
+	// task below it.
+	ModeOPA Mode = iota
+	// ModeDM places arrivals by relative deadline, equal deadlines at
+	// equal priority (mutually interfering) — deadline-monotonic as a
+	// policy, driven by the same test.
+	ModeDM
+	// ModeRandom draws a uniform priority per arrival — the α-worst-case
+	// comparison order.
+	ModeRandom
+)
+
+// String names the mode for experiment tables.
+func (m Mode) String() string {
+	switch m {
+	case ModeOPA:
+		return "opa"
+	case ModeDM:
+		return "dm"
+	case ModeRandom:
+		return "random"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Admitter is a priority-aware admission controller implementing
+// pipeline.Admitter: it keeps the set of current tasks (arrival to
+// absolute deadline, lazily expired against each arrival's clock), and
+// admits a task iff a priority slot exists where the per-task
+// schedulability test passes for the newcomer AND for every current
+// task that ends up below it. Admitted tasks' priorities are frozen —
+// the fixed-priority premise Theorem 1 needs — and the chosen priority
+// is written to the task before the pipeline starts it, so every stage
+// schedules by it.
+//
+// The ledger follows the paper's semantics: contributions are
+// deadline-decremented (lazily, against arrival clocks) and the idle
+// reset erases a departed task's contribution at a stage when that
+// stage idles — so all modes run the same current-set accounting as the
+// global controller and their admitted ratios are directly comparable.
+// The steady-state admit path performs no allocations (scratch slices
+// are retained between calls).
+type Admitter struct {
+	stages int
+	test   Test
+	mode   Mode
+	rng    *dist.RNG
+
+	// cur is the current-task set in ascending priority value (most
+	// urgent first); backing holds the demand vectors, stride = stages.
+	cur     []entry
+	backing []float64
+
+	// cands mirrors cur as test candidates (Demands subslice backing);
+	// withNew is the interference-set scratch for below-task rechecks.
+	cands   []Candidate
+	withNew []Candidate
+
+	admitted uint64
+	rejected uint64
+	expired  uint64
+}
+
+type entry struct {
+	id       task.ID
+	deadline float64
+	absDl    float64
+	prio     float64
+	// departed is the number of leading stages the task has finished
+	// service at (stages depart in pipeline order), for the idle reset.
+	departed int
+}
+
+// NewAdmitter builds an Admitter for an N-stage pipeline. test nil
+// selects RegionExact (the sound admission default); rng seeds
+// ModeRandom draws (nil: a fixed internal seed).
+func NewAdmitter(stages int, mode Mode, test Test, rng *dist.RNG) *Admitter {
+	if stages <= 0 {
+		panic(fmt.Sprintf("priority: admitter needs at least one stage, got %d", stages))
+	}
+	if test == nil {
+		test = RegionExact{}
+	}
+	if rng == nil {
+		rng = dist.NewRNG(0x0a11d5)
+	}
+	return &Admitter{stages: stages, test: test, mode: mode, rng: rng}
+}
+
+// Stats is the Admitter's decision and population snapshot.
+type Stats struct {
+	Admitted uint64  // tasks admitted
+	Rejected uint64  // tasks refused a slot
+	Expired  uint64  // tasks lazily purged at their absolute deadline
+	Current  int     // current-task population
+	Alpha    float64 // urgency-inversion parameter of the current order
+}
+
+// Snapshot returns the Admitter's counters and the α its current
+// priority order earns (core.Alpha over the live set; 1 when empty or
+// DM-compatible).
+func (a *Admitter) Snapshot() Stats {
+	params := make([]core.TaskParams, len(a.cur))
+	for i, e := range a.cur {
+		params[i] = core.TaskParams{Priority: e.prio, Deadline: e.deadline}
+	}
+	return Stats{
+		Admitted: a.admitted,
+		Rejected: a.rejected,
+		Expired:  a.expired,
+		Current:  len(a.cur),
+		Alpha:    core.Alpha(params),
+	}
+}
+
+// MarkDeparted implements pipeline.Admitter: it records that the task
+// finished service at the stage, arming the idle reset.
+func (a *Admitter) MarkDeparted(stage int, id task.ID) {
+	for i := range a.cur {
+		if a.cur[i].id == id {
+			if stage+1 > a.cur[i].departed {
+				a.cur[i].departed = stage + 1
+			}
+			return
+		}
+	}
+}
+
+// HandleStageIdle implements pipeline.Admitter: the paper's idle reset,
+// applied to the per-task ledger — when stage j idles, the
+// contributions of tasks that already departed it are erased there (a
+// departed task can no longer occupy the stage, and an idle stage has
+// no backlog carrying its history), so subsequent per-task tests see
+// the reduced interference.
+func (a *Admitter) HandleStageIdle(stage int) {
+	if stage < 0 || stage >= a.stages {
+		return
+	}
+	for i := range a.cur {
+		if a.cur[i].departed > stage {
+			a.backing[i*a.stages+stage] = 0
+		}
+	}
+}
+
+// TryAdmit implements pipeline.Admitter: it expires tasks whose
+// absolute deadline has passed (the arrival's own clock), searches for
+// a feasible priority slot per the Admitter's mode, and on success
+// freezes the chosen priority into t.Priority and the current set.
+func (a *Admitter) TryAdmit(t *task.Task) bool {
+	a.purge(t.Arrival)
+	c := a.candidate(t)
+
+	var prio float64
+	var pos int
+	var ok bool
+	switch a.mode {
+	case ModeDM:
+		prio = t.Deadline
+		pos, ok = a.placeAt(c, prio)
+	case ModeRandom:
+		prio = a.rng.Float64()
+		pos, ok = a.placeAt(c, prio)
+	default:
+		prio, pos, ok = a.placeOPA(c)
+	}
+	if !ok {
+		a.rejected++
+		return false
+	}
+
+	t.Priority = prio
+	a.insert(pos, entry{id: t.ID, deadline: t.Deadline, absDl: t.AbsoluteDeadline(), prio: prio}, t)
+	a.admitted++
+	return true
+}
+
+// candidate stages t's demand vector past the end of the backing array
+// (no commitment yet) and returns it as a test candidate.
+func (a *Admitter) candidate(t *task.Task) Candidate {
+	n := len(a.cur) * a.stages
+	a.backing = a.backing[:n]
+	for j := 0; j < a.stages; j++ {
+		a.backing = append(a.backing, t.StageDemand(j))
+	}
+	return Candidate{ID: t.ID, Deadline: t.Deadline, Demands: a.backing[n : n+a.stages]}
+}
+
+// purge drops tasks no longer current at time now and refreshes the
+// candidate mirror.
+func (a *Admitter) purge(now float64) {
+	w := 0
+	for i := range a.cur {
+		if a.cur[i].absDl > now {
+			if w != i {
+				a.cur[w] = a.cur[i]
+				copy(a.backing[w*a.stages:(w+1)*a.stages], a.backing[i*a.stages:(i+1)*a.stages])
+			}
+			w++
+		} else {
+			a.expired++
+		}
+	}
+	a.cur = a.cur[:w]
+	a.backing = a.backing[:w*a.stages]
+
+	a.cands = a.cands[:0]
+	for i := range a.cur {
+		a.cands = append(a.cands, Candidate{
+			ID:       a.cur[i].id,
+			Deadline: a.cur[i].deadline,
+			Demands:  a.backing[i*a.stages : (i+1)*a.stages],
+		})
+	}
+}
+
+// belowOK rechecks current task k with the newcomer joining its
+// equal-or-higher interference set (everything up to and including its
+// own priority group, minus itself).
+func (a *Admitter) belowOK(k int, c Candidate) bool {
+	g := k
+	for g+1 < len(a.cur) && a.cur[g+1].prio == a.cur[k].prio {
+		g++
+	}
+	a.withNew = a.withNew[:0]
+	a.withNew = append(a.withNew, a.cands[:k]...)
+	a.withNew = append(a.withNew, a.cands[k+1:g+1]...)
+	a.withNew = append(a.withNew, c)
+	return a.test.Feasible(a.cands[k], a.withNew, a.stages)
+}
+
+// placeAt checks the newcomer at a fixed priority value (DM/random
+// modes): its interference set is every current task at equal-or-higher
+// priority, and every current task at equal-or-lower priority must
+// still pass with the newcomer added. Returns the insertion index.
+func (a *Admitter) placeAt(c Candidate, prio float64) (int, bool) {
+	n := len(a.cur)
+	// ub: first index with strictly lower priority (larger value);
+	// lb: first index with equal priority.
+	lb, ub := n, n
+	for i, e := range a.cur {
+		if e.prio >= prio {
+			lb = i
+			break
+		}
+	}
+	for i := lb; i < n; i++ {
+		if a.cur[i].prio > prio {
+			ub = i
+			break
+		}
+	}
+	// Newcomer's equal-or-higher set includes its own priority group.
+	a.withNew = a.withNew[:0]
+	a.withNew = append(a.withNew, a.cands[:ub]...)
+	if !a.test.Feasible(c, a.withNew, a.stages) {
+		return 0, false
+	}
+	for k := lb; k < n; k++ {
+		if !a.belowOK(k, c) {
+			return 0, false
+		}
+	}
+	return ub, true
+}
+
+// placeOPA places the newcomer at its deadline slot with a strict
+// level: below every current task with an equal-or-shorter deadline,
+// above every strictly longer one. For the monotone deadline-scaled
+// tests this slot is optimal, not merely heuristic — the exchange lemma
+// (THEORY.md §9) shows any feasible slot can be bubbled to the deadline
+// slot without breaking a passing task, so if the deadline slot fails
+// (the newcomer's own test, or any task below it with the newcomer
+// added), every slot fails and the scan is unnecessary. Keeping every
+// placement at its deadline slot also keeps the frozen order
+// DM-compatible by induction, which is what makes the lemma applicable
+// at the NEXT arrival (and keeps the recomputed α at 1). Returns the
+// strict priority value and insertion index.
+func (a *Admitter) placeOPA(c Candidate) (float64, int, bool) {
+	n := len(a.cur)
+	pos := n
+	for i := range a.cur {
+		if a.cur[i].deadline > c.Deadline {
+			pos = i
+			break
+		}
+	}
+	if !a.test.Feasible(c, a.cands[:pos], a.stages) {
+		return 0, 0, false
+	}
+	for k := pos; k < n; k++ {
+		if !a.belowOK(k, c) {
+			return 0, 0, false
+		}
+	}
+	prio, ok := a.slotPriority(pos)
+	if !ok {
+		return 0, 0, false // float precision exhausted between neighbors
+	}
+	return prio, pos, true
+}
+
+// slotPriority returns a strict priority value for insertion at pos.
+func (a *Admitter) slotPriority(pos int) (float64, bool) {
+	n := len(a.cur)
+	switch {
+	case n == 0:
+		return 0, true
+	case pos == n:
+		return a.cur[n-1].prio + 1, true
+	case pos == 0:
+		return a.cur[0].prio - 1, true
+	default:
+		lo, hi := a.cur[pos-1].prio, a.cur[pos].prio
+		mid := lo + (hi-lo)/2
+		if !(mid > lo && mid < hi) {
+			return 0, false
+		}
+		return mid, true
+	}
+}
+
+// insert commits the newcomer at index pos. Its staged demand vector is
+// already past the end of the backing array; shift it into place.
+func (a *Admitter) insert(pos int, e entry, t *task.Task) {
+	s := a.stages
+	a.cur = append(a.cur, entry{})
+	copy(a.cur[pos+1:], a.cur[pos:])
+	a.cur[pos] = e
+
+	// backing currently holds len(cur)-1 committed vectors plus the
+	// staged one at the end; rotate the staged vector into slot pos.
+	staged := a.backing[len(a.backing)-s:]
+	tmp := [8]float64{}
+	var hold []float64
+	if s <= len(tmp) {
+		hold = tmp[:s]
+	} else {
+		hold = make([]float64, s)
+	}
+	copy(hold, staged)
+	copy(a.backing[(pos+1)*s:], a.backing[pos*s:len(a.backing)-s])
+	copy(a.backing[pos*s:(pos+1)*s], hold)
+}

@@ -1,0 +1,267 @@
+package priority
+
+import (
+	"testing"
+
+	"feasregion/internal/core"
+	"feasregion/internal/dist"
+	"feasregion/internal/task"
+)
+
+// invariant checks the Admitter's soundness invariant: every current
+// task passes the test against its live equal-or-higher interference
+// set.
+func invariant(t *testing.T, a *Admitter) {
+	t.Helper()
+	for k := range a.cur {
+		g := k
+		for g+1 < len(a.cur) && a.cur[g+1].prio == a.cur[k].prio {
+			g++
+		}
+		hi := make([]Candidate, 0, g)
+		for i := 0; i <= g; i++ {
+			if i == k {
+				continue
+			}
+			hi = append(hi, Candidate{
+				ID:       a.cur[i].id,
+				Deadline: a.cur[i].deadline,
+				Demands:  a.backing[i*a.stages : (i+1)*a.stages],
+			})
+		}
+		c := Candidate{
+			ID:       a.cur[k].id,
+			Deadline: a.cur[k].deadline,
+			Demands:  a.backing[k*a.stages : (k+1)*a.stages],
+		}
+		if !a.test.Feasible(c, hi, a.stages) {
+			t.Fatalf("invariant violated: task %d fails its test in the committed order", c.ID)
+		}
+	}
+}
+
+// poissonStream drives a seeded aperiodic stream through the admitter
+// and returns the admitted count, asserting the invariant throughout.
+func poissonStream(t *testing.T, a *Admitter, seed int64, n int, load float64) int {
+	t.Helper()
+	g := dist.NewRNG(seed)
+	stages := a.stages
+	mean := load / (1.0 * float64(stages)) // per-stage demand at unit rate
+	now, admitted := 0.0, 0
+	for i := 0; i < n; i++ {
+		now += g.ExpFloat64()
+		demands := make([]float64, stages)
+		for j := range demands {
+			demands[j] = mean * g.ExpFloat64()
+		}
+		dl := 5 * float64(stages) * (0.5 + g.Float64())
+		tk := task.Chain(task.ID(i+1), now, dl, demands...)
+		if a.TryAdmit(tk) {
+			admitted++
+		}
+		if i%64 == 0 {
+			invariant(t, a)
+		}
+	}
+	invariant(t, a)
+	return admitted
+}
+
+// TestAdmitterInvariantUnderChurn: across modes and loads, every
+// committed order keeps all current tasks schedulable by the test.
+func TestAdmitterInvariantUnderChurn(t *testing.T) {
+	for _, mode := range []Mode{ModeOPA, ModeDM, ModeRandom} {
+		for _, load := range []float64{0.6, 1.2, 2.0} {
+			a := NewAdmitter(3, mode, RegionExact{}, dist.NewRNG(11))
+			got := poissonStream(t, a, 42, 800, load)
+			st := a.Snapshot()
+			if uint64(got) != st.Admitted {
+				t.Fatalf("%v load %v: counted %d admits, snapshot says %d", mode, load, got, st.Admitted)
+			}
+			if st.Admitted+st.Rejected != 800 {
+				t.Fatalf("%v load %v: admitted %d + rejected %d != 800", mode, load, st.Admitted, st.Rejected)
+			}
+			if got == 0 {
+				t.Fatalf("%v load %v: nothing admitted", mode, load)
+			}
+		}
+	}
+}
+
+// TestAdmitterDeterministic: identical seeds produce identical decision
+// streams and identical final state.
+func TestAdmitterDeterministic(t *testing.T) {
+	for _, mode := range []Mode{ModeOPA, ModeDM, ModeRandom} {
+		a1 := NewAdmitter(2, mode, nil, dist.NewRNG(5))
+		a2 := NewAdmitter(2, mode, nil, dist.NewRNG(5))
+		n1 := poissonStream(t, a1, 99, 500, 1.5)
+		n2 := poissonStream(t, a2, 99, 500, 1.5)
+		if n1 != n2 {
+			t.Fatalf("%v: %d vs %d admitted on identical seeds", mode, n1, n2)
+		}
+		s1, s2 := a1.Snapshot(), a2.Snapshot()
+		if s1 != s2 {
+			t.Fatalf("%v: diverging snapshots %+v vs %+v", mode, s1, s2)
+		}
+	}
+}
+
+// TestAdmitterExpiry: a blocking reservation disappears once the
+// arrival clock passes its absolute deadline.
+func TestAdmitterExpiry(t *testing.T) {
+	a := NewAdmitter(1, ModeOPA, RegionExact{}, nil)
+	if !a.TryAdmit(task.Chain(1, 0, 1, 0.5)) {
+		t.Fatal("first task should be admitted into an empty set")
+	}
+	// A second half-utilization task cannot fit alongside the first
+	// (U = 1 at the stage).
+	if a.TryAdmit(task.Chain(2, 0.1, 1, 0.5)) {
+		t.Fatal("overlapping task should be rejected")
+	}
+	// After task 1's absolute deadline the slot is free again.
+	if !a.TryAdmit(task.Chain(3, 1.5, 1, 0.5)) {
+		t.Fatal("task arriving after the expiry should be admitted")
+	}
+	st := a.Snapshot()
+	if st.Expired != 1 || st.Current != 1 {
+		t.Fatalf("snapshot %+v: want 1 expired, 1 current", st)
+	}
+}
+
+// TestAdmitterIdleReset: the idle reset erases a departed task's
+// contribution at the idling stage, unlocking an admission that the
+// deadline-decremented ledger alone would refuse.
+func TestAdmitterIdleReset(t *testing.T) {
+	a := NewAdmitter(2, ModeOPA, RegionExact{}, nil)
+	if !a.TryAdmit(task.Chain(1, 0, 1, 0.5, 0.01)) {
+		t.Fatal("task 1 should be admitted")
+	}
+	probe := func() bool {
+		cp := *task.Chain(2, 0.2, 1, 0.5, 0.01)
+		admitted := a.TryAdmit(&cp)
+		if admitted {
+			t.Fatal("probe unexpectedly admitted; the test needs a saturating first task")
+		}
+		return admitted
+	}
+	probe()
+	// Task 1 finishes stage 0 and the stage idles: its 0.5 contribution
+	// there is erased, making room for task 3's stage-0 demand.
+	a.MarkDeparted(0, 1)
+	a.HandleStageIdle(0)
+	if !a.TryAdmit(task.Chain(3, 0.3, 1, 0.5, 0.01)) {
+		t.Fatal("idle reset should have freed stage 0")
+	}
+	invariant(t, a)
+}
+
+// TestAdmitterSetsStrictFrozenPriorities: OPA writes strict priorities
+// into admitted tasks and never reuses a level among concurrent tasks.
+func TestAdmitterSetsStrictFrozenPriorities(t *testing.T) {
+	a := NewAdmitter(1, ModeOPA, RegionExact{}, nil)
+	tasks := []*task.Task{
+		task.Chain(1, 0, 1.0, 0.15),
+		task.Chain(2, 0, 1.0, 0.15), // tied deadline: strict level anyway
+		task.Chain(3, 0, 0.5, 0.05),
+	}
+	seen := map[float64]bool{}
+	for _, tk := range tasks {
+		if !a.TryAdmit(tk) {
+			t.Fatalf("task %d rejected", tk.ID)
+		}
+		if seen[tk.Priority] {
+			t.Fatalf("priority %v assigned twice", tk.Priority)
+		}
+		seen[tk.Priority] = true
+	}
+	// Task 3 (D = 0.5) slots ABOVE the tied pair: deadline-slot
+	// placement keeps the frozen order DM-compatible, so α stays 1.
+	if st := a.Snapshot(); st.Alpha != 1 {
+		t.Fatalf("deadline-slot placement should keep α = 1, got %v", st.Alpha)
+	}
+}
+
+// TestAdmitterPerTaskBeatsGlobalPointwise: on a seeded stream, the
+// per-task OPA admitter admits strictly more than the paper's global
+// Eq. 15 test (α = 1, same deadline-decremented ledger) — the
+// region-widening claim at the decision level. The stream is
+// deliberately MIXED-SPAN: for full-span chains the per-task system
+// collapses to the global inequality (THEORY.md §9), so the strict gap
+// must come from partial-span flows with heterogeneous deadlines —
+// here a short-deadline class touching only stage 0 and a long-deadline
+// class touching stages 1..2, so neither class's per-stage Dmax is
+// inflated by the other. The streams share one arrival sequence; each
+// controller evolves its own state.
+func TestAdmitterPerTaskBeatsGlobalPointwise(t *testing.T) {
+	const stages = 3
+	type cur struct {
+		absDl float64
+		contr [stages]float64
+	}
+	var globalCur []cur
+	region := core.NewRegion(stages)
+
+	globalAdmit := func(tk *task.Task) bool {
+		w := 0
+		for _, c := range globalCur {
+			if c.absDl > tk.Arrival {
+				globalCur[w] = c
+				w++
+			}
+		}
+		globalCur = globalCur[:w]
+		var utils [stages]float64
+		for _, c := range globalCur {
+			for j := 0; j < stages; j++ {
+				utils[j] += c.contr[j]
+			}
+		}
+		var nc cur
+		nc.absDl = tk.AbsoluteDeadline()
+		for j := 0; j < stages; j++ {
+			nc.contr[j] = tk.Contribution(j)
+			utils[j] += nc.contr[j]
+		}
+		if !region.Contains(utils[:]) {
+			return false
+		}
+		globalCur = append(globalCur, nc)
+		return true
+	}
+
+	a := NewAdmitter(stages, ModeOPA, RegionExact{}, nil)
+	g := dist.NewRNG(314)
+	now := 0.0
+	admG, admO := 0, 0
+	for i := 0; i < 1500; i++ {
+		now += g.ExpFloat64() * 0.5
+		demands := make([]float64, stages)
+		var dl float64
+		if g.Float64() < 0.5 {
+			// Interactive class: stage 0 only, tight deadline.
+			demands[0] = 0.25 * g.ExpFloat64()
+			dl = 0.8 + 0.4*g.Float64()
+		} else {
+			// Batch class: stages 1..2, loose deadline.
+			demands[1] = 0.8 * g.ExpFloat64()
+			demands[2] = 0.8 * g.ExpFloat64()
+			dl = 8 * (0.75 + 0.5*g.Float64())
+		}
+		tk := task.Chain(task.ID(i+1), now, dl, demands...)
+		cp := *tk
+		gAdm := globalAdmit(tk)
+		oAdm := a.TryAdmit(&cp)
+		if gAdm {
+			admG++
+		}
+		if oAdm {
+			admO++
+		}
+	}
+	if admO < admG {
+		t.Fatalf("per-task OPA admitted %d, global Eq. 15 admitted %d: the refinement regressed", admO, admG)
+	}
+	if admO == admG {
+		t.Fatalf("per-task OPA admitted exactly the global count (%d) on a heavy-spread stream; expected strict widening", admO)
+	}
+}

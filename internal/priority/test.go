@@ -1,0 +1,229 @@
+package priority
+
+import (
+	"feasregion/internal/core"
+	"feasregion/internal/task"
+)
+
+// Candidate is one task as the priority search sees it: an identity, a
+// relative end-to-end deadline, and per-stage computation demands. The
+// search never mutates candidates.
+type Candidate struct {
+	ID       task.ID
+	Deadline float64
+	Demands  []float64
+}
+
+// FromTask extracts a chain task's search candidate, padding or
+// truncating the demand vector to the given stage count.
+func FromTask(t *task.Task, stages int) Candidate {
+	d := make([]float64, stages)
+	for j := range d {
+		d[j] = t.StageDemand(j)
+	}
+	return Candidate{ID: t.ID, Deadline: t.Deadline, Demands: d}
+}
+
+// Candidates converts a task slice for Assign.
+func Candidates(tasks []*task.Task, stages int) []Candidate {
+	cs := make([]Candidate, len(tasks))
+	for i, t := range tasks {
+		cs[i] = FromTask(t, stages)
+	}
+	return cs
+}
+
+// demand returns the candidate's demand at stage j (0 beyond its vector).
+func (c Candidate) demand(j int) float64 {
+	if j < 0 || j >= len(c.Demands) {
+		return 0
+	}
+	return c.Demands[j]
+}
+
+// Test is a per-task schedulability test the OPA search (and the online
+// Admitter) can be driven by. Audsley's argument requires exactly the
+// two properties the interface documents: the verdict for c depends only
+// on the SET higher (not its internal order), and it is monotone —
+// removing tasks from higher never flips a passing verdict to failing.
+// All tests in this package satisfy both.
+type Test interface {
+	// Name identifies the test in experiment logs.
+	Name() string
+	// Feasible reports whether task c meets its end-to-end deadline
+	// when exactly the tasks in higher hold equal-or-higher priority
+	// and are concurrently current with it. stages is the pipeline
+	// length N.
+	Feasible(c Candidate, higher []Candidate, stages int) bool
+}
+
+// betaSum folds per-stage normalized blocking into the deadline budget
+// D_i·(1 − Σβ_j); nil betas mean independent tasks.
+func betaSum(betas []float64) float64 {
+	s := 0.0
+	for _, b := range betas {
+		s += b
+	}
+	return s
+}
+
+// RegionExact is the Theorem 1 delay composition restricted to the
+// task's interference set, with a per-stage maximum deadline: task i is
+// schedulable below the set H when
+//
+//	Σ_j f(U_j(H∪{i})) · Dmax_j(H∪{i})  ≤  D_i · (1 − Σ_j β_j)
+//
+// where U_j sums C_kj/D_k over the set and Dmax_j is the largest
+// deadline among set members with positive demand on stage j (tasks
+// absent from a stage cannot delay anyone there). This is the tightest
+// of the package's sound tests and the admission-time default: every
+// admitted task's delay bound follows from Theorem 1 applied to the
+// fixed-priority subsystem of its equal-or-higher-priority tasks, so
+// zero deadline misses among admitted tasks are guaranteed.
+type RegionExact struct {
+	// Betas is the per-stage normalized blocking (nil: independent).
+	Betas []float64
+}
+
+// Name implements Test.
+func (RegionExact) Name() string { return "region-exact" }
+
+// Feasible implements Test.
+func (rt RegionExact) Feasible(c Candidate, higher []Candidate, stages int) bool {
+	if c.Deadline <= 0 {
+		return false
+	}
+	budget := c.Deadline * (1 - betaSum(rt.Betas))
+	if budget < 0 {
+		return false
+	}
+	total := 0.0
+	for j := 0; j < stages; j++ {
+		u, dmax := 0.0, 0.0
+		if d := c.demand(j); d > 0 {
+			u += d / c.Deadline
+			dmax = c.Deadline
+		}
+		for _, h := range higher {
+			if d := h.demand(j); d > 0 {
+				u += d / h.Deadline
+				if h.Deadline > dmax {
+					dmax = h.Deadline
+				}
+			}
+		}
+		if u >= 1 {
+			return false
+		}
+		total += core.StageDelayFactor(u) * dmax
+		if total > budget {
+			return false
+		}
+	}
+	return total <= budget
+}
+
+// AlphaPenalized is the scalar α form of the region bound applied per
+// task: one global maximum deadline scales every stage's delay term,
+//
+//	Σ_j f(U_j(H∪{i})) · Dmax(H∪{i})  ≤  D_i · (1 − Σ_j β_j)
+//
+// i.e. Σ_j f(U_j) ≤ α·(1 − Σβ_j) with α = D_i/Dmax — exactly the
+// penalty Eq. 15 charges a non-DM order. Sound but coarser than
+// RegionExact (Dmax is not per-stage); kept as a search driver so the
+// experiment can quantify what the per-stage refinement buys.
+type AlphaPenalized struct {
+	// Betas is the per-stage normalized blocking (nil: independent).
+	Betas []float64
+}
+
+// Name implements Test.
+func (AlphaPenalized) Name() string { return "alpha-penalized" }
+
+// Feasible implements Test.
+func (at AlphaPenalized) Feasible(c Candidate, higher []Candidate, stages int) bool {
+	if c.Deadline <= 0 {
+		return false
+	}
+	budget := c.Deadline * (1 - betaSum(at.Betas))
+	if budget < 0 {
+		return false
+	}
+	dmax := c.Deadline
+	for _, h := range higher {
+		if h.Deadline > dmax {
+			dmax = h.Deadline
+		}
+	}
+	total := 0.0
+	for j := 0; j < stages; j++ {
+		u := 0.0
+		if d := c.demand(j); d > 0 {
+			u += d / c.Deadline
+		}
+		for _, h := range higher {
+			if d := h.demand(j); d > 0 {
+				u += d / h.Deadline
+			}
+		}
+		if u >= 1 {
+			return false
+		}
+		total += core.StageDelayFactor(u) * dmax
+		if total > budget {
+			return false
+		}
+	}
+	return total <= budget
+}
+
+// ResponseTime is an additive response-time-style check: the task's
+// end-to-end response is bounded by its own demand plus one full demand
+// of every equal-or-higher-priority task at every stage,
+//
+//	Σ_{j: C_ij>0} ( C_ij + Σ_{k∈H} C_kj )  ≤  D_i · (1 − Σ_j β_j)
+//
+// (stages the task does not occupy are skipped — its passage there is
+// instantaneous).
+//
+// Unlike the region tests it is additive in demands rather than convex
+// in utilization, so it genuinely ranks priority orders beyond their
+// deadlines — the test under which OPA strictly beats DM on untied
+// workloads. It is, however, NOT sound as an aperiodic admission test:
+// it charges each interfering task once, but over a long task's
+// lifetime many short tasks can be current in succession, each
+// interfering in its turn (THEORY.md §9 gives the counterexample). Use
+// it for offline assignment comparison and the tightness study only.
+type ResponseTime struct {
+	// Betas is the per-stage normalized blocking (nil: independent).
+	Betas []float64
+}
+
+// Name implements Test.
+func (ResponseTime) Name() string { return "response-time" }
+
+// Feasible implements Test.
+func (rt ResponseTime) Feasible(c Candidate, higher []Candidate, stages int) bool {
+	if c.Deadline <= 0 {
+		return false
+	}
+	budget := c.Deadline * (1 - betaSum(rt.Betas))
+	if budget < 0 {
+		return false
+	}
+	total := 0.0
+	for j := 0; j < stages; j++ {
+		own := c.demand(j)
+		if own == 0 {
+			continue
+		}
+		total += own
+		for _, h := range higher {
+			total += h.demand(j)
+		}
+		if total > budget {
+			return false
+		}
+	}
+	return total <= budget
+}
